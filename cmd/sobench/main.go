@@ -1,0 +1,281 @@
+// Command sobench reproduces Figure 6 of the paper: the StandOff XMark
+// queries 1, 2, 6 and 7 over document sizes 11 MB … 1100 MB, comparing the
+// three implementation strategies
+//
+//	udf         "XQuery Function with Candidate Sequence" (nested loop)
+//	udf-nocand  the same without a candidate sequence (the all-DNF variant)
+//	basic       Basic StandOff MergeJoin (one merge per iteration)
+//	looplifted  Loop-Lifted StandOff MergeJoin (the paper's contribution)
+//
+// Example (the paper's full sweep is -scales 0.1,0.5,1,5,10):
+//
+//	sobench -scales 0.1,0.5,1 -timeout 300 -dir /tmp/soxq-bench
+//
+// Each measurement runs in a subprocess so that a timed-out cell can be
+// killed cleanly (the paper's DNF, there with a one-hour budget). Data files
+// are generated once per scale and reused.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"soxq"
+	"soxq/internal/xmark"
+	"soxq/internal/xmlparse"
+)
+
+var paperScaleNames = map[string]string{
+	"0.1": "11MB", "0.5": "55MB", "1": "110MB", "5": "550MB", "10": "1100MB",
+}
+
+func main() {
+	scales := flag.String("scales", "0.1,0.5,1", "comma-separated XMark scale factors")
+	queries := flag.String("queries", "1,2,6,7", "comma-separated XMark query numbers")
+	variants := flag.String("variants", "udf,basic,looplifted", "comma-separated variants (udf,udf-nocand,basic,looplifted)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-cell budget before declaring DNF (paper: 1h)")
+	dir := flag.String("dir", "soxq-bench-data", "directory for generated data files")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+
+	// Internal flags for the subprocess cell runner.
+	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
+	cellQuery := flag.Int("run-cell-query", 0, "internal: query number")
+	cellVariant := flag.String("run-cell-variant", "", "internal: variant name")
+	flag.Parse()
+
+	if *cellDoc != "" {
+		runCell(*cellDoc, *cellQuery, *cellVariant)
+		return
+	}
+
+	scaleList := splitFloats(*scales)
+	queryList := splitInts(*queries)
+	variantList := strings.Split(*variants, ",")
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	type key struct {
+		scale   float64
+		query   int
+		variant string
+	}
+	results := map[key]string{}
+
+	for _, scale := range scaleList {
+		soPath, err := ensureData(*dir, scale, *seed)
+		if err != nil {
+			fatal("generating scale %g: %v", scale, err)
+		}
+		for _, q := range queryList {
+			for _, variant := range variantList {
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout)
+				k := key{scale, q, variant}
+				if !ok {
+					results[k] = "DNF"
+					fmt.Fprintf(os.Stderr, "scale %g Q%d %-10s DNF (> %v)\n", scale, q, variant, *timeout)
+				} else {
+					results[k] = fmt.Sprintf("%.3f", secs)
+					fmt.Fprintf(os.Stderr, "scale %g Q%d %-10s %8.3fs\n", scale, q, variant, secs)
+				}
+			}
+		}
+	}
+
+	// Paper-style output: one block per query, variants as rows, sizes as
+	// columns (Figure 6 shows the same grid as four log-scale plots).
+	var csv strings.Builder
+	csv.WriteString("query,variant,scale,size,seconds\n")
+	for _, q := range queryList {
+		fmt.Printf("\nStandOff XMark Q%d (seconds; DNF = did not finish within %v)\n", q, *timeout)
+		fmt.Printf("%-34s", "variant \\ size")
+		for _, s := range scaleList {
+			fmt.Printf("%12s", sizeName(s))
+		}
+		fmt.Println()
+		for _, variant := range variantList {
+			fmt.Printf("%-34s", variantLabel(variant))
+			for _, s := range scaleList {
+				cell := results[key{s, q, variant}]
+				fmt.Printf("%12s", cell)
+				fmt.Fprintf(&csv, "%d,%s,%g,%s,%s\n", q, variant, s, sizeName(s), cell)
+			}
+			fmt.Println()
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fatal("writing CSV: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func variantLabel(v string) string {
+	switch v {
+	case "udf":
+		return "XQuery Function w/ Candidate Seq."
+	case "udf-nocand":
+		return "XQuery Function (no candidates)"
+	case "basic":
+		return "Basic StandOff MergeJoin"
+	case "looplifted":
+		return "Loop-Lifted StandOff MergeJoin"
+	}
+	return v
+}
+
+func sizeName(scale float64) string {
+	s := strconv.FormatFloat(scale, 'g', -1, 64)
+	if n, ok := paperScaleNames[s]; ok {
+		return n
+	}
+	return s + "x"
+}
+
+// ensureData generates (once) the stand-off XMark files for a scale and
+// returns the stand-off document path.
+func ensureData(dir string, scale float64, seed uint64) (string, error) {
+	base := filepath.Join(dir, fmt.Sprintf("xmark-%s", strconv.FormatFloat(scale, 'g', -1, 64)))
+	soPath := base + ".standoff.xml"
+	if _, err := os.Stat(soPath); err == nil {
+		return soPath, nil
+	}
+	fmt.Fprintf(os.Stderr, "generating %s (scale %g)...\n", soPath, scale)
+	plain := base + ".xml"
+	f, err := os.Create(plain)
+	if err != nil {
+		return "", err
+	}
+	if err := xmark.Generate(f, xmark.Config{Scale: scale, Seed: seed}); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	doc, err := xmlparse.ParseFile(plain)
+	if err != nil {
+		return "", err
+	}
+	cfg := xmark.DefaultStandOffConfig()
+	cfg.Seed = seed
+	res, err := xmark.StandOffize(doc, cfg)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(soPath, res.XML, 0o644); err != nil {
+		return "", err
+	}
+	return soPath, os.WriteFile(base+".blob", res.Blob, 0o644)
+}
+
+// runCellSubprocess executes one measurement in a child process and kills it
+// at the timeout (DNF).
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration) (float64, bool) {
+	cmd := exec.Command(os.Args[0],
+		"-run-cell-doc", soPath,
+		"-run-cell-query", strconv.Itoa(q),
+		"-run-cell-variant", variant)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal("%v", err)
+	}
+	done := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		var last string
+		for sc.Scan() {
+			last = sc.Text()
+		}
+		done <- last
+	}()
+	timer := time.AfterFunc(timeout, func() { _ = cmd.Process.Kill() })
+	last := <-done
+	waitErr := cmd.Wait()
+	timedOut := !timer.Stop()
+	if timedOut || waitErr != nil || !strings.HasPrefix(last, "seconds=") {
+		return 0, false
+	}
+	secs, err := strconv.ParseFloat(strings.TrimPrefix(last, "seconds="), 64)
+	if err != nil {
+		return 0, false
+	}
+	return secs, true
+}
+
+// runCell is the subprocess body: load the document, build the index, run
+// the query once, print the evaluation seconds.
+func runCell(soPath string, q int, variant string) {
+	cfg := soxq.Config{}
+	switch variant {
+	case "udf":
+		cfg.Mode = soxq.ModeUDF
+	case "udf-nocand":
+		cfg.Mode = soxq.ModeUDF
+		cfg.NoPushdown = true
+	case "basic":
+		cfg.Mode = soxq.ModeBasic
+	case "looplifted":
+		cfg.Mode = soxq.ModeLoopLifted
+	default:
+		fatal("unknown variant %q", variant)
+	}
+	eng := soxq.New()
+	if err := eng.LoadXMLFile("doc.xml", soPath); err != nil {
+		fatal("%v", err)
+	}
+	if err := eng.BuildIndex("doc.xml"); err != nil {
+		fatal("%v", err)
+	}
+	query := xmark.StandOffQuery(q, "doc.xml")
+	start := time.Now()
+	res, err := eng.QueryWith(query, cfg)
+	if err != nil {
+		fatal("Q%d (%s): %v", q, variant, err)
+	}
+	secs := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, res.Len(), secs)
+	fmt.Printf("seconds=%.6f\n", secs)
+}
+
+func splitFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal("bad scale %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal("bad query number %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sobench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command soxq runs XQuery with stand-off annotation support from the
+// command line:
+//
+//	soxq -doc sample.xml=testdata/sample.xml \
+//	     -q 'doc("sample.xml")//music/select-wide::shot'
+//
+//	soxq -doc fs.xml=image.xml -blob fs.xml=disk.img \
+//	     -declare standoff-region=region \
+//	     -f query.xq -mode basic
+//
+// Documents are registered under the name given before '='; queries address
+// them with fn:doc. -mode selects the paper's execution strategies
+// (looplifted, basic, udf).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"soxq"
+	"soxq/internal/blob"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var docs, blobs, declares repeated
+	flag.Var(&docs, "doc", "load a document: name=path (repeatable)")
+	flag.Var(&blobs, "blob", "attach a BLOB to a document: name=path (repeatable)")
+	flag.Var(&declares, "declare", "engine-wide stand-off option: option=value (repeatable)")
+	query := flag.String("q", "", "query text")
+	queryFile := flag.String("f", "", "file containing the query")
+	mode := flag.String("mode", "looplifted", "execution mode: looplifted, basic or udf")
+	noPushdown := flag.Bool("no-pushdown", false, "disable candidate-sequence pushdown")
+	heap := flag.Bool("heap", false, "use the heap-based active set (paper section 5)")
+	timing := flag.Bool("time", false, "print load and evaluation timing to stderr")
+	flag.Parse()
+
+	if (*query == "") == (*queryFile == "") {
+		fatal("exactly one of -q or -f is required")
+	}
+	q := *query
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		fatalIf(err)
+		q = string(data)
+	}
+	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap}
+	switch *mode {
+	case "looplifted":
+		cfg.Mode = soxq.ModeLoopLifted
+	case "basic":
+		cfg.Mode = soxq.ModeBasic
+	case "udf":
+		cfg.Mode = soxq.ModeUDF
+	default:
+		fatal("unknown -mode %q", *mode)
+	}
+
+	eng := soxq.New()
+	for _, d := range declares {
+		opt, val, ok := strings.Cut(d, "=")
+		if !ok {
+			fatal("-declare wants option=value, got %q", d)
+		}
+		fatalIf(eng.Declare(opt, val))
+	}
+	loadStart := time.Now()
+	for _, spec := range docs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal("-doc wants name=path, got %q", spec)
+		}
+		fatalIf(eng.LoadXMLFile(name, path))
+	}
+	for _, spec := range blobs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal("-blob wants name=path, got %q", spec)
+		}
+		store, err := blob.OpenFile(path)
+		fatalIf(err)
+		defer store.Close()
+		eng.SetBlob(name, store)
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "load: %v\n", time.Since(loadStart))
+	}
+
+	evalStart := time.Now()
+	res, err := eng.QueryWith(q, cfg)
+	fatalIf(err)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
+	}
+	for _, v := range res.Values() {
+		fmt.Println(v.XML())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "soxq: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command xmarkgen generates XMark auction documents and their stand-off
+// conversions (document + BLOB), the workload of the paper's section 4.6:
+//
+//	xmarkgen -scale 0.1 -o xmark11MB.xml
+//	xmarkgen -scale 0.1 -standoff -o xmark11MB.xml
+//
+// With -standoff, three files are written: the plain document (-o), the
+// stand-off document (<o>.standoff.xml) and the BLOB (<o>.blob).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soxq/internal/xmark"
+	"soxq/internal/xmlparse"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "XMark scale factor (1.0 = the paper's 110MB document)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "xmark.xml", "output file")
+	standoff := flag.Bool("standoff", false, "also write the stand-off conversion and BLOB")
+	permute := flag.Bool("permute", true, "permute record elements in the stand-off document (section 4.6)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	logf("generating XMark at scale %g (seed %d)...", *scale, *seed)
+	f, err := os.Create(*out)
+	fatalIf(err)
+	err = xmark.Generate(f, xmark.Config{Scale: *scale, Seed: *seed})
+	fatalIf(err)
+	fatalIf(f.Close())
+	st, _ := os.Stat(*out)
+	logf("wrote %s (%.1f MB)", *out, float64(st.Size())/(1<<20))
+
+	if !*standoff {
+		return
+	}
+	logf("converting to stand-off form...")
+	doc, err := xmlparse.ParseFile(*out)
+	fatalIf(err)
+	cfg := xmark.DefaultStandOffConfig()
+	cfg.Permute = *permute
+	cfg.Seed = *seed
+	res, err := xmark.StandOffize(doc, cfg)
+	fatalIf(err)
+	soName := *out + ".standoff.xml"
+	blobName := *out + ".blob"
+	fatalIf(os.WriteFile(soName, res.XML, 0o644))
+	fatalIf(os.WriteFile(blobName, res.Blob, 0o644))
+	logf("wrote %s (%.1f MB) and %s (%.1f MB)", soName,
+		float64(len(res.XML))/(1<<20), blobName, float64(len(res.Blob))/(1<<20))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}

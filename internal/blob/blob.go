@@ -1,0 +1,112 @@
+// Package blob stores the annotated objects that stand-off regions point
+// into — "BLOBs" in the paper's terminology (section 2): a video stream, a
+// text corpus, or the raw image of a confiscated hard drive. Annotations
+// never embed BLOB content; they carry [start,end] positions, and this
+// package resolves such regions back to bytes.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"soxq/internal/interval"
+)
+
+// Store resolves regions of a BLOB to content.
+type Store interface {
+	// Size returns the number of addressable positions.
+	Size() int64
+	// ReadRegion returns the bytes of the closed region [r.Start, r.End].
+	ReadRegion(r interval.Region) ([]byte, error)
+}
+
+// ErrOutOfRange is returned when a region falls outside the BLOB.
+var ErrOutOfRange = errors.New("blob: region out of range")
+
+// Bytes is an in-memory BLOB.
+type Bytes struct {
+	data []byte
+}
+
+// FromBytes wraps data as a BLOB without copying.
+func FromBytes(data []byte) *Bytes { return &Bytes{data: data} }
+
+// FromString wraps a string as a BLOB.
+func FromString(s string) *Bytes { return &Bytes{data: []byte(s)} }
+
+// Size implements Store.
+func (b *Bytes) Size() int64 { return int64(len(b.data)) }
+
+// ReadRegion implements Store.
+func (b *Bytes) ReadRegion(r interval.Region) ([]byte, error) {
+	if err := checkRegion(r, b.Size()); err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.Length())
+	copy(out, b.data[r.Start:r.End+1])
+	return out, nil
+}
+
+// ReadArea concatenates the content of every region of a (possibly
+// non-contiguous) area in position order, e.g. reassembling a fragmented
+// file from its disk blocks.
+func ReadArea(s Store, a interval.Area) ([]byte, error) {
+	var out []byte
+	for _, r := range a.Regions() {
+		chunk, err := s.ReadRegion(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func checkRegion(r interval.Region, size int64) error {
+	if !r.Valid() || r.Start < 0 || r.End >= size {
+		return fmt.Errorf("%w: %s in blob of size %d", ErrOutOfRange, r, size)
+	}
+	return nil
+}
+
+// File is a file-backed BLOB for objects too large to hold in memory (the
+// paper's >GB disk images). Reads are positioned, so a File is safe for
+// concurrent readers.
+type File struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFile opens path as a BLOB.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, size: st.Size()}, nil
+}
+
+// Close releases the underlying file.
+func (b *File) Close() error { return b.f.Close() }
+
+// Size implements Store.
+func (b *File) Size() int64 { return b.size }
+
+// ReadRegion implements Store.
+func (b *File) ReadRegion(r interval.Region) ([]byte, error) {
+	if err := checkRegion(r, b.size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.Length())
+	if _, err := b.f.ReadAt(out, r.Start); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package blob
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soxq/internal/interval"
+)
+
+func TestBytesStore(t *testing.T) {
+	b := FromString("hello, world")
+	if b.Size() != 12 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	got, err := b.ReadRegion(interval.Region{Start: 7, End: 11})
+	if err != nil || string(got) != "world" {
+		t.Fatalf("ReadRegion = %q, %v", got, err)
+	}
+	got, err = b.ReadRegion(interval.Region{Start: 0, End: 0})
+	if err != nil || string(got) != "h" {
+		t.Fatalf("point region = %q, %v", got, err)
+	}
+	if _, err := b.ReadRegion(interval.Region{Start: 7, End: 12}); err == nil {
+		t.Fatal("past-end region should fail")
+	}
+	if _, err := b.ReadRegion(interval.Region{Start: -1, End: 3}); err == nil {
+		t.Fatal("negative region should fail")
+	}
+	if _, err := b.ReadRegion(interval.Region{Start: 5, End: 3}); err == nil {
+		t.Fatal("inverted region should fail")
+	}
+}
+
+func TestReadArea(t *testing.T) {
+	b := FromString("AAAABBBBCCCCDDDD")
+	area, err := interval.NewArea(
+		interval.Region{Start: 12, End: 15},
+		interval.Region{Start: 0, End: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArea(b, area)
+	if err != nil || string(got) != "AAAADDDD" {
+		t.Fatalf("ReadArea = %q, %v", got, err)
+	}
+	bad, _ := interval.NewArea(interval.Region{Start: 14, End: 99})
+	if _, err := ReadArea(b, bad); err == nil {
+		t.Fatal("out-of-range area should fail")
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob.bin")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 10 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	got, err := f.ReadRegion(interval.Region{Start: 3, End: 6})
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("ReadRegion = %q, %v", got, err)
+	}
+	if _, err := f.ReadRegion(interval.Region{Start: 8, End: 12}); err == nil {
+		t.Fatal("past-end region should fail")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import "sort"
+
+// Candidates is the candidate sequence of a StandOff join (sections 3.2 and
+// 4.3): the set of area-annotations that may appear in the result. Without a
+// selection, the entire region index is the candidate sequence; with a
+// pushed-down selection (e.g. an element name test), an index intersection
+// on node id is performed that preserves the start ordering of the region
+// index.
+type Candidates struct {
+	ix  *RegionIndex
+	all bool
+
+	// Filtered views, used when !all. Region/bounds rows are indices into
+	// the index tables, in the table's own (start) order.
+	rows  []int32
+	bRows []int32
+	areas []int32
+
+	endRows []int32 // region rows in end order (filtered); lazy
+}
+
+// All returns the unrestricted candidate sequence (the whole index).
+func (ix *RegionIndex) All() *Candidates {
+	return &Candidates{ix: ix, all: true}
+}
+
+// Filter returns the candidate sequence restricted to the given node pres,
+// which must be sorted ascending and duplicate-free (document order, as an
+// element-name index delivers them). Nodes that are not area-annotations are
+// dropped silently: they can never be returned by a StandOff step. The
+// intersection scans the region index once, preserving its start order
+// (section 4.3).
+func (ix *RegionIndex) Filter(pres []int32) *Candidates {
+	c := &Candidates{ix: ix}
+	if len(pres) == 0 {
+		return c
+	}
+	bits := make([]uint64, (ix.doc.NumNodes()+63)/64)
+	for _, p := range pres {
+		if ix.IsArea(p) {
+			bits[p>>6] |= 1 << (uint(p) & 63)
+			c.areas = append(c.areas, p)
+		}
+	}
+	if !sort.SliceIsSorted(c.areas, func(i, j int) bool { return c.areas[i] < c.areas[j] }) {
+		sort.Slice(c.areas, func(i, j int) bool { return c.areas[i] < c.areas[j] })
+	}
+	for i := int32(0); i < int32(len(ix.rID)); i++ {
+		if id := ix.rID[i]; bits[id>>6]&(1<<(uint(id)&63)) != 0 {
+			c.rows = append(c.rows, i)
+		}
+	}
+	if !ix.multiRegion {
+		c.bRows = c.rows
+		return c
+	}
+	for i := int32(0); i < int32(len(ix.bID)); i++ {
+		if id := ix.bID[i]; bits[id>>6]&(1<<(uint(id)&63)) != 0 {
+			c.bRows = append(c.bRows, i)
+		}
+	}
+	return c
+}
+
+// FilterByName returns the candidate sequence of all area-annotations with
+// the given element name id, caching the intersection per name: repeated
+// StandOff steps with the same name test (every query re-run, every loop)
+// then skip the index scan — the "pre-created effective indices" that
+// section 3.3 argues per-document steps make possible.
+func (ix *RegionIndex) FilterByName(nameID int32) *Candidates {
+	if v, ok := ix.nameCands.Load(nameID); ok {
+		return v.(*Candidates)
+	}
+	c := ix.Filter(ix.doc.ElementsByName(nameID))
+	// Pre-build the end-order permutation too, so cached candidates are
+	// immediately usable by the overlap joins.
+	c.endPerm()
+	actual, _ := ix.nameCands.LoadOrStore(nameID, c)
+	return actual.(*Candidates)
+}
+
+// AreaPres returns the candidate area-annotation pres in document order.
+func (c *Candidates) AreaPres() []int32 {
+	if c.all {
+		return c.ix.areas
+	}
+	return c.areas
+}
+
+// Len returns the number of candidate areas.
+func (c *Candidates) Len() int { return len(c.AreaPres()) }
+
+func (c *Candidates) regionLen() int {
+	if c.all {
+		return len(c.ix.rStart)
+	}
+	return len(c.rows)
+}
+
+// regionRow returns the k-th candidate region row in start order.
+func (c *Candidates) regionRow(k int) (start, end int64, id int32) {
+	i := int32(k)
+	if !c.all {
+		i = c.rows[k]
+	}
+	return c.ix.rStart[i], c.ix.rEnd[i], c.ix.rID[i]
+}
+
+// regionRowByEnd returns the k-th candidate region row in end order.
+func (c *Candidates) regionRowByEnd(k int) (start, end int64, id int32) {
+	perm := c.endPerm()
+	i := perm[k]
+	return c.ix.rStart[i], c.ix.rEnd[i], c.ix.rID[i]
+}
+
+func (c *Candidates) endPerm() []int32 {
+	if c.all {
+		return c.ix.endPerm()
+	}
+	if c.endRows == nil {
+		p := make([]int32, len(c.rows))
+		copy(p, c.rows)
+		ix := c.ix
+		sort.Slice(p, func(a, b int) bool {
+			i, j := p[a], p[b]
+			if ix.rEnd[i] != ix.rEnd[j] {
+				return ix.rEnd[i] < ix.rEnd[j]
+			}
+			if ix.rStart[i] != ix.rStart[j] {
+				return ix.rStart[i] < ix.rStart[j]
+			}
+			return ix.rID[i] < ix.rID[j]
+		})
+		c.endRows = p
+	}
+	return c.endRows
+}
+
+func (c *Candidates) boundsLen() int {
+	if c.all {
+		return len(c.ix.bStart)
+	}
+	return len(c.bRows)
+}
+
+// boundsRow returns the k-th candidate bounds row (one per area) in start
+// order.
+func (c *Candidates) boundsRow(k int) (start, end int64, id int32) {
+	i := int32(k)
+	if !c.all {
+		i = c.bRows[k]
+	}
+	return c.ix.bStart[i], c.ix.bEnd[i], c.ix.bID[i]
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"soxq/internal/interval"
+	"soxq/internal/tree"
+)
+
+// RegionIndex is the paper's region index (section 4.3): a start|end|id
+// table clustered on start, where id is the pre-order rank of the
+// area-annotation element. Non-contiguous areas are represented by repeating
+// the same id in several rows. In addition the index keeps, per annotated
+// node, its region list (for context fetch) and a bounds table with one row
+// per area (used by the containment fast path), plus a lazily built
+// end-ordered permutation used by the overlap joins.
+//
+// A RegionIndex is immutable after Build and safe for concurrent use.
+type RegionIndex struct {
+	doc  *tree.Doc
+	opts Options
+
+	// Region rows, sorted by (start, end, id).
+	rStart []int64
+	rEnd   []int64
+	rID    []int32
+
+	// Bounds rows: one row per area (covering region), sorted by
+	// (start, end, id). Aliases the region rows when every area is
+	// single-region.
+	bStart []int64
+	bEnd   []int64
+	bID    []int32
+
+	// Per-area geometry: areas is the ascending pre list of annotated
+	// nodes; area i owns areaRegs[areaOff[i]:areaOff[i+1]].
+	areas    []int32
+	areaOff  []int32
+	areaRegs []interval.Region
+	areaRank map[int32]int32
+
+	multiRegion bool
+
+	endPermOnce sync.Once
+	rEndPerm    []int32 // region row indices ordered by (end, start, id)
+
+	nameCands sync.Map // element name id -> *Candidates (FilterByName cache)
+}
+
+// BuildIndex scans doc for area-annotations according to opts and builds the
+// region index. In attribute mode an element is an area-annotation iff it
+// carries both the start and end attributes; having only one of the two is a
+// configuration or data error and is rejected. In region-element mode an
+// element is an area-annotation iff it has one or more region child
+// elements, each holding start and end child elements.
+func BuildIndex(doc *tree.Doc, opts Options) (*RegionIndex, error) {
+	ix := &RegionIndex{doc: doc, opts: opts, areaRank: make(map[int32]int32)}
+	var err error
+	if opts.UseRegionElements {
+		err = ix.scanRegionElements()
+	} else {
+		err = ix.scanAttributes()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ix.sortRows()
+	return ix, nil
+}
+
+func (ix *RegionIndex) scanAttributes() error {
+	d := ix.doc
+	startID, ok1 := d.Dict().Lookup(ix.opts.Start)
+	endID, ok2 := d.Dict().Lookup(ix.opts.End)
+	if !ok1 || !ok2 {
+		// The document has no such attributes at all: an empty index.
+		if ok1 != ok2 {
+			return fmt.Errorf("core: document %q has %q attributes but no %q attributes",
+				d.Name, pick(ok1, ix.opts.Start, ix.opts.End), pick(ok1, ix.opts.End, ix.opts.Start))
+		}
+		return nil
+	}
+	n := int32(d.NumNodes())
+	for pre := int32(0); pre < n; pre++ {
+		if d.Kind(pre) != tree.ElementNode {
+			continue
+		}
+		si := d.Attr(pre, startID)
+		ei := d.Attr(pre, endID)
+		if si < 0 && ei < 0 {
+			continue
+		}
+		if si < 0 || ei < 0 {
+			return fmt.Errorf("core: element <%s> (pre %d) has only one of %q/%q",
+				d.NodeName(pre), pre, ix.opts.Start, ix.opts.End)
+		}
+		start, err := ix.parsePos(d.AttrValueBytes(si))
+		if err != nil {
+			return fmt.Errorf("core: element <%s> (pre %d): bad %s: %v", d.NodeName(pre), pre, ix.opts.Start, err)
+		}
+		end, err := ix.parsePos(d.AttrValueBytes(ei))
+		if err != nil {
+			return fmt.Errorf("core: element <%s> (pre %d): bad %s: %v", d.NodeName(pre), pre, ix.opts.End, err)
+		}
+		if start > end {
+			return fmt.Errorf("core: element <%s> (pre %d): region start %d > end %d",
+				d.NodeName(pre), pre, start, end)
+		}
+		ix.addArea(pre, []interval.Region{{Start: start, End: end}})
+	}
+	return nil
+}
+
+func (ix *RegionIndex) scanRegionElements() error {
+	d := ix.doc
+	regionID, ok := d.Dict().Lookup(ix.opts.Region)
+	if !ok {
+		return nil
+	}
+	startID, _ := d.Dict().Lookup(ix.opts.Start)
+	endID, _ := d.Dict().Lookup(ix.opts.End)
+	n := int32(d.NumNodes())
+	for pre := int32(0); pre < n; pre++ {
+		if d.Kind(pre) != tree.ElementNode || d.NameID(pre) == regionID {
+			continue
+		}
+		var regions []interval.Region
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			if d.Kind(c) != tree.ElementNode || d.NameID(c) != regionID {
+				continue
+			}
+			r, err := ix.readRegionElement(c, startID, endID)
+			if err != nil {
+				return err
+			}
+			regions = append(regions, r)
+		}
+		if len(regions) == 0 {
+			continue
+		}
+		area, err := interval.NewArea(regions...)
+		if err != nil {
+			return fmt.Errorf("core: element <%s> (pre %d): %v", d.NodeName(pre), pre, err)
+		}
+		ix.addArea(pre, area.Regions())
+	}
+	return nil
+}
+
+func (ix *RegionIndex) readRegionElement(pre, startID, endID int32) (interval.Region, error) {
+	d := ix.doc
+	var startStr, endStr string
+	var haveStart, haveEnd bool
+	for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+		if d.Kind(c) != tree.ElementNode {
+			continue
+		}
+		switch d.NameID(c) {
+		case startID:
+			startStr, haveStart = d.StringValue(c), true
+		case endID:
+			endStr, haveEnd = d.StringValue(c), true
+		}
+	}
+	if !haveStart || !haveEnd {
+		return interval.Region{}, fmt.Errorf("core: <%s> region (pre %d) misses <%s> or <%s>",
+			ix.opts.Region, pre, ix.opts.Start, ix.opts.End)
+	}
+	start, err := ix.opts.ParsePosition(trimSpace(startStr))
+	if err != nil {
+		return interval.Region{}, fmt.Errorf("core: region (pre %d): %v", pre, err)
+	}
+	end, err := ix.opts.ParsePosition(trimSpace(endStr))
+	if err != nil {
+		return interval.Region{}, fmt.Errorf("core: region (pre %d): %v", pre, err)
+	}
+	return interval.NewRegion(start, end)
+}
+
+func (ix *RegionIndex) addArea(pre int32, regions []interval.Region) {
+	ix.areaRank[pre] = int32(len(ix.areas))
+	ix.areas = append(ix.areas, pre)
+	ix.areaOff = append(ix.areaOff, int32(len(ix.areaRegs)))
+	ix.areaRegs = append(ix.areaRegs, regions...)
+	for _, r := range regions {
+		ix.rStart = append(ix.rStart, r.Start)
+		ix.rEnd = append(ix.rEnd, r.End)
+		ix.rID = append(ix.rID, pre)
+	}
+	if len(regions) > 1 {
+		ix.multiRegion = true
+	}
+}
+
+func (ix *RegionIndex) sortRows() {
+	ix.areaOff = append(ix.areaOff, int32(len(ix.areaRegs)))
+	perm := make([]int32, len(ix.rStart))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		if ix.rStart[i] != ix.rStart[j] {
+			return ix.rStart[i] < ix.rStart[j]
+		}
+		if ix.rEnd[i] != ix.rEnd[j] {
+			return ix.rEnd[i] < ix.rEnd[j]
+		}
+		return ix.rID[i] < ix.rID[j]
+	})
+	ix.rStart = permute64(ix.rStart, perm)
+	ix.rEnd = permute64(ix.rEnd, perm)
+	ix.rID = permute32(ix.rID, perm)
+
+	if !ix.multiRegion {
+		ix.bStart, ix.bEnd, ix.bID = ix.rStart, ix.rEnd, ix.rID
+		return
+	}
+	// Bounds table: one covering region per area.
+	nA := len(ix.areas)
+	ix.bStart = make([]int64, nA)
+	ix.bEnd = make([]int64, nA)
+	ix.bID = make([]int32, nA)
+	bperm := make([]int32, nA)
+	for i := 0; i < nA; i++ {
+		regs := ix.areaRegs[ix.areaOff[i]:ix.areaOff[i+1]]
+		ix.bStart[i] = regs[0].Start
+		ix.bEnd[i] = regs[len(regs)-1].End
+		ix.bID[i] = ix.areas[i]
+		bperm[i] = int32(i)
+	}
+	sort.Slice(bperm, func(a, b int) bool {
+		i, j := bperm[a], bperm[b]
+		if ix.bStart[i] != ix.bStart[j] {
+			return ix.bStart[i] < ix.bStart[j]
+		}
+		if ix.bEnd[i] != ix.bEnd[j] {
+			return ix.bEnd[i] < ix.bEnd[j]
+		}
+		return ix.bID[i] < ix.bID[j]
+	})
+	ix.bStart = permute64(ix.bStart, bperm)
+	ix.bEnd = permute64(ix.bEnd, bperm)
+	ix.bID = permute32(ix.bID, bperm)
+}
+
+// endPerm returns region row indices ordered ascending by (end, start, id).
+func (ix *RegionIndex) endPerm() []int32 {
+	ix.endPermOnce.Do(func() {
+		p := make([]int32, len(ix.rStart))
+		for i := range p {
+			p[i] = int32(i)
+		}
+		sort.Slice(p, func(a, b int) bool {
+			i, j := p[a], p[b]
+			if ix.rEnd[i] != ix.rEnd[j] {
+				return ix.rEnd[i] < ix.rEnd[j]
+			}
+			if ix.rStart[i] != ix.rStart[j] {
+				return ix.rStart[i] < ix.rStart[j]
+			}
+			return ix.rID[i] < ix.rID[j]
+		})
+		ix.rEndPerm = p
+	})
+	return ix.rEndPerm
+}
+
+// Doc returns the indexed document.
+func (ix *RegionIndex) Doc() *tree.Doc { return ix.doc }
+
+// Options returns the options the index was built with.
+func (ix *RegionIndex) Options() Options { return ix.opts }
+
+// NumAreas returns the number of area-annotations in the document.
+func (ix *RegionIndex) NumAreas() int { return len(ix.areas) }
+
+// NumRegions returns the number of region rows (>= NumAreas).
+func (ix *RegionIndex) NumRegions() int { return len(ix.rStart) }
+
+// MultiRegion reports whether any area has more than one region.
+func (ix *RegionIndex) MultiRegion() bool { return ix.multiRegion }
+
+// Areas returns the ascending pre list of all area-annotations. The returned
+// slice must not be modified.
+func (ix *RegionIndex) Areas() []int32 { return ix.areas }
+
+// IsArea reports whether node pre is an area-annotation.
+func (ix *RegionIndex) IsArea(pre int32) bool {
+	_, ok := ix.areaRank[pre]
+	return ok
+}
+
+// RegionsOf returns the regions of area pre (start-ordered), or nil when pre
+// is not an area-annotation. The returned slice must not be modified.
+func (ix *RegionIndex) RegionsOf(pre int32) []interval.Region {
+	rank, ok := ix.areaRank[pre]
+	if !ok {
+		return nil
+	}
+	return ix.areaRegs[ix.areaOff[rank]:ix.areaOff[rank+1]]
+}
+
+// AreaOf returns the area geometry of node pre.
+func (ix *RegionIndex) AreaOf(pre int32) (interval.Area, bool) {
+	regs := ix.RegionsOf(pre)
+	if regs == nil {
+		return interval.Area{}, false
+	}
+	a, err := interval.NewArea(regs...)
+	if err != nil {
+		return interval.Area{}, false
+	}
+	return a, true
+}
+
+// regionCount returns the number of regions of area pre.
+func (ix *RegionIndex) regionCount(pre int32) int32 {
+	rank := ix.areaRank[pre]
+	return ix.areaOff[rank+1] - ix.areaOff[rank]
+}
+
+func (ix *RegionIndex) parsePos(b []byte) (int64, error) {
+	if ix.opts.Type == TypeInteger {
+		return parseIntBytes(b)
+	}
+	return ix.opts.ParsePosition(string(b))
+}
+
+// parseIntBytes parses a decimal int64 from bytes without allocating.
+func parseIntBytes(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty integer")
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i++
+		if i == len(b) {
+			return 0, fmt.Errorf("bare sign")
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q in %q", c, b)
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, fmt.Errorf("integer overflow in %q", b)
+		}
+		v = v*10 + d
+	}
+	if neg {
+		return -v, nil
+	}
+	return v, nil
+}
+
+func trimSpace(s string) string {
+	i, j := 0, len(s)
+	for i < j && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	for j > i && (s[j-1] == ' ' || s[j-1] == '\t' || s[j-1] == '\n' || s[j-1] == '\r') {
+		j--
+	}
+	return s[i:j]
+}
+
+func pick(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func permute64(v []int64, perm []int32) []int64 {
+	out := make([]int64, len(v))
+	for i, p := range perm {
+		out[i] = v[p]
+	}
+	return out
+}
+
+func permute32(v []int32, perm []int32) []int32 {
+	out := make([]int32, len(v))
+	for i, p := range perm {
+		out[i] = v[p]
+	}
+	return out
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Op selects one of the four StandOff joins of section 3.1.
+type Op int
+
+const (
+	// SelectNarrow returns candidates contained by some context area
+	// (containment semi-join).
+	SelectNarrow Op = iota
+	// SelectWide returns candidates overlapping some context area
+	// (overlap semi-join).
+	SelectWide
+	// RejectNarrow returns candidates not contained in any context area
+	// (containment anti-join).
+	RejectNarrow
+	// RejectWide returns candidates not overlapping any context area
+	// (overlap anti-join).
+	RejectWide
+)
+
+func (op Op) String() string {
+	switch op {
+	case SelectNarrow:
+		return "select-narrow"
+	case SelectWide:
+		return "select-wide"
+	case RejectNarrow:
+		return "reject-narrow"
+	case RejectWide:
+		return "reject-wide"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Strategy selects the evaluation algorithm, mirroring the three variants of
+// the paper's section 4.6 experiment.
+type Strategy int
+
+const (
+	// StrategyNaive evaluates the join as a quadratic nested loop per
+	// iteration — the cost model of the Figure 2/3 XQuery functions.
+	StrategyNaive Strategy = iota
+	// StrategyBasic runs the Basic StandOff MergeJoin (section 4.4) once
+	// per iteration; every invocation scans the candidate sequence anew.
+	StrategyBasic
+	// StrategyLoopLifted runs the Loop-Lifted StandOff MergeJoin
+	// (section 4.5): a single pass over context and candidates computes
+	// the join for all iterations at once.
+	StrategyLoopLifted
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyBasic:
+		return "basic"
+	case StrategyLoopLifted:
+		return "looplifted"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// CtxNode is one context item of a loop-lifted StandOff step: node Pre bound
+// in iteration Iter. The paper's iter|start|end context table is derived
+// from these by fetching each node's regions from the index.
+type CtxNode struct {
+	Iter int32
+	Pre  int32
+}
+
+// Pair is one result row: candidate node Pre matches in iteration Iter.
+// Join results are sorted by (Iter, Pre) and duplicate-free — node sequences
+// in document order per iteration, as XPath steps require.
+type Pair struct {
+	Iter int32
+	Pre  int32
+}
+
+// TraceEvent reports one step of the merge join for diagnostics and for the
+// paper's Figure 4 execution-trace reproduction.
+type TraceEvent struct {
+	Kind string // "add-context", "skip-context", "expire", "emit", "break"
+	Key  int32  // iteration (or pseudo-iteration) of the context item
+	Pre  int32  // candidate pre for "emit"
+	End  int64  // region end for context events
+}
+
+// Tracer receives TraceEvents; nil disables tracing.
+type Tracer func(TraceEvent)
+
+// JoinConfig tunes the join execution.
+type JoinConfig struct {
+	// UseHeap replaces the sorted active list by the max-heap suggested in
+	// the paper's section 5 (future work; see the ablation benchmarks).
+	UseHeap bool
+	// Trace receives execution events (Figure 4); nil disables tracing.
+	Trace Tracer
+}
+
+// Join evaluates one StandOff join. ctx holds the context nodes of all
+// iterations (any order); nIters is the iteration count (every ctx.Iter must
+// be < nIters); cand is the candidate sequence. The result is sorted by
+// (Iter, Pre) and duplicate-free. Context nodes that are not
+// area-annotations simply produce no matches.
+func Join(ix *RegionIndex, op Op, strat Strategy, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	switch strat {
+	case StrategyNaive:
+		return joinNaive(ix, op, ctx, nIters, cand)
+	case StrategyBasic:
+		return joinBasic(ix, op, ctx, nIters, cand, cfg)
+	default:
+		return joinLoopLifted(ix, op, ctx, nIters, cand, cfg)
+	}
+}
+
+// ctxRow is one region of a context area in the iter|start|end table.
+type ctxRow struct {
+	key        int32 // iteration, or pseudo-iteration in exact-narrow mode
+	start, end int64
+}
+
+// buildCtxRows fetches the regions of every context node and reports whether
+// any context area is multi-region. When pseudoKeys is true each ctx entry
+// becomes its own key (exact containment needs to know *which* context area
+// matched); pseudoToIter maps keys back to iterations.
+func buildCtxRows(ix *RegionIndex, ctx []CtxNode, pseudoKeys bool) (rows []ctxRow, pseudoToIter []int32, multi bool) {
+	rows = make([]ctxRow, 0, len(ctx))
+	if pseudoKeys {
+		pseudoToIter = make([]int32, 0, len(ctx))
+	}
+	for _, cn := range ctx {
+		regs := ix.RegionsOf(cn.Pre)
+		if regs == nil {
+			continue
+		}
+		if len(regs) > 1 {
+			multi = true
+		}
+		key := cn.Iter
+		if pseudoKeys {
+			key = int32(len(pseudoToIter))
+			pseudoToIter = append(pseudoToIter, cn.Iter)
+		}
+		for _, r := range regs {
+			rows = append(rows, ctxRow{key: key, start: r.Start, end: r.End})
+		}
+	}
+	slices.SortFunc(rows, func(a, b ctxRow) int {
+		if a.start != b.start {
+			return cmpI64(a.start, b.start)
+		}
+		return cmpI64(a.end, b.end)
+	})
+	return rows, pseudoToIter, multi
+}
+
+// ctxHasMultiRegion reports whether any context node is a multi-region area.
+func ctxHasMultiRegion(ix *RegionIndex, ctx []CtxNode) bool {
+	if !ix.multiRegion {
+		return false
+	}
+	for _, cn := range ctx {
+		if regs := ix.RegionsOf(cn.Pre); len(regs) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func newActiveSet(nKeys int32, cfg JoinConfig) activeSet {
+	if cfg.UseHeap {
+		return newHeapActive(nKeys)
+	}
+	return newListActive(nKeys)
+}
+
+// joinLoopLifted is the entry point of the Loop-Lifted StandOff MergeJoin.
+func joinLoopLifted(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	var matched []Pair
+	switch op {
+	case SelectNarrow, RejectNarrow:
+		matched = matchNarrow(ix, ctx, cand, cfg, false)
+	case SelectWide, RejectWide:
+		matched = matchWide(ix, ctx, cand, cfg)
+	}
+	sortDedupPairs(&matched)
+	if op == RejectNarrow || op == RejectWide {
+		return complement(matched, nIters, cand.AreaPres())
+	}
+	return matched
+}
+
+// matchNarrow computes the containment semi-join pairs (unsorted, possibly
+// with duplicates in exact mode). fullScan forces visiting every candidate
+// row (Basic behaviour: no early break).
+func matchNarrow(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig, fullScan bool) []Pair {
+	if ctxHasMultiRegion(ix, ctx) {
+		return matchNarrowExact(ix, ctx, cand, cfg, fullScan)
+	}
+	// Fast path: every context area is a single region, so containment of a
+	// candidate area reduces to containment of its bounding region, and one
+	// dominant context region per iteration is exact.
+	rows, _, _ := buildCtxRows(ix, ctx, false)
+	nKeys := int32(0)
+	for _, r := range rows {
+		if r.key+1 > nKeys {
+			nKeys = r.key + 1
+		}
+	}
+	as := newActiveSet(nKeys, cfg)
+	tr := cfg.Trace
+	var emit emitState
+	i := 0
+	n := cand.boundsLen()
+	for k := 0; k < n; k++ {
+		cs, ce, cid := cand.boundsRow(k)
+		for i < len(rows) && rows[i].start <= cs {
+			if as.insert(rows[i].key, rows[i].end) {
+				if tr != nil {
+					tr(TraceEvent{Kind: "add-context", Key: rows[i].key, End: rows[i].end})
+				}
+			} else if tr != nil {
+				tr(TraceEvent{Kind: "skip-context", Key: rows[i].key, End: rows[i].end})
+			}
+			i++
+		}
+		as.expire(cs)
+		before := len(emit.out)
+		emit.pre = cid
+		as.forEach(ce, emit.callback())
+		if tr != nil {
+			if len(emit.out) > before {
+				for _, p := range emit.out[before:] {
+					tr(TraceEvent{Kind: "emit", Key: p.Iter, Pre: cid})
+				}
+			} else {
+				tr(TraceEvent{Kind: "skip-candidate", Pre: cid})
+			}
+		}
+		if !fullScan && i == len(rows) && as.maxEnd() < cs {
+			if tr != nil {
+				tr(TraceEvent{Kind: "break"})
+			}
+			break // no remaining candidate can be contained (section 4.5, lines 37-38)
+		}
+	}
+	return emit.out
+}
+
+// emitState collects join output through a single reusable closure so the
+// merge loops do not allocate one closure per candidate row.
+type emitState struct {
+	out []Pair
+	pre int32
+	cb  func(key int32)
+}
+
+func (e *emitState) callback() func(key int32) {
+	if e.cb == nil {
+		e.cb = func(key int32) {
+			e.out = append(e.out, Pair{Iter: key, Pre: e.pre})
+		}
+	}
+	return e.cb
+}
+
+// matchNarrowExact handles multi-region context areas: each context area
+// becomes its own pseudo-iteration, the join runs at region granularity, and
+// a candidate matches a context area only if *all* its regions were matched
+// by that same area (the paper's omitted post-processing, section 4.5).
+func matchNarrowExact(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig, fullScan bool) []Pair {
+	rows, pseudoToIter, _ := buildCtxRows(ix, ctx, true)
+	as := newActiveSet(int32(len(pseudoToIter)), cfg)
+	var emit emitState
+	i := 0
+	n := cand.regionLen()
+	for k := 0; k < n; k++ {
+		cs, ce, cid := cand.regionRow(k)
+		for i < len(rows) && rows[i].start <= cs {
+			as.insert(rows[i].key, rows[i].end)
+			i++
+		}
+		as.expire(cs)
+		emit.pre = cid
+		as.forEach(ce, emit.callback())
+		if !fullScan && i == len(rows) && as.maxEnd() < cs {
+			break
+		}
+	}
+	hits := emit.out
+	// Aggregate: a candidate area qualifies for a pseudo-iteration when the
+	// number of matched regions equals its region count.
+	slices.SortFunc(hits, func(x, y Pair) int {
+		if x.Iter != y.Iter {
+			return int(x.Iter) - int(y.Iter)
+		}
+		return int(x.Pre) - int(y.Pre)
+	})
+	var out []Pair
+	for s := 0; s < len(hits); {
+		e := s
+		for e < len(hits) && hits[e] == hits[s] {
+			e++
+		}
+		// Regions of one candidate are distinct rows, so equal (key,pre)
+		// hits count matched regions of that candidate.
+		if int32(e-s) == ix.regionCount(hits[s].Pre) {
+			out = append(out, Pair{Iter: pseudoToIter[hits[s].Iter], Pre: hits[s].Pre})
+		}
+		s = e
+	}
+	return out
+}
+
+// matchWide computes the overlap semi-join pairs (unsorted, may contain
+// duplicates for multi-region candidates). Candidates are consumed in end
+// order so that the context insertion threshold (ctx.start <= cand.end) is
+// monotone; the per-iteration dominant context region is exact because the
+// overlap test only constrains start from above and end from below.
+func matchWide(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig) []Pair {
+	rows, _, _ := buildCtxRows(ix, ctx, false)
+	nKeys := int32(0)
+	for _, r := range rows {
+		if r.key+1 > nKeys {
+			nKeys = r.key + 1
+		}
+	}
+	as := newActiveSet(nKeys, cfg)
+	var emit emitState
+	i := 0
+	n := cand.regionLen()
+	for k := 0; k < n; k++ {
+		cs, ce, cid := cand.regionRowByEnd(k)
+		for i < len(rows) && rows[i].start <= ce {
+			as.insert(rows[i].key, rows[i].end)
+			i++
+		}
+		emit.pre = cid
+		as.forEach(cs, emit.callback())
+	}
+	return emit.out
+}
+
+// complement turns matched select pairs into reject pairs: per iteration,
+// all candidate areas that were not matched. matched must be sorted by
+// (Iter, Pre) and duplicate-free; areas is the candidate pre list in
+// document order.
+func complement(matched []Pair, nIters int32, areas []int32) []Pair {
+	out := make([]Pair, 0, int(nIters)*len(areas)-len(matched))
+	m := 0
+	for iter := int32(0); iter < nIters; iter++ {
+		for _, pre := range areas {
+			if m < len(matched) && matched[m].Iter == iter && matched[m].Pre == pre {
+				m++
+				continue
+			}
+			out = append(out, Pair{Iter: iter, Pre: pre})
+		}
+	}
+	return out
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortDedupPairs sorts pairs by (Iter, Pre) and removes duplicates. Large
+// inputs use a counting sort over the iteration column (the joins emit in
+// candidate order, so iterations arrive interleaved but each iteration's
+// bucket is small and cheap to sort).
+func sortDedupPairs(pairs *[]Pair) {
+	p := *pairs
+	if len(p) >= 64 {
+		maxIter := int32(0)
+		for _, x := range p {
+			if x.Iter > maxIter {
+				maxIter = x.Iter
+			}
+		}
+		if int(maxIter) < 4*len(p) { // counting sort pays off
+			off := make([]int32, maxIter+2)
+			for _, x := range p {
+				off[x.Iter+1]++
+			}
+			for i := 1; i < len(off); i++ {
+				off[i] += off[i-1]
+			}
+			sorted := make([]Pair, len(p))
+			fill := append([]int32(nil), off[:len(off)-1]...)
+			for _, x := range p {
+				sorted[fill[x.Iter]] = x
+				fill[x.Iter]++
+			}
+			for i := int32(0); i <= maxIter; i++ {
+				bucket := sorted[off[i]:off[i+1]]
+				slices.SortFunc(bucket, func(a, b Pair) int { return int(a.Pre) - int(b.Pre) })
+			}
+			p = sorted
+		} else {
+			sortPairsDirect(p)
+		}
+	} else {
+		sortPairsDirect(p)
+	}
+	out := p[:0]
+	for i, pr := range p {
+		if i == 0 || pr != p[i-1] {
+			out = append(out, pr)
+		}
+	}
+	*pairs = out
+}
+
+func sortPairsDirect(p []Pair) {
+	slices.SortFunc(p, func(a, b Pair) int {
+		if a.Iter != b.Iter {
+			return int(a.Iter) - int(b.Iter)
+		}
+		return int(a.Pre) - int(b.Pre)
+	})
+}
+
+// joinBasic evaluates the join with the Basic StandOff MergeJoin: the merge
+// is re-run for every iteration, so every iteration pays a fresh scan of the
+// candidate sequence (the behaviour that makes XMark Q2 DNF in Figure 6).
+func joinBasic(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	byIter := make([][]CtxNode, nIters)
+	for _, cn := range ctx {
+		byIter[cn.Iter] = append(byIter[cn.Iter], cn)
+	}
+	var all []Pair
+	for iter := int32(0); iter < nIters; iter++ {
+		group := byIter[iter]
+		// Remap the group to a single iteration and run the full merge.
+		local := make([]CtxNode, len(group))
+		for i, cn := range group {
+			local[i] = CtxNode{Iter: 0, Pre: cn.Pre}
+		}
+		var matched []Pair
+		switch op {
+		case SelectNarrow, RejectNarrow:
+			matched = matchNarrow(ix, local, cand, cfg, true)
+		default:
+			matched = matchWide(ix, local, cand, cfg)
+		}
+		sortDedupPairs(&matched)
+		if op == RejectNarrow || op == RejectWide {
+			matched = complement(matched, 1, cand.AreaPres())
+		}
+		for _, p := range matched {
+			all = append(all, Pair{Iter: iter, Pre: p.Pre})
+		}
+	}
+	return all
+}
+
+// joinNaive evaluates the join exactly like the XQuery functions of Figures
+// 2 and 3: per iteration, a nested loop compares every context area with
+// every candidate area.
+func joinNaive(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candidates) []Pair {
+	byIter := make([][]CtxNode, nIters)
+	for _, cn := range ctx {
+		byIter[cn.Iter] = append(byIter[cn.Iter], cn)
+	}
+	areas := cand.AreaPres()
+	var out []Pair
+	for iter := int32(0); iter < nIters; iter++ {
+		for _, pre := range areas {
+			candArea, ok := ix.AreaOf(pre)
+			if !ok {
+				continue
+			}
+			match := false
+			for _, cn := range byIter[iter] {
+				ctxArea, ok := ix.AreaOf(cn.Pre)
+				if !ok {
+					continue
+				}
+				var hit bool
+				switch op {
+				case SelectNarrow, RejectNarrow:
+					hit = ctxArea.Contains(candArea)
+				default:
+					hit = ctxArea.Overlaps(candArea)
+				}
+				if hit {
+					match = true
+					break
+				}
+			}
+			if match == (op == SelectNarrow || op == SelectWide) {
+				out = append(out, Pair{Iter: iter, Pre: pre})
+			}
+		}
+	}
+	return out
+}

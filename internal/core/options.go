@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: the stand-off
+// region index (section 4.3), the four StandOff joins select-narrow,
+// select-wide, reject-narrow and reject-wide (section 3.1), and their three
+// evaluation strategies — naive nested loop (the Figure 2/3 XQuery
+// functions), Basic StandOff MergeJoin (section 4.4) and Loop-Lifted
+// StandOff MergeJoin (section 4.5, Listing 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// PositionType selects how the textual start/end values found in documents
+// are mapped to the int64 position domain ("declare option standoff-type").
+type PositionType int
+
+const (
+	// TypeInteger parses positions as decimal 64-bit integers (the paper's
+	// default "xs:integer"): byte offsets, word positions, block numbers.
+	TypeInteger PositionType = iota
+	// TypeDateTime parses positions as XSD dateTime / RFC 3339 timestamps
+	// and maps them to Unix nanoseconds.
+	TypeDateTime
+	// TypeTimecode parses positions as [hh:]mm:ss[.mmm] media timecodes
+	// (the "0:08", "1:04" notation of the paper's Figure 1) and maps them
+	// to milliseconds.
+	TypeTimecode
+)
+
+func (t PositionType) String() string {
+	switch t {
+	case TypeInteger:
+		return "xs:integer"
+	case TypeDateTime:
+		return "xs:dateTime"
+	case TypeTimecode:
+		return "so:timecode"
+	default:
+		return fmt.Sprintf("PositionType(%d)", int(t))
+	}
+}
+
+// Options mirrors the query preamble of section 2:
+//
+//	declare option standoff-type   "qualified-name"
+//	declare option standoff-start  "qualified-name"
+//	declare option standoff-end    "qualified-name"
+//	declare option standoff-region "qualified-name"
+//
+// With UseRegionElements unset, regions are read from the Start/End
+// *attributes* of area-annotation elements. When set, regions are read from
+// child elements named Region that in turn hold Start and End child
+// elements, which also enables non-contiguous (multi-region) areas.
+type Options struct {
+	Type              PositionType
+	Start             string // attribute or element name holding the start position
+	End               string // attribute or element name holding the end position
+	Region            string // region child-element name (element representation)
+	UseRegionElements bool
+}
+
+// DefaultOptions returns the paper's default settings: integer positions in
+// "start"/"end" attributes.
+func DefaultOptions() Options {
+	return Options{Type: TypeInteger, Start: "start", End: "end"}
+}
+
+// ErrBadOption reports an invalid standoff option value.
+var ErrBadOption = errors.New("core: invalid standoff option")
+
+// Set applies one "declare option" from a query preamble. Known names are
+// standoff-type, standoff-start, standoff-end, standoff-region; ok is false
+// for other names so callers can pass every option through.
+func (o *Options) Set(name, value string) (ok bool, err error) {
+	switch name {
+	case "standoff-type":
+		switch value {
+		case "xs:integer", "xs:int", "xs:long":
+			o.Type = TypeInteger
+		case "xs:dateTime":
+			o.Type = TypeDateTime
+		case "so:timecode":
+			o.Type = TypeTimecode
+		default:
+			return true, fmt.Errorf("%w: standoff-type %q (want xs:integer, xs:dateTime or so:timecode)", ErrBadOption, value)
+		}
+	case "standoff-start":
+		if value == "" {
+			return true, fmt.Errorf("%w: empty standoff-start", ErrBadOption)
+		}
+		o.Start = value
+	case "standoff-end":
+		if value == "" {
+			return true, fmt.Errorf("%w: empty standoff-end", ErrBadOption)
+		}
+		o.End = value
+	case "standoff-region":
+		if value == "" {
+			return true, fmt.Errorf("%w: empty standoff-region", ErrBadOption)
+		}
+		o.Region = value
+		o.UseRegionElements = true
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// ParsePosition converts a textual position into the int64 domain according
+// to the configured type.
+func (o Options) ParsePosition(s string) (int64, error) {
+	switch o.Type {
+	case TypeInteger:
+		return strconv.ParseInt(s, 10, 64)
+	case TypeDateTime:
+		return parseDateTime(s)
+	case TypeTimecode:
+		return parseTimecode(s)
+	default:
+		return 0, fmt.Errorf("core: unknown position type %v", o.Type)
+	}
+}
+
+// FormatPosition renders an int64 position back to text.
+func (o Options) FormatPosition(v int64) string {
+	switch o.Type {
+	case TypeDateTime:
+		return time.Unix(0, v).UTC().Format(time.RFC3339Nano)
+	case TypeTimecode:
+		ms := v % 1000
+		sec := (v / 1000) % 60
+		min := (v / 60000) % 60
+		h := v / 3600000
+		switch {
+		case ms != 0:
+			return fmt.Sprintf("%d:%02d:%02d.%03d", h, min, sec, ms)
+		case h != 0:
+			return fmt.Sprintf("%d:%02d:%02d", h, min, sec)
+		default:
+			return fmt.Sprintf("%d:%02d", min, sec)
+		}
+	default:
+		return strconv.FormatInt(v, 10)
+	}
+}
+
+func parseDateTime(s string) (int64, error) {
+	for _, layout := range []string{time.RFC3339Nano, "2006-01-02T15:04:05", "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UnixNano(), nil
+		}
+	}
+	return 0, fmt.Errorf("core: cannot parse dateTime %q", s)
+}
+
+// parseTimecode accepts m:ss, mm:ss, h:mm:ss and an optional .mmm fraction,
+// returning milliseconds.
+func parseTimecode(s string) (int64, error) {
+	var parts [3]int64
+	var n int
+	var ms int64
+	rest := s
+	// Split off the fractional milliseconds.
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '.' {
+			frac := rest[i+1:]
+			if len(frac) == 0 || len(frac) > 3 {
+				return 0, fmt.Errorf("core: bad timecode fraction in %q", s)
+			}
+			v, err := strconv.ParseInt(frac, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("core: bad timecode %q", s)
+			}
+			for j := len(frac); j < 3; j++ {
+				v *= 10
+			}
+			ms = v
+			rest = rest[:i]
+			break
+		}
+	}
+	start := 0
+	for i := 0; i <= len(rest); i++ {
+		if i == len(rest) || rest[i] == ':' {
+			if n == 3 || i == start {
+				return 0, fmt.Errorf("core: bad timecode %q", s)
+			}
+			v, err := strconv.ParseInt(rest[start:i], 10, 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("core: bad timecode %q", s)
+			}
+			parts[n] = v
+			n++
+			start = i + 1
+		}
+	}
+	switch n {
+	case 2: // mm:ss
+		return parts[0]*60000 + parts[1]*1000 + ms, nil
+	case 3: // h:mm:ss
+		return parts[0]*3600000 + parts[1]*60000 + parts[2]*1000 + ms, nil
+	default:
+		return 0, fmt.Errorf("core: bad timecode %q (want mm:ss or h:mm:ss)", s)
+	}
+}

@@ -1,0 +1,175 @@
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Area is an area-annotation's geometry: one or more regions that neither
+// overlap nor touch each other, kept sorted on Start (section 3.1 of the
+// paper: "an area-annotation a consists of a set of one or more regions
+// r1,..,rn (that do not overlap nor touch each other)"). A single-region
+// Area is the common case produced by the attribute representation; the
+// region-element representation can produce non-contiguous areas, e.g.
+// fragmented files carved from a disk image.
+type Area struct {
+	regions []Region
+}
+
+// ErrEmptyArea is returned when constructing an area with no regions.
+var ErrEmptyArea = errors.New("interval: area needs at least one region")
+
+// ErrTouchingRegions is returned when an area's regions overlap or touch.
+var ErrTouchingRegions = errors.New("interval: area regions overlap or touch")
+
+// NewArea builds an area from the given regions. Regions may arrive in any
+// order; they are sorted. An error is returned if any region is invalid, if
+// no region is given, or if two regions overlap or touch (such inputs should
+// be merged by the caller; Normalize does that).
+func NewArea(regions ...Region) (Area, error) {
+	if len(regions) == 0 {
+		return Area{}, ErrEmptyArea
+	}
+	rs := make([]Region, len(regions))
+	copy(rs, regions)
+	for _, r := range rs {
+		if !r.Valid() {
+			return Area{}, fmt.Errorf("%w: %s", ErrInvalidRegion, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return Compare(rs[i], rs[j]) < 0 })
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].End+1 >= rs[i].Start {
+			return Area{}, fmt.Errorf("%w: %s and %s", ErrTouchingRegions, rs[i-1], rs[i])
+		}
+	}
+	return Area{regions: rs}, nil
+}
+
+// Normalize merges any overlapping or touching regions and returns the
+// resulting well-formed area. It is the lenient counterpart of NewArea.
+func Normalize(regions ...Region) (Area, error) {
+	if len(regions) == 0 {
+		return Area{}, ErrEmptyArea
+	}
+	rs := make([]Region, 0, len(regions))
+	for _, r := range regions {
+		if !r.Valid() {
+			return Area{}, fmt.Errorf("%w: %s", ErrInvalidRegion, r)
+		}
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return Compare(rs[i], rs[j]) < 0 })
+	merged := rs[:1]
+	for _, r := range rs[1:] {
+		last := &merged[len(merged)-1]
+		if r.Start <= last.End+1 { // overlapping or touching: coalesce
+			if r.End > last.End {
+				last.End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	out := make([]Region, len(merged))
+	copy(out, merged)
+	return Area{regions: out}, nil
+}
+
+// SingleRegion builds the common one-region area without error checking
+// beyond region validity.
+func SingleRegion(start, end int64) (Area, error) {
+	r, err := NewRegion(start, end)
+	if err != nil {
+		return Area{}, err
+	}
+	return Area{regions: []Region{r}}, nil
+}
+
+// Regions returns the area's regions in Start order. The returned slice must
+// not be modified.
+func (a Area) Regions() []Region { return a.regions }
+
+// Len returns the number of regions.
+func (a Area) Len() int { return len(a.regions) }
+
+// Empty reports whether the area holds no regions (the zero Area).
+func (a Area) Empty() bool { return len(a.regions) == 0 }
+
+// Bounds returns the smallest single region covering the whole area.
+func (a Area) Bounds() Region {
+	if a.Empty() {
+		return Region{}
+	}
+	return Region{Start: a.regions[0].Start, End: a.regions[len(a.regions)-1].End}
+}
+
+// Span returns the total number of positions covered by the area's regions
+// (excluding gaps).
+func (a Area) Span() int64 {
+	var n int64
+	for _, r := range a.regions {
+		n += r.Length()
+	}
+	return n
+}
+
+// Contains implements the paper's containment predicate:
+//
+//	contains(a1, a2)  iff  forall r2 in a2 exists r1 in a1:
+//	                       r1.start <= r2.start <= r2.end <= r1.end
+//
+// i.e. every region of the argument lies inside some region of the receiver.
+// An empty receiver contains nothing; an empty argument is vacuously
+// contained by nothing (both sides must be real annotations), so Contains
+// returns false if either area is empty.
+func (a Area) Contains(b Area) bool {
+	if a.Empty() || b.Empty() {
+		return false
+	}
+	// Both region lists are sorted and internally disjoint, so a merge works:
+	// each b-region must fit in some a-region, and because regions within an
+	// area cannot touch, the a-regions that can contain successive b-regions
+	// are non-decreasing.
+	i := 0
+	for _, rb := range b.regions {
+		for i < len(a.regions) && a.regions[i].End < rb.End {
+			i++
+		}
+		if i == len(a.regions) || !a.regions[i].Contains(rb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps implements the paper's overlap predicate:
+//
+//	overlaps(a1, a2)  iff  exists r2 in a2, r1 in a1:
+//	                       r1.start <= r2.end && r1.end >= r2.start
+//
+// i.e. some region of each area shares a position.
+func (a Area) Overlaps(b Area) bool {
+	i, j := 0, 0
+	for i < len(a.regions) && j < len(b.regions) {
+		if a.regions[i].Overlaps(b.regions[j]) {
+			return true
+		}
+		if a.regions[i].End < b.regions[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+func (a Area) String() string {
+	parts := make([]string, len(a.regions))
+	for i, r := range a.regions {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

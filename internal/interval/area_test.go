@@ -1,0 +1,195 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustArea(t *testing.T, regions ...Region) Area {
+	t.Helper()
+	a, err := NewArea(regions...)
+	if err != nil {
+		t.Fatalf("NewArea(%v): %v", regions, err)
+	}
+	return a
+}
+
+func TestNewAreaValidation(t *testing.T) {
+	if _, err := NewArea(); err == nil {
+		t.Fatal("empty area should fail")
+	}
+	if _, err := NewArea(Region{5, 2}); err == nil {
+		t.Fatal("invalid region should fail")
+	}
+	if _, err := NewArea(Region{0, 5}, Region{4, 9}); err == nil {
+		t.Fatal("overlapping regions should fail")
+	}
+	if _, err := NewArea(Region{0, 5}, Region{6, 9}); err == nil {
+		t.Fatal("touching regions should fail")
+	}
+	a := mustArea(t, Region{10, 20}, Region{0, 5})
+	if rs := a.Regions(); rs[0] != (Region{0, 5}) || rs[1] != (Region{10, 20}) {
+		t.Fatalf("regions not sorted: %v", rs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, err := Normalize(Region{0, 5}, Region{4, 9}, Region{10, 12}, Region{20, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Region{{0, 12}, {20, 25}}
+	got := a.Regions()
+	if len(got) != len(want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	if _, err := Normalize(); err == nil {
+		t.Fatal("Normalize() should fail on empty input")
+	}
+	if _, err := Normalize(Region{9, 1}); err == nil {
+		t.Fatal("Normalize should reject invalid regions")
+	}
+}
+
+func TestAreaBoundsSpan(t *testing.T) {
+	a := mustArea(t, Region{0, 4}, Region{10, 14})
+	if a.Bounds() != (Region{0, 14}) {
+		t.Fatalf("Bounds = %v", a.Bounds())
+	}
+	if a.Span() != 10 {
+		t.Fatalf("Span = %d, want 10", a.Span())
+	}
+	if a.Len() != 2 || a.Empty() {
+		t.Fatal("Len/Empty wrong")
+	}
+	var zero Area
+	if !zero.Empty() || zero.Bounds() != (Region{}) {
+		t.Fatal("zero area should be empty")
+	}
+}
+
+func TestAreaContains(t *testing.T) {
+	// A fragmented file: blocks [0,99] and [200,299].
+	file := mustArea(t, Region{0, 99}, Region{200, 299})
+	hit1 := mustArea(t, Region{10, 20})
+	hit2 := mustArea(t, Region{210, 220})
+	split := mustArea(t, Region{10, 20}, Region{210, 220})
+	straddle := mustArea(t, Region{90, 205})
+	outside := mustArea(t, Region{120, 150})
+
+	if !file.Contains(hit1) || !file.Contains(hit2) {
+		t.Fatal("single-region hits should be contained")
+	}
+	if !file.Contains(split) {
+		t.Fatal("multi-region annotation with every region inside should be contained")
+	}
+	if file.Contains(straddle) {
+		t.Fatal("region spanning the gap is not contained")
+	}
+	if file.Contains(outside) {
+		t.Fatal("region in the gap is not contained")
+	}
+	if hit1.Contains(file) {
+		t.Fatal("containment is not symmetric")
+	}
+	var zero Area
+	if zero.Contains(hit1) || file.Contains(zero) {
+		t.Fatal("empty areas contain nothing / are contained by nothing")
+	}
+}
+
+func TestAreaOverlaps(t *testing.T) {
+	file := mustArea(t, Region{0, 99}, Region{200, 299})
+	if !file.Overlaps(mustArea(t, Region{90, 205})) {
+		t.Fatal("straddling region overlaps")
+	}
+	if file.Overlaps(mustArea(t, Region{100, 199})) {
+		t.Fatal("gap-only region does not overlap")
+	}
+	if !file.Overlaps(mustArea(t, Region{150, 400})) {
+		t.Fatal("region covering second block overlaps")
+	}
+	if !file.Overlaps(mustArea(t, Region{99, 99})) {
+		t.Fatal("endpoint touch overlaps (closed intervals)")
+	}
+}
+
+// Exhaustive consistency between the merge-based Area predicates and a
+// direct quadratic evaluation of the paper's definitions.
+func TestAreaPredicatesMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randArea := func() Area {
+		n := 1 + rng.Intn(4)
+		regions := make([]Region, 0, n)
+		pos := int64(rng.Intn(10))
+		for i := 0; i < n; i++ {
+			length := int64(rng.Intn(8))
+			regions = append(regions, Region{pos, pos + length})
+			pos += length + 2 + int64(rng.Intn(6)) // ensure a gap >= 1
+		}
+		a, err := NewArea(regions...)
+		if err != nil {
+			t.Fatalf("randArea: %v", err)
+		}
+		return a
+	}
+	containsDef := func(a, b Area) bool {
+		if a.Empty() || b.Empty() {
+			return false
+		}
+		for _, r2 := range b.Regions() {
+			found := false
+			for _, r1 := range a.Regions() {
+				if r1.Start <= r2.Start && r2.End <= r1.End {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	overlapsDef := func(a, b Area) bool {
+		for _, r1 := range a.Regions() {
+			for _, r2 := range b.Regions() {
+				if r1.Start <= r2.End && r1.End >= r2.Start {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for n := 0; n < 3000; n++ {
+		a, b := randArea(), randArea()
+		if got, want := a.Contains(b), containsDef(a, b); got != want {
+			t.Fatalf("Contains(%s,%s) = %v, want %v", a, b, got, want)
+		}
+		if got, want := a.Overlaps(b), overlapsDef(a, b); got != want {
+			t.Fatalf("Overlaps(%s,%s) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	a := mustArea(t, Region{0, 4}, Region{10, 14})
+	if a.String() != "{[0,4] [10,14]}" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestSingleRegion(t *testing.T) {
+	a, err := SingleRegion(3, 9)
+	if err != nil || a.Len() != 1 || a.Bounds() != (Region{3, 9}) {
+		t.Fatalf("SingleRegion: %v %v", a, err)
+	}
+	if _, err := SingleRegion(9, 3); err == nil {
+		t.Fatal("SingleRegion(9,3) should fail")
+	}
+}

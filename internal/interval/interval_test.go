@@ -1,0 +1,177 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustRegion(t *testing.T, s, e int64) Region {
+	t.Helper()
+	r, err := NewRegion(s, e)
+	if err != nil {
+		t.Fatalf("NewRegion(%d,%d): %v", s, e, err)
+	}
+	return r
+}
+
+func TestNewRegionValidation(t *testing.T) {
+	if _, err := NewRegion(5, 4); err == nil {
+		t.Fatal("NewRegion(5,4) should fail")
+	}
+	r := mustRegion(t, 3, 3)
+	if !r.Valid() || r.Length() != 1 {
+		t.Fatalf("point region: valid=%v length=%d", r.Valid(), r.Length())
+	}
+	if got := mustRegion(t, 2, 9).Length(); got != 8 {
+		t.Fatalf("Length [2,9] = %d, want 8", got)
+	}
+}
+
+func TestContainsAndOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b               Region
+		contains, overlaps bool
+	}{
+		{Region{0, 10}, Region{2, 5}, true, true},
+		{Region{0, 10}, Region{0, 10}, true, true},
+		{Region{0, 10}, Region{0, 11}, false, true},
+		{Region{0, 10}, Region{10, 20}, false, true}, // touching endpoints overlap (closed)
+		{Region{0, 10}, Region{11, 20}, false, false},
+		{Region{5, 9}, Region{1, 4}, false, false},
+		{Region{5, 9}, Region{1, 5}, false, true},
+		{Region{3, 3}, Region{3, 3}, true, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Contains(c.b); got != c.contains {
+			t.Errorf("%s.Contains(%s) = %v, want %v", c.a, c.b, got, c.contains)
+		}
+		if got := c.a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("%s.Overlaps(%s) = %v, want %v", c.a, c.b, got, c.overlaps)
+		}
+	}
+}
+
+func TestOverlapsIsSymmetric(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := normRegion(int64(a0), int64(a1))
+		b := normRegion(int64(b0), int64(b1))
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsImpliesOverlaps(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := normRegion(int64(a0), int64(a1))
+		b := normRegion(int64(b0), int64(b1))
+		if a.Contains(b) {
+			return a.Overlaps(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a, b := Region{0, 10}, Region{5, 20}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Region{5, 10}) {
+		t.Fatalf("Intersect = %v,%v", got, ok)
+	}
+	if _, ok := (Region{0, 3}).Intersect(Region{5, 9}); ok {
+		t.Fatal("disjoint regions should not intersect")
+	}
+	u, contiguous := (Region{0, 4}).Union(Region{5, 9})
+	if u != (Region{0, 9}) || !contiguous {
+		t.Fatalf("touching union = %v contiguous=%v", u, contiguous)
+	}
+	u, contiguous = (Region{0, 3}).Union(Region{7, 9})
+	if u != (Region{0, 9}) || contiguous {
+		t.Fatalf("gapped union = %v contiguous=%v", u, contiguous)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(Region{1, 5}, Region{2, 3}) != -1 ||
+		Compare(Region{2, 3}, Region{1, 5}) != 1 ||
+		Compare(Region{1, 3}, Region{1, 5}) != -1 ||
+		Compare(Region{1, 5}, Region{1, 5}) != 0 {
+		t.Fatal("Compare ordering broken")
+	}
+}
+
+// The thirteen Allen relations must partition all region pairs: exactly one
+// relation holds, and Classify(a,b) must be the converse of Classify(b,a).
+func TestAllenRelationsPartition(t *testing.T) {
+	converse := map[Relation]Relation{
+		Precedes: PrecededBy, Meets: MetBy, OverlapsLeft: OverlapsRight,
+		FinishedBy: Finishes, ContainsRel: During, Starts: StartedBy,
+		Equals: Equals, StartedBy: Starts, During: ContainsRel,
+		Finishes: FinishedBy, OverlapsRight: OverlapsLeft, MetBy: Meets,
+		PrecededBy: Precedes,
+	}
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 5000; n++ {
+		a := normRegion(int64(rng.Intn(40)), int64(rng.Intn(40)))
+		b := normRegion(int64(rng.Intn(40)), int64(rng.Intn(40)))
+		ra, rb := Classify(a, b), Classify(b, a)
+		if converse[ra] != rb {
+			t.Fatalf("Classify(%s,%s)=%s but Classify(%s,%s)=%s (not converse)",
+				a, b, ra, b, a, rb)
+		}
+		// Relation must be consistent with Overlaps: everything except
+		// precedes/meets/met-by/preceded-by shares a position.
+		wantOverlap := ra != Precedes && ra != Meets && ra != MetBy && ra != PrecededBy
+		if a.Overlaps(b) != wantOverlap {
+			t.Fatalf("relation %s inconsistent with Overlaps(%s,%s)=%v", ra, a, b, a.Overlaps(b))
+		}
+	}
+}
+
+func TestAllenExamples(t *testing.T) {
+	cases := []struct {
+		a, b Region
+		want Relation
+	}{
+		{Region{0, 2}, Region{5, 9}, Precedes},
+		{Region{0, 4}, Region{5, 9}, Meets},
+		{Region{0, 6}, Region{4, 9}, OverlapsLeft},
+		{Region{0, 9}, Region{4, 9}, FinishedBy},
+		{Region{0, 9}, Region{3, 7}, ContainsRel},
+		{Region{3, 5}, Region{3, 9}, Starts},
+		{Region{3, 9}, Region{3, 9}, Equals},
+		{Region{3, 9}, Region{3, 5}, StartedBy},
+		{Region{4, 6}, Region{0, 9}, During},
+		{Region{5, 9}, Region{0, 9}, Finishes},
+		{Region{4, 9}, Region{0, 6}, OverlapsRight},
+		{Region{5, 9}, Region{0, 4}, MetBy},
+		{Region{7, 9}, Region{0, 2}, PrecededBy},
+	}
+	for _, c := range cases {
+		if got := Classify(c.a, c.b); got != c.want {
+			t.Errorf("Classify(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if Equals.String() != "equals" || Precedes.String() != "precedes" {
+		t.Fatal("relation names wrong")
+	}
+	if Relation(99).String() != "Relation(99)" {
+		t.Fatal("out-of-range relation name wrong")
+	}
+}
+
+// normRegion builds a valid region from two arbitrary positions.
+func normRegion(a, b int64) Region {
+	if a > b {
+		a, b = b, a
+	}
+	return Region{Start: a, End: b}
+}

@@ -1,0 +1,217 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Doc from a stream of document-order events, the way a
+// shredder feeds the store. The sequence must be well nested:
+//
+//	b := tree.NewBuilder("example.xml")
+//	b.StartElement("site")
+//	b.Attr("id", "s1")
+//	b.Text("hello")
+//	b.EndElement()
+//	doc, err := b.Done()
+//
+// Attr calls must directly follow the StartElement (or another Attr) they
+// belong to.
+type Builder struct {
+	doc      *Doc
+	open     []int32 // stack of pre values of open elements
+	inTag    bool    // attributes still allowed
+	err      error
+	finished bool
+}
+
+// NewBuilder starts a fresh document with the given name. The document node
+// (pre 0) is created implicitly.
+func NewBuilder(name string) *Builder {
+	d := &Doc{Name: name, dict: NewDict()}
+	b := &Builder{doc: d}
+	pre := b.pushNode(DocumentNode, NoName, nil)
+	b.open = append(b.open, pre) // the document node stays open until Done
+	return b
+}
+
+// NewFragmentBuilder starts a constructed fragment (node-constructor
+// result); identical to NewBuilder but flags the Doc as a fragment.
+func NewFragmentBuilder() *Builder {
+	b := NewBuilder("")
+	b.doc.Fragment = true
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("tree: "+format, args...)
+	}
+}
+
+func (b *Builder) pushNode(k Kind, nameID int32, value []byte) int32 {
+	d := b.doc
+	pre := int32(len(d.kind))
+	d.kind = append(d.kind, k)
+	d.name = append(d.name, nameID)
+	d.size = append(d.size, 0)
+	d.level = append(d.level, int16(len(b.open)))
+	if len(b.open) == 0 {
+		d.parent = append(d.parent, -1) // only the document node itself
+	} else {
+		d.parent = append(d.parent, b.open[len(b.open)-1])
+	}
+	if value != nil {
+		d.valOff = append(d.valOff, int64(len(d.content)))
+		d.valLen = append(d.valLen, int32(len(value)))
+		d.content = append(d.content, value...)
+	} else {
+		d.valOff = append(d.valOff, 0)
+		d.valLen = append(d.valLen, 0)
+	}
+	return pre
+}
+
+// StartElement opens an element node.
+func (b *Builder) StartElement(name string) {
+	if b.err != nil {
+		return
+	}
+	if b.finished {
+		b.fail("StartElement after Done")
+		return
+	}
+	if len(b.doc.kind) >= math.MaxInt32 {
+		b.fail("document exceeds 2^31 nodes")
+		return
+	}
+	pre := b.pushNode(ElementNode, b.doc.dict.Intern(name), nil)
+	b.open = append(b.open, pre)
+	b.inTag = true
+}
+
+// Attr attaches an attribute to the most recently opened element.
+func (b *Builder) Attr(name, value string) {
+	if b.err != nil {
+		return
+	}
+	if !b.inTag || len(b.open) <= 1 {
+		b.fail("Attr(%q) outside an open tag", name)
+		return
+	}
+	d := b.doc
+	owner := b.open[len(b.open)-1]
+	nameID := d.dict.Intern(name)
+	lo := d.attFirstRow(owner)
+	for i := lo; i < int32(len(d.attOwner)); i++ {
+		if d.attName[i] == nameID {
+			b.fail("duplicate attribute %q on element %q", name, d.NodeName(owner))
+			return
+		}
+	}
+	d.attOwner = append(d.attOwner, owner)
+	d.attName = append(d.attName, nameID)
+	d.attValOf = append(d.attValOf, int64(len(d.content)))
+	d.attValLn = append(d.attValLn, int32(len(value)))
+	d.content = append(d.content, value...)
+}
+
+// attFirstRow returns the first attribute row of owner while the doc is
+// still under construction (attFirst is not built yet).
+func (d *Doc) attFirstRow(owner int32) int32 {
+	i := int32(len(d.attOwner))
+	for i > 0 && d.attOwner[i-1] == owner {
+		i--
+	}
+	return i
+}
+
+// Text appends a text node. Empty text is dropped silently (the data model
+// has no empty text nodes); adjacent Text calls are merged.
+func (b *Builder) Text(value string) {
+	if b.err != nil || value == "" {
+		return
+	}
+	if b.finished {
+		b.fail("Text after Done")
+		return
+	}
+	d := b.doc
+	// Merge with a directly preceding text sibling.
+	if n := len(d.kind); n > 0 && d.kind[n-1] == TextNode && !b.inTag &&
+		d.parent[n-1] == b.currentParent() {
+		d.content = append(d.content, value...)
+		d.valLen[n-1] += int32(len(value))
+		return
+	}
+	b.pushNode(TextNode, NoName, []byte(value))
+	b.inTag = false
+}
+
+func (b *Builder) currentParent() int32 {
+	return b.open[len(b.open)-1]
+}
+
+// Comment appends a comment node.
+func (b *Builder) Comment(value string) {
+	if b.err != nil {
+		return
+	}
+	b.pushNode(CommentNode, NoName, []byte(value))
+	b.inTag = false
+}
+
+// PI appends a processing-instruction node with the given target and data.
+func (b *Builder) PI(target, data string) {
+	if b.err != nil {
+		return
+	}
+	b.pushNode(PINode, b.doc.dict.Intern(target), []byte(data))
+	b.inTag = false
+}
+
+// EndElement closes the innermost open element and fixes its subtree size.
+func (b *Builder) EndElement() {
+	if b.err != nil {
+		return
+	}
+	if len(b.open) <= 1 { // only the document node is open
+		b.fail("EndElement without matching StartElement")
+		return
+	}
+	pre := b.open[len(b.open)-1]
+	b.open = b.open[:len(b.open)-1]
+	b.doc.size[pre] = int32(len(b.doc.kind)) - pre - 1
+	b.inTag = false
+}
+
+// ErrUnclosedElement is wrapped by Done when elements remain open.
+var ErrUnclosedElement = errors.New("tree: unclosed element at end of document")
+
+// Done seals and returns the document. The builder must not be reused.
+func (b *Builder) Done() (*Doc, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.open) != 1 {
+		return nil, fmt.Errorf("%w: %q", ErrUnclosedElement, b.doc.NodeName(b.open[len(b.open)-1]))
+	}
+	b.finished = true
+	d := b.doc
+	d.order = docOrderCounter.Add(1)
+	d.size[0] = int32(len(d.kind)) - 1
+	// Build attFirst: attFirst[pre] = first attribute row owned by a node
+	// with pre' >= pre. attOwner is ascending because events arrive in
+	// document order.
+	n := len(d.kind)
+	d.attFirst = make([]int32, n+1)
+	row := int32(0)
+	for pre := 0; pre <= n; pre++ {
+		for row < int32(len(d.attOwner)) && int(d.attOwner[row]) < pre {
+			row++
+		}
+		d.attFirst[pre] = row
+	}
+	return d, nil
+}

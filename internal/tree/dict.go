@@ -1,0 +1,41 @@
+package tree
+
+// Dict is an append-only string dictionary mapping element and attribute
+// names to dense int32 ids. One Dict belongs to one Doc (documents do not
+// share dictionaries, keeping each document self-contained, which mirrors
+// the per-fragment indexing argument of section 3.3).
+//
+// Dict is not safe for concurrent writers; after the owning Doc is sealed it
+// is only read.
+type Dict struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]int32)}
+}
+
+// Intern returns the id for name, assigning a fresh id when unseen.
+func (d *Dict) Intern(name string) int32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	return id
+}
+
+// Lookup returns the id for name without interning.
+func (d *Dict) Lookup(name string) (int32, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the string for id.
+func (d *Dict) Name(id int32) string { return d.names[id] }
+
+// Len returns the number of interned names.
+func (d *Dict) Len() int { return len(d.names) }

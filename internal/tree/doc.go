@@ -1,0 +1,301 @@
+// Package tree implements the shredded XML document store that the engine
+// evaluates queries against. Like MonetDB/XQuery, each document is a set of
+// columns indexed by the pre-order rank of the node (the "pre" value, which
+// doubles as node id, section 4.3 of the paper) together with a subtree size
+// and level per node. This pre/size/level encoding supports all XPath axes
+// and the staircase join, while attribute values and text content live in a
+// byte arena so that multi-gigabyte documents do not drown the Go heap in
+// small strings.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a node.
+type Kind uint8
+
+const (
+	// DocumentNode is the virtual root; pre 0 of every Doc.
+	DocumentNode Kind = iota
+	// ElementNode is an XML element.
+	ElementNode
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an XML comment.
+	CommentNode
+	// PINode is a processing instruction.
+	PINode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	case PINode:
+		return "processing-instruction"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NoName marks nodes without a name (text, comments, the document node).
+const NoName int32 = -1
+
+// Doc is one shredded XML document or constructed fragment. All slices are
+// indexed by pre-order rank; pre 0 is always the document node. A Doc is
+// immutable after the Builder seals it and therefore safe for concurrent
+// readers.
+type Doc struct {
+	// Name is the document URI under which the document was loaded, or ""
+	// for constructed fragments.
+	Name string
+	// Fragment marks docs created by node constructors rather than parsing.
+	Fragment bool
+
+	kind   []Kind
+	name   []int32 // dict id of element name / PI target, or NoName
+	size   []int32 // number of descendants of the node
+	level  []int16 // depth; document node is 0
+	parent []int32 // pre of parent; -1 for the document node
+
+	// Text/comment/PI content: slice [valOff:valOff+valLen] of content.
+	valOff []int64
+	valLen []int32
+
+	// Attribute table, clustered on owner pre (ascending). attFirst[pre]
+	// gives the first attribute row of a node; attFirst[pre+1] bounds it
+	// (attFirst has len(kind)+1 entries).
+	attOwner []int32
+	attName  []int32
+	attValOf []int64
+	attValLn []int32
+	attFirst []int32
+
+	content []byte // arena holding every text and attribute value
+	dict    *Dict  // element/attribute name dictionary
+	order   int64  // global creation rank, for stable cross-document order
+
+	elemIndexOnce sync.Once
+	elemIndex     map[int32][]int32 // element name id -> ascending pre list
+}
+
+var docOrderCounter atomic.Int64
+
+// OrderKey returns a process-wide unique rank assigned at construction time.
+// XQuery leaves the relative document order of distinct trees implementation
+// defined; we order them by creation, which is stable within a session.
+func (d *Doc) OrderKey() int64 { return d.order }
+
+// NumNodes returns the node count including the document node.
+func (d *Doc) NumNodes() int { return len(d.kind) }
+
+// NumAttrs returns the total attribute count.
+func (d *Doc) NumAttrs() int { return len(d.attOwner) }
+
+// Dict exposes the name dictionary (read-only).
+func (d *Doc) Dict() *Dict { return d.dict }
+
+// Kind returns the kind of node pre.
+func (d *Doc) Kind(pre int32) Kind { return d.kind[pre] }
+
+// NameID returns the dictionary id of the node's name, or NoName.
+func (d *Doc) NameID(pre int32) int32 { return d.name[pre] }
+
+// NodeName returns the name of an element/PI node, or "".
+func (d *Doc) NodeName(pre int32) string {
+	id := d.name[pre]
+	if id == NoName {
+		return ""
+	}
+	return d.dict.Name(id)
+}
+
+// Size returns the number of descendants of node pre. A node's subtree is
+// the pre range [pre, pre+Size(pre)].
+func (d *Doc) Size(pre int32) int32 { return d.size[pre] }
+
+// Level returns the depth of node pre (document node = 0).
+func (d *Doc) Level(pre int32) int16 { return d.level[pre] }
+
+// Parent returns the pre of the parent node, or -1 for the document node.
+func (d *Doc) Parent(pre int32) int32 { return d.parent[pre] }
+
+// ValueBytes returns the content of a text/comment/PI node without copying.
+// The returned slice must not be modified.
+func (d *Doc) ValueBytes(pre int32) []byte {
+	return d.content[d.valOff[pre] : d.valOff[pre]+int64(d.valLen[pre])]
+}
+
+// Value returns the content of a text/comment/PI node as a string.
+func (d *Doc) Value(pre int32) string { return string(d.ValueBytes(pre)) }
+
+// Attrs returns the attribute row range [lo,hi) of node pre.
+func (d *Doc) Attrs(pre int32) (lo, hi int32) {
+	return d.attFirst[pre], d.attFirst[pre+1]
+}
+
+// AttrOwner returns the pre of the element owning attribute row i.
+func (d *Doc) AttrOwner(i int32) int32 { return d.attOwner[i] }
+
+// AttrNameID returns the dictionary id of attribute row i's name.
+func (d *Doc) AttrNameID(i int32) int32 { return d.attName[i] }
+
+// AttrName returns the name of attribute row i.
+func (d *Doc) AttrName(i int32) string { return d.dict.Name(d.attName[i]) }
+
+// AttrValueBytes returns the value of attribute row i without copying.
+func (d *Doc) AttrValueBytes(i int32) []byte {
+	return d.content[d.attValOf[i] : d.attValOf[i]+int64(d.attValLn[i])]
+}
+
+// AttrValue returns the value of attribute row i as a string.
+func (d *Doc) AttrValue(i int32) string { return string(d.AttrValueBytes(i)) }
+
+// Attr looks up an attribute of node pre by name id and returns its row
+// index, or -1 when absent.
+func (d *Doc) Attr(pre int32, nameID int32) int32 {
+	lo, hi := d.Attrs(pre)
+	for i := lo; i < hi; i++ {
+		if d.attName[i] == nameID {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrByName looks up an attribute of node pre by name string.
+func (d *Doc) AttrByName(pre int32, name string) (value string, ok bool) {
+	id, found := d.dict.Lookup(name)
+	if !found {
+		return "", false
+	}
+	i := d.Attr(pre, id)
+	if i < 0 {
+		return "", false
+	}
+	return d.AttrValue(i), true
+}
+
+// ElementsByName returns the ascending pre list of elements named id. The
+// index is built lazily on first use and shared by all callers; the returned
+// slice must not be modified.
+func (d *Doc) ElementsByName(id int32) []int32 {
+	d.elemIndexOnce.Do(func() {
+		idx := make(map[int32][]int32)
+		for pre := int32(0); pre < int32(len(d.kind)); pre++ {
+			if d.kind[pre] == ElementNode {
+				idx[d.name[pre]] = append(idx[d.name[pre]], pre)
+			}
+		}
+		d.elemIndex = idx
+	})
+	return d.elemIndex[id]
+}
+
+// StringValue computes the XPath string-value of node pre: for text,
+// comment and PI nodes their content; for elements and the document node the
+// concatenation of all descendant text nodes in document order.
+func (d *Doc) StringValue(pre int32) string {
+	switch d.kind[pre] {
+	case TextNode, CommentNode, PINode:
+		return d.Value(pre)
+	}
+	end := pre + d.size[pre]
+	var total int
+	for p := pre + 1; p <= end; p++ {
+		if d.kind[p] == TextNode {
+			total += int(d.valLen[p])
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, total)
+	for p := pre + 1; p <= end; p++ {
+		if d.kind[p] == TextNode {
+			buf = append(buf, d.ValueBytes(p)...)
+		}
+	}
+	return string(buf)
+}
+
+// IsAncestorOf reports whether node a is a proper ancestor of node b, using
+// the pre/size containment property of the encoding.
+func (d *Doc) IsAncestorOf(a, b int32) bool {
+	return a < b && b <= a+d.size[a]
+}
+
+// FirstChild returns the pre of the first child of node pre, or -1.
+func (d *Doc) FirstChild(pre int32) int32 {
+	if d.size[pre] == 0 {
+		return -1
+	}
+	return pre + 1
+}
+
+// NextSibling returns the pre of the following sibling, or -1.
+func (d *Doc) NextSibling(pre int32) int32 {
+	next := pre + d.size[pre] + 1
+	if next >= int32(len(d.kind)) || d.parent[next] != d.parent[pre] {
+		return -1
+	}
+	return next
+}
+
+// Children returns the pre values of all child nodes of pre.
+func (d *Doc) Children(pre int32) []int32 {
+	var out []int32
+	for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Validate performs internal consistency checks over the encoding; it is
+// used by tests and the fuzzing harness, not on the hot path.
+func (d *Doc) Validate() error {
+	n := int32(len(d.kind))
+	if n == 0 || d.kind[0] != DocumentNode {
+		return fmt.Errorf("tree: doc must start with a document node")
+	}
+	if d.size[0] != n-1 {
+		return fmt.Errorf("tree: document node size %d != %d", d.size[0], n-1)
+	}
+	if len(d.attFirst) != int(n)+1 {
+		return fmt.Errorf("tree: attFirst length %d != nodes+1", len(d.attFirst))
+	}
+	for pre := int32(1); pre < n; pre++ {
+		p := d.parent[pre]
+		if p < 0 || p >= pre {
+			return fmt.Errorf("tree: node %d has bad parent %d", pre, p)
+		}
+		if pre+d.size[pre] > p+d.size[p] {
+			return fmt.Errorf("tree: node %d leaks out of parent %d", pre, p)
+		}
+		if d.level[pre] != d.level[p]+1 {
+			return fmt.Errorf("tree: node %d level %d, parent level %d", pre, d.level[pre], d.level[p])
+		}
+		if d.kind[pre] != ElementNode && d.size[pre] != 0 {
+			return fmt.Errorf("tree: leaf node %d has size %d", pre, d.size[pre])
+		}
+	}
+	if !sort.SliceIsSorted(d.attOwner, func(i, j int) bool { return d.attOwner[i] < d.attOwner[j] }) {
+		return fmt.Errorf("tree: attribute table not clustered on owner")
+	}
+	for i := range d.attOwner {
+		if d.kind[d.attOwner[i]] != ElementNode {
+			return fmt.Errorf("tree: attribute %d owned by non-element", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// docSpec drives random document construction through the Builder.
+type docSpec struct {
+	Ops []uint8
+}
+
+// Generate implements quick.Generator.
+func (docSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(120)
+	s := docSpec{Ops: make([]uint8, n)}
+	for i := range s.Ops {
+		s.Ops[i] = uint8(r.Intn(256))
+	}
+	return reflect.ValueOf(s)
+}
+
+// build replays the spec as balanced builder events.
+func (s docSpec) build() (*Doc, error) {
+	b := NewBuilder("quick.xml")
+	names := []string{"a", "b", "c"}
+	depth := 0
+	b.StartElement("root")
+	depth++
+	for _, op := range s.Ops {
+		switch op % 5 {
+		case 0, 1:
+			b.StartElement(names[int(op/5)%len(names)])
+			if op%7 == 0 {
+				b.Attr("k", "v")
+			}
+			depth++
+		case 2:
+			if depth > 1 {
+				b.EndElement()
+				depth--
+			}
+		case 3:
+			b.Text("t")
+		case 4:
+			b.Comment("c")
+		}
+	}
+	for depth > 0 {
+		b.EndElement()
+		depth--
+	}
+	return b.Done()
+}
+
+// TestQuickBuilderInvariants: any balanced event stream yields a document
+// that passes Validate, whose navigation agrees with the parent column, and
+// whose serialisation re-parses to the same shape.
+func TestQuickBuilderInvariants(t *testing.T) {
+	f := func(spec docSpec) bool {
+		d, err := spec.build()
+		if err != nil {
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		// FirstChild/NextSibling enumeration agrees with the parent column.
+		for pre := int32(0); pre < int32(d.NumNodes()); pre++ {
+			var viaNav []int32
+			for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+				viaNav = append(viaNav, c)
+			}
+			var viaParent []int32
+			for c := int32(0); c < int32(d.NumNodes()); c++ {
+				if d.Parent(c) == pre {
+					viaParent = append(viaParent, c)
+				}
+			}
+			if len(viaNav) != len(viaParent) {
+				return false
+			}
+			for i := range viaNav {
+				if viaNav[i] != viaParent[i] {
+					return false
+				}
+			}
+		}
+		// Subtree sizes sum up: size(n) == count of nodes with an ancestor n.
+		for pre := int32(0); pre < int32(d.NumNodes()); pre++ {
+			count := int32(0)
+			for c := int32(0); c < int32(d.NumNodes()); c++ {
+				if d.IsAncestorOf(pre, c) {
+					count++
+				}
+			}
+			if count != d.Size(pre) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

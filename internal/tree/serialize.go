@@ -1,0 +1,136 @@
+package tree
+
+import (
+	"io"
+	"strings"
+)
+
+// SerializeNode writes node pre (and its subtree) as XML text. For the
+// document node all children are written in order; attributes are emitted in
+// stored order. Text content and attribute values are escaped so that the
+// output re-parses to an identical tree.
+func (d *Doc) SerializeNode(w io.Writer, pre int32) error {
+	s := serializer{d: d, w: w}
+	s.node(pre)
+	return s.err
+}
+
+// XMLString renders node pre (and its subtree) as a string.
+func (d *Doc) XMLString(pre int32) string {
+	var sb strings.Builder
+	_ = d.SerializeNode(&sb, pre)
+	return sb.String()
+}
+
+type serializer struct {
+	d   *Doc
+	w   io.Writer
+	err error
+}
+
+func (s *serializer) write(str string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, str)
+	}
+}
+
+func (s *serializer) node(pre int32) {
+	d := s.d
+	switch d.kind[pre] {
+	case DocumentNode:
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			s.node(c)
+		}
+	case ElementNode:
+		name := d.NodeName(pre)
+		s.write("<")
+		s.write(name)
+		lo, hi := d.Attrs(pre)
+		for i := lo; i < hi; i++ {
+			s.write(" ")
+			s.write(d.AttrName(i))
+			s.write("=\"")
+			s.write(EscapeAttr(d.AttrValue(i)))
+			s.write("\"")
+		}
+		if d.size[pre] == 0 {
+			s.write("/>")
+			return
+		}
+		s.write(">")
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			s.node(c)
+		}
+		s.write("</")
+		s.write(name)
+		s.write(">")
+	case TextNode:
+		s.write(EscapeText(d.Value(pre)))
+	case CommentNode:
+		s.write("<!--")
+		s.write(d.Value(pre))
+		s.write("-->")
+	case PINode:
+		s.write("<?")
+		s.write(d.NodeName(pre))
+		if v := d.Value(pre); v != "" {
+			s.write(" ")
+			s.write(v)
+		}
+		s.write("?>")
+	}
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>\r") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '\r':
+			sb.WriteString("&#13;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// EscapeAttr escapes an attribute value for a double-quoted attribute.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<>\"\t\n\r") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\t':
+			sb.WriteString("&#9;")
+		case '\n':
+			sb.WriteString("&#10;")
+		case '\r':
+			sb.WriteString("&#13;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

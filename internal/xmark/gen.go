@@ -1,0 +1,340 @@
+package xmark
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config parameterises document generation. Scale 1.0 corresponds to the
+// paper's "110MB" document (XMark's standard factor); the paper's series is
+// 0.1 / 0.5 / 1 / 5 / 10 for 11 MB ... 1100 MB.
+type Config struct {
+	Scale float64
+	Seed  uint64
+}
+
+// continents and their share of the item population (XMark's distribution).
+var continents = []struct {
+	name  string
+	share float64
+}{
+	{"africa", 0.025}, {"asia", 0.092}, {"australia", 0.101},
+	{"europe", 0.276}, {"namerica", 0.460}, {"samerica", 0.046},
+}
+
+// counts returns the entity counts at a scale factor, mirroring xmlgen's
+// proportions (25500 persons, 21750 items, 12000 open and 9750 closed
+// auctions, 1000 categories at scale 1).
+type counts struct {
+	persons, items, open, closed, categories, edges int
+}
+
+func countsFor(scale float64) counts {
+	n := func(base float64) int {
+		v := int(base * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return counts{
+		persons:    n(25500),
+		items:      n(21750),
+		open:       n(12000),
+		closed:     n(9750),
+		categories: n(1000),
+		edges:      n(10000),
+	}
+}
+
+// Generate writes an XMark auction document to w.
+func Generate(w io.Writer, cfg Config) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	g := &generator{w: bw, r: newRNG(cfg.Seed ^ 0x584D61726B), c: countsFor(cfg.Scale)}
+	g.site()
+	if g.err != nil {
+		return g.err
+	}
+	return bw.Flush()
+}
+
+// GenerateBytes renders the document into memory.
+func GenerateBytes(cfg Config) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, cfg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type generator struct {
+	w   *bufio.Writer
+	r   *rng
+	c   counts
+	err error
+}
+
+func (g *generator) out(s string) {
+	if g.err == nil {
+		_, g.err = g.w.WriteString(s)
+	}
+}
+
+func (g *generator) outf(format string, args ...any) {
+	if g.err == nil {
+		_, g.err = fmt.Fprintf(g.w, format, args...)
+	}
+}
+
+// elt writes <name>text</name>.
+func (g *generator) elt(name, text string) {
+	g.out("<")
+	g.out(name)
+	g.out(">")
+	g.out(text)
+	g.out("</")
+	g.out(name)
+	g.out(">")
+}
+
+func (g *generator) site() {
+	g.out("<site>")
+	g.regions()
+	g.categories()
+	g.catgraph()
+	g.people()
+	g.openAuctions()
+	g.closedAuctions()
+	g.out("</site>")
+}
+
+func (g *generator) regions() {
+	g.out("<regions>")
+	itemID := 0
+	remaining := g.c.items
+	for ci, cont := range continents {
+		n := int(float64(g.c.items) * cont.share)
+		if ci == len(continents)-1 {
+			n = remaining
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		g.out("<" + cont.name + ">")
+		for i := 0; i < n; i++ {
+			g.item(itemID)
+			itemID++
+		}
+		g.out("</" + cont.name + ">")
+	}
+	g.out("</regions>")
+}
+
+var locations = []string{"United States", "Germany", "Netherlands", "Japan", "Brazil", "Kenya", "Australia", "France"}
+var payments = []string{"Creditcard", "Money order", "Personal Check", "Cash"}
+
+func (g *generator) item(id int) {
+	g.outf(`<item id="item%d">`, id)
+	g.elt("location", locations[g.r.intn(len(locations))])
+	g.elt("quantity", fmt.Sprintf("%d", g.r.rangeIn(1, 5)))
+	g.elt("name", word(g.r)+" "+word(g.r))
+	g.elt("payment", payments[g.r.intn(len(payments))])
+	g.description()
+	g.elt("shipping", "Will ship internationally")
+	for k, n := 0, g.r.rangeIn(1, 3); k < n; k++ {
+		g.outf(`<incategory category="category%d"/>`, g.r.intn(g.c.categories))
+	}
+	g.out("<mailbox>")
+	for k, n := 0, g.r.intn(4); k < n; k++ {
+		g.out("<mail>")
+		g.elt("from", word(g.r)+" "+word(g.r))
+		g.elt("to", word(g.r)+" "+word(g.r))
+		g.elt("date", g.date())
+		g.elt("text", textBlock(g.r, g.r.rangeIn(40, 200)))
+		g.out("</mail>")
+	}
+	g.out("</mailbox>")
+	g.out("</item>")
+}
+
+// description emits the XMark description element: either a flat text or a
+// parlist with listitems.
+func (g *generator) description() {
+	g.out("<description>")
+	if g.r.chance(7, 10) {
+		g.elt("text", textBlock(g.r, g.r.rangeIn(60, 290)))
+	} else {
+		g.out("<parlist>")
+		for k, n := 0, g.r.rangeIn(2, 4); k < n; k++ {
+			g.out("<listitem>")
+			g.elt("text", textBlock(g.r, g.r.rangeIn(30, 140)))
+			g.out("</listitem>")
+		}
+		g.out("</parlist>")
+	}
+	g.out("</description>")
+}
+
+func (g *generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", g.r.rangeIn(1, 12), g.r.rangeIn(1, 28), g.r.rangeIn(1998, 2001))
+}
+
+func (g *generator) categories() {
+	g.out("<categories>")
+	for i := 0; i < g.c.categories; i++ {
+		g.outf(`<category id="category%d">`, i)
+		g.elt("name", word(g.r)+" "+word(g.r))
+		g.description()
+		g.out("</category>")
+	}
+	g.out("</categories>")
+}
+
+func (g *generator) catgraph() {
+	g.out("<catgraph>")
+	for i := 0; i < g.c.edges; i++ {
+		g.outf(`<edge from="category%d" to="category%d"/>`,
+			g.r.intn(g.c.categories), g.r.intn(g.c.categories))
+	}
+	g.out("</catgraph>")
+}
+
+var countries = []string{"United States", "Germany", "Netherlands", "Japan", "Brazil", "Kenya"}
+var educations = []string{"High School", "College", "Graduate School", "Other"}
+
+func (g *generator) people() {
+	g.out("<people>")
+	for i := 0; i < g.c.persons; i++ {
+		first, last := word(g.r), word(g.r)
+		g.outf(`<person id="person%d">`, i)
+		g.elt("name", titleCase(first)+" "+titleCase(last))
+		g.elt("emailaddress", "mailto:"+first+"@"+last+".com")
+		if g.r.chance(1, 2) {
+			g.elt("phone", fmt.Sprintf("+%d (%d) %d", g.r.rangeIn(1, 99), g.r.rangeIn(10, 999), g.r.rangeIn(1000000, 9999999)))
+		}
+		if g.r.chance(1, 2) {
+			g.out("<address>")
+			g.elt("street", fmt.Sprintf("%d %s St", g.r.rangeIn(1, 99), titleCase(word(g.r))))
+			g.elt("city", titleCase(word(g.r)))
+			g.elt("country", countries[g.r.intn(len(countries))])
+			g.elt("zipcode", fmt.Sprintf("%d", g.r.rangeIn(10000, 99999)))
+			g.out("</address>")
+		}
+		if g.r.chance(1, 2) {
+			g.elt("homepage", "http://www."+last+".com/~"+first)
+		}
+		if g.r.chance(1, 2) {
+			g.elt("creditcard", fmt.Sprintf("%d %d %d %d", g.r.rangeIn(1000, 9999), g.r.rangeIn(1000, 9999), g.r.rangeIn(1000, 9999), g.r.rangeIn(1000, 9999)))
+		}
+		if g.r.chance(3, 4) {
+			g.outf(`<profile income="%d.%02d">`, g.r.rangeIn(9000, 120000), g.r.intn(100))
+			for k, n := 0, g.r.intn(4); k < n; k++ {
+				g.outf(`<interest category="category%d"/>`, g.r.intn(g.c.categories))
+			}
+			if g.r.chance(1, 2) {
+				g.elt("education", educations[g.r.intn(len(educations))])
+			}
+			if g.r.chance(1, 2) {
+				g.elt("gender", pickStr(g.r, "male", "female"))
+			}
+			g.elt("business", pickStr(g.r, "Yes", "No"))
+			if g.r.chance(1, 2) {
+				g.elt("age", fmt.Sprintf("%d", g.r.rangeIn(18, 90)))
+			}
+			g.out("</profile>")
+		}
+		if g.r.chance(1, 3) {
+			g.out("<watches>")
+			for k, n := 0, g.r.rangeIn(1, 4); k < n; k++ {
+				g.outf(`<watch open_auction="open_auction%d"/>`, g.r.intn(g.c.open))
+			}
+			g.out("</watches>")
+		}
+		g.out("</person>")
+	}
+	g.out("</people>")
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func pickStr(r *rng, a, b string) string {
+	if r.chance(1, 2) {
+		return a
+	}
+	return b
+}
+
+func (g *generator) openAuctions() {
+	g.out("<open_auctions>")
+	for i := 0; i < g.c.open; i++ {
+		g.outf(`<open_auction id="open_auction%d">`, i)
+		initial := g.r.rangeIn(1, 200)
+		g.elt("initial", fmt.Sprintf("%d.%02d", initial, g.r.intn(100)))
+		if g.r.chance(1, 2) {
+			g.elt("reserve", fmt.Sprintf("%d.%02d", initial+g.r.rangeIn(1, 100), g.r.intn(100)))
+		}
+		cur := float64(initial)
+		for k, n := 0, g.r.intn(10); k < n; k++ {
+			inc := float64(g.r.rangeIn(1, 24)) * 1.5
+			cur += inc
+			g.out("<bidder>")
+			g.elt("date", g.date())
+			g.elt("time", fmt.Sprintf("%02d:%02d:%02d", g.r.intn(24), g.r.intn(60), g.r.intn(60)))
+			g.outf(`<personref person="person%d"/>`, g.r.intn(g.c.persons))
+			g.elt("increase", fmt.Sprintf("%.2f", inc))
+			g.out("</bidder>")
+		}
+		g.elt("current", fmt.Sprintf("%.2f", cur))
+		if g.r.chance(1, 2) {
+			g.elt("privacy", "Yes")
+		}
+		g.outf(`<itemref item="item%d"/>`, g.r.intn(g.c.items))
+		g.outf(`<seller person="person%d"/>`, g.r.intn(g.c.persons))
+		g.annotation()
+		g.elt("quantity", fmt.Sprintf("%d", g.r.rangeIn(1, 5)))
+		g.elt("type", pickStr(g.r, "Regular", "Featured"))
+		g.out("<interval>")
+		g.elt("start", g.date())
+		g.elt("end", g.date())
+		g.out("</interval>")
+		g.out("</open_auction>")
+	}
+	g.out("</open_auctions>")
+}
+
+func (g *generator) annotation() {
+	g.out("<annotation>")
+	g.outf(`<author person="person%d"/>`, g.r.intn(g.c.persons))
+	g.description()
+	g.elt("happiness", fmt.Sprintf("%d", g.r.rangeIn(1, 10)))
+	g.out("</annotation>")
+}
+
+func (g *generator) closedAuctions() {
+	g.out("<closed_auctions>")
+	for i := 0; i < g.c.closed; i++ {
+		g.out("<closed_auction>")
+		g.outf(`<seller person="person%d"/>`, g.r.intn(g.c.persons))
+		g.outf(`<buyer person="person%d"/>`, g.r.intn(g.c.persons))
+		g.outf(`<itemref item="item%d"/>`, g.r.intn(g.c.items))
+		g.elt("price", fmt.Sprintf("%d.%02d", g.r.rangeIn(1, 400), g.r.intn(100)))
+		g.elt("date", g.date())
+		g.elt("quantity", fmt.Sprintf("%d", g.r.rangeIn(1, 5)))
+		g.elt("type", pickStr(g.r, "Regular", "Featured"))
+		g.annotation()
+		g.out("</closed_auction>")
+	}
+	g.out("</closed_auctions>")
+}

@@ -1,0 +1,39 @@
+// Package xmark generates XMark-compatible auction documents (Schmidt et
+// al., VLDB 2002 — reference [12] of the paper) and converts them to the
+// StandOff form used in the paper's section 4.6 evaluation: text content
+// moves to a BLOB, every element carries a [start,end] region into that
+// BLOB, and the element order is permuted at a coarse level so that
+// parent-child navigation no longer works — only region containment does.
+package xmark
+
+// rng is a splitmix64 generator: deterministic across platforms so that a
+// scale factor + seed always produces byte-identical documents.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeIn returns a uniform value in [lo, hi].
+func (r *rng) rangeIn(lo, hi int) int {
+	return lo + r.intn(hi-lo+1)
+}
+
+// chance returns true with probability num/den.
+func (r *rng) chance(num, den int) bool {
+	return r.intn(den) < num
+}

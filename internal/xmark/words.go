@@ -1,0 +1,64 @@
+package xmark
+
+import "strings"
+
+// wordList approximates xmlgen's Shakespeare-derived vocabulary. The exact
+// words are irrelevant to the joins; only the byte volume and the element
+// shape matter for the reproduction.
+var wordList = strings.Fields(`
+the and of to a in that is was he for it with as his on be at by i this had
+not are but from or have an they which one you were her all she there would
+their we him been has when who will more no if out so said what up its about
+into than them can only other new some could time these two may then do first
+any my now such like our over man me even most made after also did many before
+must through back years where much your way well down should because each just
+those people mr how too little state good very make world still own see men
+work long get here between both life being under never day same another know
+while last might us great old year off come since against go came right used
+take three states himself few house use during without again place american
+around however home small found mrs thought went say part once general high
+upon school every don does got united left number course war until always away
+something fact though water less public put thing almost hand enough far took
+head yet government system better set told nothing night end why called didn
+eyes find going look asked later knew point next city business case group woman
+give days young let room often seemed half sometimes ten words together shall
+whole empire honour sword crown noble battle fortune kingdom majesty gracious
+prince duke villain valiant wherefore thee thou thy hath doth tis twas anon
+forsooth prithee sirrah knave varlet cozen fie marry troth
+`)
+
+// sentence appends n random words to sb, capitalised and terminated.
+func sentence(r *rng, sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		w := wordList[r.intn(len(wordList))]
+		if i == 0 {
+			sb.WriteString(strings.ToUpper(w[:1]))
+			sb.WriteString(w[1:])
+		} else {
+			sb.WriteByte(' ')
+			sb.WriteString(w)
+		}
+	}
+	sb.WriteByte('.')
+}
+
+// textBlock produces a paragraph of roughly the requested word count.
+func textBlock(r *rng, words int) string {
+	var sb strings.Builder
+	remaining := words
+	for remaining > 0 {
+		n := r.rangeIn(5, 14)
+		if n > remaining {
+			n = remaining
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sentence(r, &sb, n)
+		remaining -= n
+	}
+	return sb.String()
+}
+
+// word returns one random word.
+func word(r *rng) string { return wordList[r.intn(len(wordList))] }

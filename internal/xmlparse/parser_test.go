@@ -1,0 +1,311 @@
+package xmlparse
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"soxq/internal/tree"
+)
+
+func mustParse(t *testing.T, src string) *tree.Doc {
+	t.Helper()
+	d, err := Parse("test.xml", []byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return d
+}
+
+func TestParseBasic(t *testing.T) {
+	d := mustParse(t, `<a x="1"><b>hi</b><c/></a>`)
+	if d.NumNodes() != 5 { // doc, a, b, text, c
+		t.Fatalf("NumNodes = %d", d.NumNodes())
+	}
+	if d.NodeName(1) != "a" || d.NodeName(2) != "b" || d.NodeName(4) != "c" {
+		t.Fatal("names wrong")
+	}
+	if v, ok := d.AttrByName(1, "x"); !ok || v != "1" {
+		t.Fatal("attribute wrong")
+	}
+	if d.Value(3) != "hi" {
+		t.Fatal("text wrong")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a/>`,
+		`<a x="1" y="2"/>`,
+		`<a><b/><c/><b/></a>`,
+		`<a>text</a>`,
+		`<a>pre<b>mid</b>post</a>`,
+		`<root><!--comment--><?target data?></root>`,
+		`<ns:a ns:b="v"><x.y-z/></ns:a>`,
+		`<a>&amp;&lt;&gt;&quot;&apos;</a>`,
+	}
+	for _, src := range cases {
+		d := mustParse(t, src)
+		got := d.XMLString(0)
+		d2 := mustParse(t, got)
+		if again := d2.XMLString(0); again != got {
+			t.Errorf("round trip diverges:\n src  %s\n got  %s\n again %s", src, got, again)
+		}
+	}
+}
+
+func TestParseDeclDoctype(t *testing.T) {
+	d := mustParse(t, `<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE site [ <!ELEMENT site ANY> ]>
+<site><x/></site>`)
+	if d.NodeName(1) != "site" {
+		t.Fatal("root wrong")
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	d := mustParse(t, `<a><![CDATA[1 < 2 & "x" ]]>tail</a>`)
+	if got := d.StringValue(1); got != `1 < 2 & "x" tail` {
+		t.Fatalf("CDATA text = %q", got)
+	}
+	// CDATA merges with adjacent text into one node.
+	if d.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", d.NumNodes())
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	d := mustParse(t, `<a b="&#65;&#x42;c">&#x263A;</a>`)
+	if v, _ := d.AttrByName(1, "b"); v != "ABc" {
+		t.Fatalf("numeric refs in attribute = %q", v)
+	}
+	if d.StringValue(1) != "☺" {
+		t.Fatalf("numeric ref in text = %q", d.StringValue(1))
+	}
+}
+
+func TestAttributeNormalization(t *testing.T) {
+	d := mustParse(t, "<a b=\"x\ty\nz\"/>")
+	if v, _ := d.AttrByName(1, "b"); v != "x y z" {
+		t.Fatalf("attribute whitespace normalisation = %q", v)
+	}
+}
+
+func TestNewlineNormalization(t *testing.T) {
+	d := mustParse(t, "<a>l1\r\nl2\rl3</a>")
+	if got := d.StringValue(1); got != "l1\nl2\nl3" {
+		t.Fatalf("newline normalisation = %q", got)
+	}
+}
+
+func TestDropWhitespaceText(t *testing.T) {
+	src := "<a>\n  <b>x</b>\n  <c/>\n</a>"
+	d, err := ParseWithOptions("t", []byte(src), Options{DropWhitespaceText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 5 { // doc a b text c
+		t.Fatalf("NumNodes = %d, want 5", d.NumNodes())
+	}
+	d2 := mustParse(t, src)
+	if d2.NumNodes() != 8 { // + 3 whitespace text nodes
+		t.Fatalf("default keeps whitespace, NumNodes = %d, want 8", d2.NumNodes())
+	}
+}
+
+func TestSingleQuotedAttributes(t *testing.T) {
+	d := mustParse(t, `<a b='it"s'/>`)
+	if v, _ := d.AttrByName(1, "b"); v != `it"s` {
+		t.Fatalf("single-quoted attr = %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"empty", ``},
+		{"no root", `<!-- only a comment -->`},
+		{"unclosed", `<a><b></b>`},
+		{"mismatch", `<a></b>`},
+		{"two roots", `<a/><b/>`},
+		{"text outside", `<a/>junk`},
+		{"stray end", `</a>`},
+		{"dup attr", `<a x="1" x="2"/>`},
+		{"unquoted attr", `<a x=1/>`},
+		{"lt in attr", `<a x="<"/>`},
+		{"bad entity", `<a>&nope;</a>`},
+		{"bad charref", `<a>&#xZZ;</a>`},
+		{"zero charref", `<a>&#0;</a>`},
+		{"unterminated comment", `<a><!-- x</a>`},
+		{"double dash comment", `<a><!-- a -- b --></a>`},
+		{"unterminated cdata", `<a><![CDATA[x</a>`},
+		{"cdata top level", `<![CDATA[x]]><a/>`},
+		{"unterminated pi", `<a><?pi x</a>`},
+		{"reserved pi", `<a><?xMl data?></a>`},
+		{"unterminated tag", `<a`},
+		{"bad name", `<1a/>`},
+		{"cdata end in text", `<a>x]]>y</a>`},
+		{"doctype after root", `<a/><!DOCTYPE a>`},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.name, []byte(c.src)); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", c.name, c.src)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("pos.xml", []byte("<a>\n<b>\n</c>\n</a>"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("error line = %d, want 3", se.Line)
+	}
+	if !strings.Contains(se.Error(), "pos.xml:3:") {
+		t.Fatalf("error string = %q", se.Error())
+	}
+}
+
+// randomDoc emits a pseudo-random well-formed document for the encoding/xml
+// cross-check.
+func randomDoc(rng *rand.Rand) string {
+	var sb strings.Builder
+	names := []string{"a", "b", "cc", "dd", "e-f", "g.h"}
+	texts := []string{"x", "hello world", "1 &lt; 2", "tail &amp; more", "é☺"}
+	var emit func(depth int)
+	emit = func(depth int) {
+		name := names[rng.Intn(len(names))]
+		sb.WriteString("<" + name)
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			sb.WriteString(` at` + string(rune('a'+i)) + `="v` + string(rune('0'+byte(rng.Intn(10)))) + `"`)
+		}
+		if depth > 3 || rng.Intn(4) == 0 {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteString(">")
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sb.WriteString(texts[rng.Intn(len(texts))])
+			} else {
+				emit(depth + 1)
+			}
+		}
+		sb.WriteString("</" + name + ">")
+	}
+	emit(0)
+	return sb.String()
+}
+
+// TestAgainstEncodingXML replays random documents through both our parser
+// and encoding/xml and compares the event streams.
+func TestAgainstEncodingXML(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		src := randomDoc(rng)
+		d, err := Parse("rand.xml", []byte(src))
+		if err != nil {
+			t.Fatalf("our parser failed on %q: %v", src, err)
+		}
+		var ours []string
+		collect(d, 0, &ours)
+
+		dec := xml.NewDecoder(strings.NewReader(src))
+		var theirs []string
+		for {
+			tok, err := dec.Token()
+			if tok == nil {
+				break
+			}
+			if err != nil {
+				t.Fatalf("encoding/xml failed on %q: %v", src, err)
+			}
+			switch tk := tok.(type) {
+			case xml.StartElement:
+				s := "start " + tk.Name.Local
+				for _, a := range tk.Attr {
+					s += " " + a.Name.Local + "=" + a.Value
+				}
+				theirs = append(theirs, s)
+			case xml.EndElement:
+				theirs = append(theirs, "end "+tk.Name.Local)
+			case xml.CharData:
+				theirs = append(theirs, "text "+string(tk))
+			}
+		}
+		theirs = mergeText(theirs)
+		if strings.Join(ours, "\n") != strings.Join(theirs, "\n") {
+			t.Fatalf("event mismatch on %q:\nours:\n%s\ntheirs:\n%s",
+				src, strings.Join(ours, "\n"), strings.Join(theirs, "\n"))
+		}
+	}
+}
+
+func collect(d *tree.Doc, pre int32, out *[]string) {
+	switch d.Kind(pre) {
+	case tree.DocumentNode:
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			collect(d, c, out)
+		}
+	case tree.ElementNode:
+		s := "start " + localName(d.NodeName(pre))
+		lo, hi := d.Attrs(pre)
+		for i := lo; i < hi; i++ {
+			s += " " + localName(d.AttrName(i)) + "=" + d.AttrValue(i)
+		}
+		*out = append(*out, s)
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			collect(d, c, out)
+		}
+		*out = append(*out, "end "+localName(d.NodeName(pre)))
+	case tree.TextNode:
+		*out = append(*out, "text "+d.Value(pre))
+	}
+}
+
+func localName(n string) string {
+	if i := strings.IndexByte(n, ':'); i >= 0 {
+		return n[i+1:]
+	}
+	return n
+}
+
+// mergeText coalesces adjacent text events (encoding/xml splits around
+// entity references; our store merges them).
+func mergeText(events []string) []string {
+	var out []string
+	for _, e := range events {
+		if strings.HasPrefix(e, "text ") && len(out) > 0 && strings.HasPrefix(out[len(out)-1], "text ") {
+			out[len(out)-1] += strings.TrimPrefix(e, "text")
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(`<item id="i"><name>widget</name><price cur="usd">12</price></item>`)
+	}
+	sb.WriteString("</root>")
+	data := []byte(sb.String())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench.xml", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

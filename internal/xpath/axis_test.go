@@ -1,0 +1,271 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"soxq/internal/tree"
+	"soxq/internal/xmlparse"
+)
+
+func parse(t *testing.T, src string) *tree.Doc {
+	t.Helper()
+	d, err := xmlparse.Parse("test.xml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sample document and its pre numbering:
+//
+//	<r><a><b/><c>t1</c></a><a><b/></a><d>t2</d></r>
+//	 doc=0 r=1 a=2 b=3 c=4 t1=5 a=6 b=7 d=8 t2=9
+const sampleSrc = `<r><a><b/><c>t1</c></a><a><b/></a><d>t2</d></r>`
+
+func TestAxisSteps(t *testing.T) {
+	d := parse(t, sampleSrc)
+	cases := []struct {
+		axis Axis
+		test Test
+		pre  int32
+		want []int32
+	}{
+		{AxisChild, AnyElement, 2, []int32{3, 4}},
+		{AxisChild, NameTest("b"), 2, []int32{3}},
+		{AxisChild, Test{Kind: TestText}, 4, []int32{5}},
+		{AxisDescendant, NameTest("b"), 0, []int32{3, 7}},
+		{AxisDescendant, Test{Kind: TestAnyNode}, 2, []int32{3, 4, 5}},
+		{AxisDescendantOrSelf, NameTest("a"), 2, []int32{2}},
+		{AxisSelf, NameTest("a"), 2, []int32{2}},
+		{AxisSelf, NameTest("b"), 2, nil},
+		{AxisParent, AnyElement, 3, []int32{2}},
+		{AxisParent, NameTest("r"), 1, nil}, // parent of <r> is the document node
+		{AxisAncestor, AnyElement, 5, []int32{1, 2, 4}},
+		{AxisAncestorOrSelf, AnyElement, 4, []int32{1, 2, 4}},
+		{AxisFollowingSibling, AnyElement, 2, []int32{6, 8}},
+		{AxisFollowingSibling, NameTest("d"), 2, []int32{8}},
+		{AxisPrecedingSibling, AnyElement, 8, []int32{2, 6}},
+		{AxisFollowing, AnyElement, 2, []int32{6, 7, 8}},
+		{AxisFollowing, Test{Kind: TestAnyNode}, 3, []int32{4, 5, 6, 7, 8, 9}},
+		{AxisPreceding, AnyElement, 8, []int32{2, 3, 4, 6, 7}},
+		{AxisPreceding, NameTest("b"), 7, []int32{3}},
+	}
+	for _, c := range cases {
+		got := Step(d, c.axis, c.test, c.pre)
+		if !equal32(got, c.want) {
+			t.Errorf("%v::%v from %d = %v, want %v", c.axis, c.test, c.pre, got, c.want)
+		}
+	}
+}
+
+func TestAncestorAxisElementTestExcludesDocument(t *testing.T) {
+	d := parse(t, sampleSrc)
+	// An element test on the ancestor axis must not match the document node.
+	got := Step(d, AxisAncestor, AnyElement, 5)
+	for _, p := range got {
+		if d.Kind(p) == tree.DocumentNode {
+			t.Fatalf("element test matched the document node: %v", got)
+		}
+	}
+	got = Step(d, AxisAncestor, Test{Kind: TestAnyNode}, 5)
+	if !equal32(got, []int32{0, 1, 2, 4}) {
+		t.Fatalf("ancestor::node() = %v", got)
+	}
+}
+
+func TestParseAxisNames(t *testing.T) {
+	for a, name := range axisNames {
+		got, ok := ParseAxis(name)
+		if !ok || got != a {
+			t.Fatalf("ParseAxis(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := ParseAxis("sideways"); ok {
+		t.Fatal("unknown axis parsed")
+	}
+	if !AxisSelectNarrow.StandOff() || AxisChild.StandOff() {
+		t.Fatal("StandOff classification wrong")
+	}
+	if !AxisAncestor.Reverse() || AxisFollowing.Reverse() {
+		t.Fatal("Reverse classification wrong")
+	}
+}
+
+func TestCompiledTestMissingName(t *testing.T) {
+	d := parse(t, sampleSrc)
+	got := Step(d, AxisDescendant, NameTest("zzz"), 0)
+	if len(got) != 0 {
+		t.Fatalf("unknown name matched %v", got)
+	}
+}
+
+func TestPITest(t *testing.T) {
+	d := parse(t, `<r><?one a?><?two b?></r>`)
+	if got := Step(d, AxisChild, Test{Kind: TestPI}, 1); len(got) != 2 {
+		t.Fatalf("pi() children = %v", got)
+	}
+	if got := Step(d, AxisChild, Test{Kind: TestPI, Name: "two"}, 1); len(got) != 1 {
+		t.Fatalf("pi(two) children = %v", got)
+	}
+	if got := Step(d, AxisChild, Test{Kind: TestComment}, 1); len(got) != 0 {
+		t.Fatalf("comment() children = %v", got)
+	}
+}
+
+// naiveStep computes an axis step straight from the axis definitions, as the
+// test oracle.
+func naiveStep(d *tree.Doc, axis Axis, test Test, pre int32) []int32 {
+	c := Compile(d, test)
+	var out []int32
+	n := int32(d.NumNodes())
+	for p := int32(0); p < n; p++ {
+		if !c.Matches(d, p) {
+			continue
+		}
+		ok := false
+		switch axis {
+		case AxisChild:
+			ok = d.Parent(p) == pre
+		case AxisDescendant:
+			ok = d.IsAncestorOf(pre, p)
+		case AxisDescendantOrSelf:
+			ok = p == pre || d.IsAncestorOf(pre, p)
+		case AxisSelf:
+			ok = p == pre
+		case AxisParent:
+			ok = d.Parent(pre) == p
+		case AxisAncestor:
+			ok = d.IsAncestorOf(p, pre)
+		case AxisAncestorOrSelf:
+			ok = p == pre || d.IsAncestorOf(p, pre)
+		case AxisFollowingSibling:
+			ok = d.Parent(p) == d.Parent(pre) && p > pre
+		case AxisPrecedingSibling:
+			ok = d.Parent(p) == d.Parent(pre) && p < pre && pre != 0
+		case AxisFollowing:
+			ok = p > pre+d.Size(pre)
+		case AxisPreceding:
+			ok = p < pre && !d.IsAncestorOf(p, pre)
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func randomTree(rng *rand.Rand) string {
+	names := []string{"a", "b", "c", "d"}
+	var sb strings.Builder
+	var emit func(depth int)
+	emit = func(depth int) {
+		n := names[rng.Intn(len(names))]
+		sb.WriteString("<" + n + ">")
+		if depth < 4 {
+			for i, k := 0, rng.Intn(4); i < k; i++ {
+				if rng.Intn(5) == 0 {
+					sb.WriteString("x")
+				} else {
+					emit(depth + 1)
+				}
+			}
+		}
+		sb.WriteString("</" + n + ">")
+	}
+	emit(0)
+	return sb.String()
+}
+
+// TestAxesAgainstNaive compares every axis implementation against the
+// direct definition on random trees.
+func TestAxesAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	axes := []Axis{AxisChild, AxisDescendant, AxisDescendantOrSelf, AxisSelf,
+		AxisParent, AxisAncestor, AxisAncestorOrSelf, AxisFollowingSibling,
+		AxisFollowing, AxisPrecedingSibling, AxisPreceding}
+	tests := []Test{AnyElement, NameTest("a"), NameTest("b"),
+		{Kind: TestAnyNode}, {Kind: TestText}}
+	for round := 0; round < 50; round++ {
+		d := parse(t, randomTree(rng))
+		for pre := int32(0); pre < int32(d.NumNodes()); pre++ {
+			for _, ax := range axes {
+				for _, ts := range tests {
+					got := Step(d, ax, ts, pre)
+					want := naiveStep(d, ax, ts, pre)
+					if !equal32(got, want) {
+						t.Fatalf("%v::%v from pre %d = %v, want %v\ndoc: %s",
+							ax, ts, pre, got, want, d.XMLString(0))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLLDescendantAgainstPerNode: the loop-lifted staircase join must agree
+// with per-node descendant evaluation plus per-iteration dedup.
+func TestLLDescendantAgainstPerNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tests := []Test{AnyElement, NameTest("a"), {Kind: TestAnyNode}}
+	for round := 0; round < 50; round++ {
+		d := parse(t, randomTree(rng))
+		n := int32(d.NumNodes())
+		nIters := int32(1 + rng.Intn(4))
+		var ctx []Row
+		for i := 0; i < rng.Intn(10); i++ {
+			ctx = append(ctx, Row{Iter: rng.Int31n(nIters), Pre: rng.Int31n(n)})
+		}
+		for _, ts := range tests {
+			got := LLDescendant(d, ts, ctx)
+			// Oracle: per-node union, dedup per iter, sort.
+			seen := map[Row]bool{}
+			var want []Row
+			for _, r := range ctx {
+				for _, p := range naiveStep(d, AxisDescendant, ts, r.Pre) {
+					k := Row{Iter: r.Iter, Pre: p}
+					if !seen[k] {
+						seen[k] = true
+						want = append(want, k)
+					}
+				}
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].Iter != want[j].Iter {
+					return want[i].Iter < want[j].Iter
+				}
+				return want[i].Pre < want[j].Pre
+			})
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("LLDescendant(%v) =\n%v, want\n%v\nctx %v doc %s",
+					ts, got, want, ctx, d.XMLString(0))
+			}
+		}
+	}
+}
+
+func TestLLDescendantEmpty(t *testing.T) {
+	d := parse(t, sampleSrc)
+	if got := LLDescendant(d, AnyElement, nil); got != nil {
+		t.Fatalf("empty context = %v", got)
+	}
+	// Leaf contexts produce nothing.
+	if got := LLDescendant(d, AnyElement, []Row{{Iter: 0, Pre: 3}}); len(got) != 0 {
+		t.Fatalf("leaf context = %v", got)
+	}
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

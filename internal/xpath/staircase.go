@@ -1,0 +1,152 @@
+package xpath
+
+import (
+	"slices"
+
+	"soxq/internal/tree"
+)
+
+// Row tags a node with the loop iteration it belongs to, the iter|item
+// representation of section 4.1.
+type Row struct {
+	Iter int32
+	Pre  int32
+}
+
+// LLDescendant is the loop-lifted staircase join for the descendant axis
+// (Grust et al., cited as [9] and [5] in the paper): it computes the
+// descendant step for the context nodes of *all* iterations in a single
+// sequential pass instead of one scan per iteration. Contexts nested within
+// a same-iteration context are pruned first (the "staircase"), which also
+// guarantees duplicate-free output per iteration because the remaining
+// subtree ranges of one iteration are disjoint.
+//
+// The result is sorted by (Iter, Pre). This is the tree-aware sibling of the
+// Loop-Lifted StandOff MergeJoin: identical sweep structure, but it can
+// exploit that subtree ranges never partially overlap.
+func LLDescendant(d *tree.Doc, test Test, ctx []Row) []Row {
+	c := Compile(d, test)
+	if len(ctx) == 0 {
+		return nil
+	}
+	// Staircase pruning per iteration.
+	sorted := make([]Row, len(ctx))
+	copy(sorted, ctx)
+	slices.SortFunc(sorted, func(a, b Row) int {
+		if a.Iter != b.Iter {
+			return int(a.Iter) - int(b.Iter)
+		}
+		return int(a.Pre) - int(b.Pre)
+	})
+	type rng struct {
+		iter   int32
+		lo, hi int32
+	}
+	ranges := make([]rng, 0, len(sorted))
+	lastIter := int32(-1)
+	var lastHi int32
+	for _, r := range sorted {
+		if r.Iter == lastIter && r.Pre <= lastHi {
+			continue // nested in the previous context of the same iteration
+		}
+		lo, hi := r.Pre+1, r.Pre+d.Size(r.Pre)
+		if lo > hi {
+			// Leaf context: still advances the staircase (duplicates of the
+			// same context node in one iteration are pruned by it).
+			if r.Iter != lastIter || r.Pre > lastHi {
+				lastIter, lastHi = r.Iter, r.Pre
+			}
+			continue
+		}
+		ranges = append(ranges, rng{iter: r.Iter, lo: lo, hi: hi})
+		lastIter, lastHi = r.Iter, hi
+	}
+	// Merge the ranges (sorted by lo across all iterations) with the
+	// candidate node list in one pass, keeping a min-heap of active range
+	// ends.
+	slices.SortFunc(ranges, func(a, b rng) int { return int(a.lo) - int(b.lo) })
+
+	var cands []int32
+	if c.isElementNameTest() {
+		cands = d.ElementsByName(c.nameID)
+	} else {
+		cands = allMatching(d, c)
+	}
+
+	var out []Row
+	type active struct {
+		iter int32
+		hi   int32
+	}
+	var heap []active // min-heap on hi
+	push := func(a active) {
+		heap = append(heap, a)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].hi <= heap[i].hi {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() {
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].hi < heap[small].hi {
+				small = l
+			}
+			if r < len(heap) && heap[r].hi < heap[small].hi {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	ri := 0
+	for _, p := range cands {
+		for ri < len(ranges) && ranges[ri].lo <= p {
+			push(active{iter: ranges[ri].iter, hi: ranges[ri].hi})
+			ri++
+		}
+		for len(heap) > 0 && heap[0].hi < p {
+			pop()
+		}
+		for _, a := range heap {
+			if a.hi >= p { // all heap entries have lo <= p already
+				out = append(out, Row{Iter: a.iter, Pre: p})
+			}
+		}
+		if ri == len(ranges) && len(heap) == 0 {
+			break
+		}
+	}
+	slices.SortFunc(out, func(a, b Row) int {
+		if a.Iter != b.Iter {
+			return int(a.Iter) - int(b.Iter)
+		}
+		return int(a.Pre) - int(b.Pre)
+	})
+	return out
+}
+
+// allMatching scans the whole node table for test matches (no usable index).
+func allMatching(d *tree.Doc, c Compiled) []int32 {
+	n := int32(d.NumNodes())
+	var out []int32
+	for p := int32(0); p < n; p++ {
+		if c.Matches(d, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

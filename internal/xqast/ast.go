@@ -1,0 +1,215 @@
+// Package xqast defines the abstract syntax tree of the XQuery subset the
+// engine evaluates (see DESIGN.md section 3 for the exact coverage). The
+// tree is produced by internal/xqparse and consumed by internal/xqeval.
+package xqast
+
+import "soxq/internal/xpath"
+
+// Module is a parsed query: prolog declarations plus the body expression.
+type Module struct {
+	Options    []OptionDecl
+	Namespaces []NamespaceDecl
+	Functions  []*FunctionDecl
+	Variables  []*VarDecl
+	Body       Expr
+}
+
+// OptionDecl is `declare option name "value"`. The name keeps its prefix
+// verbatim; the stand-off options are matched on their local name.
+type OptionDecl struct {
+	Name  string
+	Value string
+}
+
+// NamespaceDecl is `declare namespace prefix = "uri"`.
+type NamespaceDecl struct {
+	Prefix string
+	URI    string
+}
+
+// FunctionDecl is `declare function name($p1, $p2, ...) { body }`. Type
+// annotations are parsed and discarded (the engine is dynamically typed, as
+// the paper's Figure 2/3 functions only need sequence semantics).
+type FunctionDecl struct {
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// VarDecl is `declare variable $name := expr`.
+type VarDecl struct {
+	Name  string
+	Value Expr
+}
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// FLWOR is a for/let/where/order by/return expression.
+type FLWOR struct {
+	Clauses []Clause
+	Where   Expr // nil when absent
+	OrderBy []OrderSpec
+	Return  Expr
+}
+
+// Clause is a for or let clause.
+type Clause interface{ clauseNode() }
+
+// ForClause is `for $Var at $Pos in Seq` (Pos may be empty).
+type ForClause struct {
+	Var string
+	Pos string
+	Seq Expr
+}
+
+// LetClause is `let $Var := Seq`.
+type LetClause struct {
+	Var string
+	Seq Expr
+}
+
+func (*ForClause) clauseNode() {}
+func (*LetClause) clauseNode() {}
+
+// OrderSpec is one `order by` key.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+	EmptyLeast bool
+}
+
+// Quantified is `some/every $Var in Seq satisfies Cond`. Multiple bindings
+// are parsed into nested Quantified nodes.
+type Quantified struct {
+	Every     bool
+	Var       string
+	Seq       Expr
+	Satisfies Expr
+}
+
+// IfExpr is `if (Cond) then Then else Else`.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+// Binary is a binary operator expression. Op is one of:
+// "or" "and" | "=" "!=" "<" "<=" ">" ">=" (general comparisons)
+// | "eq" "ne" "lt" "le" "gt" "ge" (value comparisons)
+// | "is" "<<" ">>" (node comparisons)
+// | "to" | "+" "-" "*" "div" "idiv" "mod"
+// | "union" "intersect" "except" | "," (sequence construction).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is unary plus/minus.
+type Unary struct {
+	Neg bool
+	X   Expr
+}
+
+// Path is a path expression. Start is the input expression (nil for a
+// relative path starting at the context item); Absolute paths start at the
+// root of the context item's tree. Each Step applies an axis, a node test
+// and predicates.
+type Path struct {
+	Start    Expr
+	Absolute bool
+	Steps    []*Step
+}
+
+// Step is one axis step.
+type Step struct {
+	Axis       xpath.Axis
+	Test       xpath.Test
+	Predicates []Expr
+}
+
+// Filter is a primary expression with predicates: E[p1][p2].
+type Filter struct {
+	Base       Expr
+	Predicates []Expr
+}
+
+// FuncCall is a (possibly prefixed) function call.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// VarRef is `$name`.
+type VarRef struct{ Name string }
+
+// ContextItem is `.`.
+type ContextItem struct{}
+
+// EmptySeq is `()`.
+type EmptySeq struct{}
+
+// StringLit, IntLit and FloatLit are literals.
+type StringLit struct{ V string }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a decimal or double literal.
+type FloatLit struct{ V float64 }
+
+// DirectElem is a direct element constructor <name attr="...">{...}</name>.
+// Content interleaves literal text (StringLit), nested constructors and
+// enclosed expressions (marked by Enclosed).
+type DirectElem struct {
+	Name    string
+	Attrs   []DirectAttr
+	Content []Expr
+}
+
+// DirectAttr is one attribute of a direct constructor; its value is a
+// template of literal strings and enclosed expressions.
+type DirectAttr struct {
+	Name  string
+	Value []Expr
+}
+
+// Enclosed marks an expression that appeared inside { } in constructor
+// content (its items are inserted rather than texturised verbatim).
+type Enclosed struct{ X Expr }
+
+// ComputedElem is `element name { content }` or `element { nameExpr } { content }`.
+type ComputedElem struct {
+	Name     string
+	NameExpr Expr
+	Content  Expr
+}
+
+// ComputedAttr is `attribute name { content }`.
+type ComputedAttr struct {
+	Name     string
+	NameExpr Expr
+	Content  Expr
+}
+
+// ComputedText is `text { content }`.
+type ComputedText struct{ Content Expr }
+
+func (*FLWOR) exprNode()        {}
+func (*Quantified) exprNode()   {}
+func (*IfExpr) exprNode()       {}
+func (*Binary) exprNode()       {}
+func (*Unary) exprNode()        {}
+func (*Path) exprNode()         {}
+func (*Filter) exprNode()       {}
+func (*FuncCall) exprNode()     {}
+func (*VarRef) exprNode()       {}
+func (*ContextItem) exprNode()  {}
+func (*EmptySeq) exprNode()     {}
+func (*StringLit) exprNode()    {}
+func (*IntLit) exprNode()       {}
+func (*FloatLit) exprNode()     {}
+func (*DirectElem) exprNode()   {}
+func (*Enclosed) exprNode()     {}
+func (*ComputedElem) exprNode() {}
+func (*ComputedAttr) exprNode() {}
+func (*ComputedText) exprNode() {}

@@ -1,0 +1,279 @@
+package xqeval
+
+import (
+	"sort"
+	"strings"
+
+	"soxq/internal/tree"
+	"soxq/internal/xqast"
+)
+
+// evalDirectElem evaluates a direct element constructor, producing one new
+// element (a fresh fragment document) per iteration.
+func (ev *Evaluator) evalDirectElem(v *xqast.DirectElem, f *frame) (LLSeq, error) {
+	// Evaluate attribute value templates and content in the current frame.
+	type valuePart struct {
+		lit string // literal text, used when seq is unset
+		seq *LLSeq // evaluated enclosed expression
+	}
+	attrs := make([][]valuePart, len(v.Attrs))
+	for ai, a := range v.Attrs {
+		for _, part := range a.Value {
+			if sl, ok := part.(*xqast.StringLit); ok {
+				attrs[ai] = append(attrs[ai], valuePart{lit: sl.V})
+				continue
+			}
+			seq, err := ev.eval(part, f)
+			if err != nil {
+				return LLSeq{}, err
+			}
+			attrs[ai] = append(attrs[ai], valuePart{seq: &seq})
+		}
+	}
+	content := make([]LLSeq, len(v.Content))
+	for ci, c := range v.Content {
+		seq, err := ev.eval(c, f)
+		if err != nil {
+			return LLSeq{}, err
+		}
+		content[ci] = seq
+	}
+	b := newLLBuilder(f.n)
+	for i := 0; i < f.n; i++ {
+		fb := tree.NewFragmentBuilder()
+		fb.StartElement(v.Name)
+		for ai, a := range v.Attrs {
+			var sb strings.Builder
+			for _, part := range attrs[ai] {
+				if part.seq == nil {
+					sb.WriteString(part.lit)
+					continue
+				}
+				for k, it := range part.seq.Group(i) {
+					if k > 0 {
+						sb.WriteByte(' ')
+					}
+					sb.WriteString(it.Atomize().StringValue())
+				}
+			}
+			fb.Attr(a.Name, sb.String())
+		}
+		sawContent := false
+		prevAtomic := false
+		for ci, c := range content {
+			_, enclosed := v.Content[ci].(*xqast.Enclosed)
+			if err := appendContent(fb, c.Group(i), enclosed, &sawContent, &prevAtomic); err != nil {
+				return LLSeq{}, err
+			}
+		}
+		fb.EndElement()
+		doc, err := fb.Done()
+		if err != nil {
+			return LLSeq{}, errf(codeType, "element constructor: %v", err)
+		}
+		b.add(NodeItem(doc, 1)) // pre 1 is the constructed element
+	}
+	return b.done(), nil
+}
+
+// appendContent copies one evaluated content expression into the builder.
+// Nodes are inserted by deep copy; atomic values become text, and adjacent
+// atomic values from enclosed expressions are joined with single spaces
+// (XQuery 3.7.1.3) — also across adjacent enclosed expressions, hence
+// prevAtomic is threaded through consecutive calls. Literal constructor text
+// is inserted verbatim and breaks atomic adjacency.
+func appendContent(fb *tree.Builder, items []Item, enclosed bool, sawContent, prevAtomic *bool) error {
+	for _, it := range items {
+		switch it.Kind {
+		case KNode:
+			copyNode(fb, it.D, it.Pre)
+			*sawContent = true
+			*prevAtomic = false
+		case KAttr:
+			if *sawContent {
+				return errf(codeAttrLate, "attribute %q follows non-attribute content", it.D.AttrName(it.Att))
+			}
+			fb.Attr(it.D.AttrName(it.Att), it.D.AttrValue(it.Att))
+			*prevAtomic = false
+		default:
+			s := it.StringValue()
+			if enclosed && *prevAtomic {
+				fb.Text(" ")
+			}
+			fb.Text(s)
+			if s != "" {
+				*sawContent = true
+			}
+			*prevAtomic = enclosed
+		}
+	}
+	return nil
+}
+
+// copyNode deep-copies a node (and its subtree) into the builder. Copying a
+// document node copies its children.
+func copyNode(fb *tree.Builder, d *tree.Doc, pre int32) {
+	switch d.Kind(pre) {
+	case tree.DocumentNode:
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			copyNode(fb, d, c)
+		}
+	case tree.ElementNode:
+		fb.StartElement(d.NodeName(pre))
+		lo, hi := d.Attrs(pre)
+		for a := lo; a < hi; a++ {
+			fb.Attr(d.AttrName(a), d.AttrValue(a))
+		}
+		for c := d.FirstChild(pre); c >= 0; c = d.NextSibling(c) {
+			copyNode(fb, d, c)
+		}
+		fb.EndElement()
+	case tree.TextNode:
+		fb.Text(d.Value(pre))
+	case tree.CommentNode:
+		fb.Comment(d.Value(pre))
+	case tree.PINode:
+		fb.PI(d.NodeName(pre), d.Value(pre))
+	}
+}
+
+func (ev *Evaluator) evalComputedElem(v *xqast.ComputedElem, f *frame) (LLSeq, error) {
+	names, err := ev.constructorNames(v.Name, v.NameExpr, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	content, err := ev.eval(v.Content, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	b := newLLBuilder(f.n)
+	for i := 0; i < f.n; i++ {
+		fb := tree.NewFragmentBuilder()
+		fb.StartElement(names[i])
+		saw, prevAtomic := false, false
+		if err := appendContent(fb, content.Group(i), true, &saw, &prevAtomic); err != nil {
+			return LLSeq{}, err
+		}
+		fb.EndElement()
+		doc, err := fb.Done()
+		if err != nil {
+			return LLSeq{}, errf(codeType, "element constructor: %v", err)
+		}
+		b.add(NodeItem(doc, 1))
+	}
+	return b.done(), nil
+}
+
+func (ev *Evaluator) evalComputedAttr(v *xqast.ComputedAttr, f *frame) (LLSeq, error) {
+	names, err := ev.constructorNames(v.Name, v.NameExpr, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	content, err := ev.eval(v.Content, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	b := newLLBuilder(f.n)
+	for i := 0; i < f.n; i++ {
+		var sb strings.Builder
+		for k, it := range content.Group(i) {
+			if k > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(it.Atomize().StringValue())
+		}
+		// A free-standing attribute node lives on a carrier element in its
+		// own fragment; inserting it into constructor content copies the
+		// name/value pair.
+		fb := tree.NewFragmentBuilder()
+		fb.StartElement("attribute-carrier")
+		fb.Attr(names[i], sb.String())
+		fb.EndElement()
+		doc, err := fb.Done()
+		if err != nil {
+			return LLSeq{}, errf(codeType, "attribute constructor: %v", err)
+		}
+		lo, _ := doc.Attrs(1)
+		b.add(AttrItem(doc, 1, lo))
+	}
+	return b.done(), nil
+}
+
+func (ev *Evaluator) evalComputedText(v *xqast.ComputedText, f *frame) (LLSeq, error) {
+	content, err := ev.eval(v.Content, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	b := newLLBuilder(f.n)
+	for i := 0; i < f.n; i++ {
+		var sb strings.Builder
+		for k, it := range content.Group(i) {
+			if k > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(it.Atomize().StringValue())
+		}
+		fb := tree.NewFragmentBuilder()
+		fb.StartElement("text-carrier")
+		fb.Text(sb.String())
+		fb.EndElement()
+		doc, err := fb.Done()
+		if err != nil {
+			return LLSeq{}, errf(codeType, "text constructor: %v", err)
+		}
+		if doc.NumNodes() < 3 {
+			b.add() // empty text constructor yields the empty sequence
+			continue
+		}
+		b.add(NodeItem(doc, 2)) // pre 2 is the text node
+	}
+	return b.done(), nil
+}
+
+// constructorNames resolves the element/attribute name per iteration.
+func (ev *Evaluator) constructorNames(static string, nameExpr xqast.Expr, f *frame) ([]string, error) {
+	names := make([]string, f.n)
+	if nameExpr == nil {
+		for i := range names {
+			names[i] = static
+		}
+		return names, nil
+	}
+	seq, err := ev.eval(nameExpr, f)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < f.n; i++ {
+		g := seq.Group(i)
+		if len(g) != 1 {
+			return nil, errf(codeType, "computed constructor name must be a single item")
+		}
+		name := strings.TrimSpace(g[0].StringValue())
+		if name == "" {
+			return nil, errf(codeType, "computed constructor name is empty")
+		}
+		names[i] = name
+	}
+	return names, nil
+}
+
+// newFragmentElem builds a single-element fragment with the given attributes
+// (sorted by name for determinism) and returns it as a node item.
+func newFragmentElem(name string, attrs map[string]string) Item {
+	fb := tree.NewFragmentBuilder()
+	fb.StartElement(name)
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fb.Attr(k, attrs[k])
+	}
+	fb.EndElement()
+	doc, err := fb.Done()
+	if err != nil {
+		panic("xqeval: internal fragment construction failed: " + err.Error())
+	}
+	return NodeItem(doc, 1)
+}

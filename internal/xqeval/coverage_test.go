@@ -1,0 +1,269 @@
+package xqeval
+
+import (
+	"strings"
+	"testing"
+
+	"soxq/internal/core"
+)
+
+// TestEvalMoreAxes drives the remaining axes through full queries.
+func TestEvalMoreAxes(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><a><b1/><b2/><b3/></a><c><d><e/></d></c></r>`)
+	cases := [][2]string{
+		{`name(doc("d.xml")//b2/following-sibling::*)`, `b3`},
+		{`name(doc("d.xml")//b2/preceding-sibling::*)`, `b1`},
+		{`for $n in doc("d.xml")//e/ancestor::* return name($n)`, `r c d`},
+		{`for $n in doc("d.xml")//e/ancestor-or-self::* return name($n)`, `r c d e`},
+		{`for $n in doc("d.xml")//a/following::* return name($n)`, `c d e`},
+		{`for $n in doc("d.xml")//d/preceding::* return name($n)`, `a b1 b2 b3`},
+		{`name(doc("d.xml")//e/ancestor::*[1])`, `d`}, // reverse axis position
+		{`name(doc("d.xml")//e/ancestor::*[last()])`, `r`},
+		{`count(doc("d.xml")//b2/self::node())`, `1`},
+		{`count(doc("d.xml")//b2/descendant-or-self::node())`, `1`},
+		{`name(doc("d.xml")//e/..)`, `d`},
+		// Steps from attribute nodes.
+		{`name(doc("d.xml")//a/@*)`, ``}, // no attributes: empty
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+}
+
+func TestEvalAttributeContext(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><a id="x" n="1"/><a id="y" n="2"/></r>`)
+	cases := [][2]string{
+		{`for $v in doc("d.xml")//a/@id return string($v)`, `x y`},
+		{`name(doc("d.xml")//a[1]/@id/..)`, `a`}, // parent of an attribute
+		{`count(doc("d.xml")//a[1]/@*)`, `2`},
+		// Two attribute contexts in one iteration: the shared ancestors
+		// (document node — whose name is empty — and <r>) appear once
+		// thanks to doc-order dedup at the step boundary.
+		{`for $v in doc("d.xml")//a/@id/ancestor-or-self::node() return name($v)`, ` r a id a id`},
+		{`string(doc("d.xml")//a[@n = "2"]/@id)`, `y`},
+		{`data(doc("d.xml")//a[1]/@n) + 1`, `2`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+}
+
+func TestOrderByVariants(t *testing.T) {
+	h := newHarness()
+	cases := [][2]string{
+		// Multiple keys.
+		{`for $p in (("b"), ("a"), ("b"), ("a")) order by $p, 1 return $p`, `a a b b`},
+		// Secondary key breaks ties; order by is stable.
+		{`for $x in (3, 1, 2, 1) order by $x descending return $x`, `3 2 1 1`},
+		// Empty keys: default empty least.
+		{`for $x in (2, 1) order by (if ($x = 1) then () else $x) return $x`, `1 2`},
+		{`for $x in (2, 1) order by (if ($x = 1) then () else $x) empty greatest return $x`, `2 1`},
+		// Numeric vs string keys.
+		{`for $x in ("10", "9") order by number($x) return $x`, `9 10`},
+		{`for $x in ("10", "9") order by $x return $x`, `10 9`},
+		// order by inside a nested FLWOR sorts within the outer iteration.
+		{`for $g in (1, 2) return string-join(
+		    for $x in (3, 1, 2) order by $x return string($x * $g), ",")`,
+			`1,2,3 2,4,6`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+	// Multi-item order keys are a type error.
+	if _, err := h.run(t, `for $x in (1, 2) order by (1, 2) return $x`, core.StrategyLoopLifted); err == nil {
+		t.Fatal("sequence order key must fail")
+	}
+}
+
+func TestIfPartitioningIsLazy(t *testing.T) {
+	h := newHarness()
+	// error() only evaluates on the iterations that take the else branch;
+	// none do, so the query succeeds.
+	wantEval(t, h,
+		`for $x in (1, 2, 3) return if ($x > 0) then $x else error("unreachable")`,
+		`1 2 3`)
+	// And it does fire when some iteration reaches it.
+	if _, err := h.run(t,
+		`for $x in (1, -2) return if ($x > 0) then $x else error("boom")`,
+		core.StrategyLoopLifted); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("else branch should have fired: %v", err)
+	}
+}
+
+func TestQuantifiedOverNodes(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><p age="30"/><p age="40"/></r>`)
+	cases := [][2]string{
+		{`some $p in doc("d.xml")//p satisfies $p/@age > 35`, `true`},
+		{`every $p in doc("d.xml")//p satisfies $p/@age > 35`, `false`},
+		{`every $p in doc("d.xml")//p satisfies $p/@age > 25`, `true`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+}
+
+func TestStringValueAndData(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><a>one<b>two</b>three</a></r>`)
+	cases := [][2]string{
+		{`string(doc("d.xml")//a)`, `onetwothree`},
+		{`string-value(doc("d.xml")//b)`, `two`},
+		{`string(doc("d.xml"))`, `onetwothree`},
+		{`count(data(doc("d.xml")//a/text()))`, `2`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+}
+
+func TestNestedUDFsAndShadowing(t *testing.T) {
+	h := newHarness()
+	wantEval(t, h, `
+	  declare function local:inc($x) { $x + 1 };
+	  declare function local:twice($f) { local:inc(local:inc($f)) };
+	  local:twice(40)`, `42`)
+	// Parameter shadows an outer variable of the same name.
+	wantEval(t, h, `
+	  declare variable $x := 100;
+	  declare function local:f($x) { $x * 2 };
+	  (local:f(5), $x)`, `10 100`)
+	// let shadows for.
+	wantEval(t, h, `for $x in (1, 2) let $x := $x * 10 return $x`, `10 20`)
+}
+
+func TestComparisonMatrix(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><v>10</v><v>9</v></r>`)
+	cases := [][2]string{
+		// Node atomization: untyped vs number compares numerically.
+		{`doc("d.xml")//v[1] > 9`, `true`},
+		// untyped vs string compares as string.
+		{`doc("d.xml")//v[1] = "10"`, `true`},
+		// untyped vs untyped, both numeric: numeric comparison (the
+		// Figure 2/3 region predicate behaviour).
+		{`doc("d.xml")//v[1] > doc("d.xml")//v[2]`, `true`},
+		// boolean general comparison.
+		{`true() = true()`, `true`},
+		{`(1 = 1) != false()`, `true`},
+		// value comparisons on empty yield empty (EBV false).
+		{`if (() eq 1) then "t" else "f"`, `f`},
+		{`count((3, 1) = 1)`, `1`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+	if _, err := h.run(t, `true() lt "x"`, core.StrategyLoopLifted); err == nil {
+		t.Fatal("boolean vs string value comparison must fail")
+	}
+}
+
+func TestSoFunctionsErrorPaths(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<r><a start="1" end="5"/></r>`)
+	bad := []string{
+		`so:blob-text(doc("d.xml")//a)`,                   // no BLOB configured
+		`so:blob-text("not a node")`,                      // atomic argument
+		`so:select-narrow(1)`,                             // atomic context
+		`doc("d.xml")//a/select-narrow::b[error("pred")]`, // error in predicate
+	}
+	for _, q := range bad {
+		if _, err := h.run(t, q, core.StrategyLoopLifted); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+	// so:start/so:end on a non-area element: empty.
+	wantEval(t, h, `count(so:start(doc("d.xml")//r))`, `0`)
+}
+
+func TestDistinctDocsSameName(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "a.xml", `<r><x start="0" end="10"/><y start="2" end="3"/></r>`)
+	h.addDoc(t, "b.xml", `<r><x start="0" end="10"/><y start="2" end="3"/></r>`)
+	// StandOff joins match within each fragment only: context from a.xml
+	// never returns nodes of b.xml.
+	q := `let $both := (doc("a.xml")//x, doc("b.xml")//x)
+	      return count($both/select-narrow::y)`
+	items, err := h.run(t, q, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialize(items) != "2" {
+		t.Fatalf("cross-doc join count = %q, want 2 (one y per document)", serialize(items))
+	}
+	// Node identity is per document.
+	wantEval(t, h, `doc("a.xml")//x is doc("b.xml")//x`, `false`)
+	wantEval(t, h, `count(doc("a.xml")//y | doc("b.xml")//y)`, `2`)
+}
+
+// TestDateTimePositions: the paper's conclusion proposes temporal
+// annotations (MPEG-7, SMIL); positions typed as xs:dateTime map to the
+// int64 domain as Unix nanoseconds and join like any other region.
+func TestDateTimePositions(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "tv.xml", `<schedule>
+	  <programme title="News"  start="2006-06-30T18:00:00Z" end="2006-06-30T18:30:00Z"/>
+	  <programme title="Match" start="2006-06-30T18:30:00Z" end="2006-06-30T20:15:00Z"/>
+	  <ad brand="Cola"  start="2006-06-30T18:10:00Z" end="2006-06-30T18:11:00Z"/>
+	  <ad brand="Soap"  start="2006-06-30T19:00:00Z" end="2006-06-30T19:01:00Z"/>
+	  <ad brand="Car"   start="2006-06-30T20:14:00Z" end="2006-06-30T20:16:00Z"/>
+	</schedule>`)
+	pre := `declare option standoff-type "xs:dateTime";
+`
+	items, err := h.run(t, pre+
+		`for $p in doc("tv.xml")//programme
+		 return concat(string($p/@title), "=", string(count($p/select-narrow::ad)))`,
+		core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(items); got != "News=1 Match=1" {
+		t.Fatalf("ads per programme = %q (Car straddles the end and must not count)", got)
+	}
+	items, err = h.run(t, pre+`for $a in doc("tv.xml")//programme[@title = "Match"]/select-wide::ad
+	                           return string($a/@brand)`, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(items); got != "Soap Car" {
+		t.Fatalf("overlapping ads = %q", got)
+	}
+}
+
+// TestBuiltinEdgeCases rounds out the function library behaviour.
+func TestBuiltinEdgeCases(t *testing.T) {
+	h := newHarness()
+	cases := [][2]string{
+		{`string-join((), "-")`, ``},
+		{`string-join(("a"), ())`, `a`},
+		{`substring("hello", 0)`, `hello`},
+		{`substring("hello", -5, 7)`, `h`},
+		{`substring("hello", 99)`, ``},
+		{`subsequence((1, 2, 3), -1)`, `1 2 3`},
+		{`subsequence((1, 2, 3), 99)`, ``},
+		{`remove((1, 2), 99)`, `1 2`},
+		{`insert-before((1, 2), 99, 3)`, `1 2 3`},
+		{`insert-before((1, 2), 0, 3)`, `3 1 2`},
+		{`round(-2.5)`, `-2`},
+		{`round(2.4)`, `2`},
+		{`abs(-2.5)`, `2.5`},
+		{`floor(-1.2)`, `-2`},
+		{`number("nope") = number("nope")`, `false`}, // NaN never equals
+		{`string(number("nope"))`, `NaN`},
+		{`concat("", "")`, ``},
+		{`normalize-space("")`, ``},
+		{`translate("abc", "", "xyz")`, `abc`},
+		{`min(())`, ``},
+		{`max(())`, ``},
+		{`avg(())`, ``},
+		{`distinct-values(())`, ``},
+		{`reverse(())`, ``},
+		{`local-name(<so:x/>)`, `x`},
+		{`name(<so:x/>)`, `so:x`},
+	}
+	for _, c := range cases {
+		wantEval(t, h, c[0], c[1])
+	}
+}

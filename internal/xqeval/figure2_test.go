@@ -1,0 +1,90 @@
+package xqeval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"soxq/internal/core"
+)
+
+// figure2UDF is the paper's Figure 2: the StandOff join as a library
+// function WITHOUT a candidate sequence — matches are searched in
+// root($q)//* — adjusted only in that the root comparison is implicit (the
+// function only sees nodes of $q's tree) and node identity uses "is".
+const figure2UDF = `
+declare function local:select-narrow($input) {
+  (for $q in $input
+   for $p in root($q)//*
+   where $p/@start >= $q/@start
+     and $p/@end <= $q/@end
+   return $p)/.
+};
+`
+
+// TestFigure2UDFMatchesAxis: Alternative 1 (Figure 2) must agree with the
+// built-in axis step followed by the same name test, on integer positions.
+func TestFigure2UDFMatchesAxis(t *testing.T) {
+	h := newHarness()
+	h.addDoc(t, "d.xml", `<doc>
+	  <music artist="U2" start="0" end="31"/>
+	  <music artist="Bach" start="52" end="94"/>
+	  <shot id="Intro" start="0" end="8"/>
+	  <shot id="Interview" start="8" end="64"/>
+	  <shot id="Outro" start="64" end="94"/>
+	</doc>`)
+	// The paper's example use: select-narrow(//music)/self::shot.
+	udf := figure2UDF + `
+	  for $s in local:select-narrow(doc("d.xml")//music[@artist = "U2"])/self::shot
+	  return string($s/@id)`
+	axis := `for $s in doc("d.xml")//music[@artist = "U2"]/select-narrow::shot
+	         return string($s/@id)`
+	udfItems, err := h.run(t, udf, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatalf("Figure 2 UDF: %v", err)
+	}
+	axisItems, err := h.run(t, axis, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatalf("axis: %v", err)
+	}
+	if serialize(udfItems) != serialize(axisItems) {
+		t.Fatalf("Figure 2 UDF %q != axis %q", serialize(udfItems), serialize(axisItems))
+	}
+	if serialize(axisItems) != "Intro" {
+		t.Fatalf("expected Intro, got %q", serialize(axisItems))
+	}
+	// The built-in one-argument function form (Alternative 3 without
+	// candidates) agrees as well.
+	builtin := `for $s in so:select-narrow(doc("d.xml")//music[@artist = "U2"])/self::shot
+	            return string($s/@id)`
+	bItems, err := h.run(t, builtin, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialize(bItems) != "Intro" {
+		t.Fatalf("so:select-narrow one-arg = %q", serialize(bItems))
+	}
+}
+
+// TestUDFQuadraticShape documents why Figure 2 style functions are the slow
+// baseline: the loop-lifted cross product materialises |input| x |doc|
+// iterations. This is a correctness check that large-ish inputs still work.
+func TestUDFQuadraticShape(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < 120; i++ {
+		sb.WriteString(`<a start="` + strconv.Itoa(i*10) + `" end="` + strconv.Itoa(i*10+9) + `"/>`)
+	}
+	sb.WriteString("</doc>")
+	h := newHarness()
+	h.addDoc(t, "d.xml", sb.String())
+	q := figure2UDF + `count(local:select-narrow(doc("d.xml")//a))`
+	items, err := h.run(t, q, core.StrategyLoopLifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every a contains exactly itself.
+	if serialize(items) != "120" {
+		t.Fatalf("self-containment count = %q, want 120", serialize(items))
+	}
+}

@@ -1,0 +1,111 @@
+package xqeval
+
+// binding is a loop-lifted variable: a base LLSeq plus an optional
+// indirection so that lifting a variable into an inner loop copies an int32
+// per iteration instead of duplicating item sequences (important for the
+// quadratic UDF baselines, which lift whole candidate sequences).
+type binding struct {
+	seq LLSeq
+	ind []int32 // iteration i reads seq.Group(ind[i]); nil means identity
+}
+
+func newBinding(seq LLSeq) *binding { return &binding{seq: seq} }
+
+// group returns the item sequence bound in iteration i.
+func (b *binding) group(i int) []Item {
+	if b.ind != nil {
+		i = int(b.ind[i])
+	}
+	return b.seq.Group(i)
+}
+
+// n returns the iteration count of the binding.
+func (b *binding) n() int {
+	if b.ind != nil {
+		return len(b.ind)
+	}
+	return b.seq.N()
+}
+
+// lift maps the binding into a loop with len(outerOf) iterations, where
+// inner iteration j descends from outer iteration outerOf[j].
+func (b *binding) lift(outerOf []int32) *binding {
+	ind := make([]int32, len(outerOf))
+	if b.ind == nil {
+		copy(ind, outerOf)
+	} else {
+		for j, o := range outerOf {
+			ind[j] = b.ind[o]
+		}
+	}
+	return &binding{seq: b.seq, ind: ind}
+}
+
+// materialize flattens the indirection into a plain LLSeq.
+func (b *binding) materialize() LLSeq {
+	if b.ind == nil {
+		return b.seq
+	}
+	out := LLSeq{Off: make([]int32, 1, len(b.ind)+1)}
+	for _, o := range b.ind {
+		out.Items = append(out.Items, b.seq.Group(int(o))...)
+		out.Off = append(out.Off, int32(len(out.Items)))
+	}
+	return out
+}
+
+// frame is the dynamic context of one loop scope: n iterations, the live
+// variable bindings, and (inside predicates and path steps) the context
+// item, position() and last() per iteration.
+type frame struct {
+	n    int
+	vars map[string]*binding
+	ctx  *binding // 0-or-1 item per iteration; nil when no context item
+	pos  []int64  // position() per iteration; nil when undefined
+	last []int64  // last() per iteration; nil when undefined
+}
+
+func newFrame(n int) *frame {
+	return &frame{n: n, vars: map[string]*binding{}}
+}
+
+// expand lifts the frame into an inner loop described by outerOf.
+func (f *frame) expand(outerOf []int32) *frame {
+	nf := &frame{n: len(outerOf), vars: make(map[string]*binding, len(f.vars))}
+	for name, b := range f.vars {
+		nf.vars[name] = b.lift(outerOf)
+	}
+	if f.ctx != nil {
+		nf.ctx = f.ctx.lift(outerOf)
+	}
+	if f.pos != nil {
+		nf.pos = liftI64(f.pos, outerOf)
+	}
+	if f.last != nil {
+		nf.last = liftI64(f.last, outerOf)
+	}
+	return nf
+}
+
+// restrict keeps only the listed iterations (used by if/else partitioning).
+func (f *frame) restrict(keep []int32) *frame {
+	return f.expand(keep)
+}
+
+// bind adds (or shadows) a variable.
+func (f *frame) bind(name string, b *binding) *frame {
+	nf := &frame{n: f.n, vars: make(map[string]*binding, len(f.vars)+1), ctx: f.ctx, pos: f.pos, last: f.last}
+	for k, v := range f.vars {
+		nf.vars[k] = v
+	}
+	nf.vars[name] = b
+	return nf
+}
+
+func liftI64(v []int64, outerOf []int32) []int64 {
+	out := make([]int64, len(outerOf))
+	for j, o := range outerOf {
+		out[j] = v[o]
+	}
+	return out
+}

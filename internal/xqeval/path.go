@@ -1,0 +1,503 @@
+package xqeval
+
+import (
+	"soxq/internal/core"
+	"soxq/internal/tree"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+)
+
+// evalPath evaluates a path expression: establish the starting context, then
+// apply each step in bulk across all iterations, with per-iteration
+// document-order deduplication after every step (XPath semantics, and the
+// contract of the StandOff steps in section 3.2).
+func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
+	var cur LLSeq
+	if p.Start != nil {
+		s, err := ev.eval(p.Start, f)
+		if err != nil {
+			return LLSeq{}, err
+		}
+		cur = s
+	} else {
+		if f.ctx == nil {
+			return LLSeq{}, errf(codeNoContext, "path expression needs a context item")
+		}
+		cur = f.ctx.materialize()
+	}
+	if p.Absolute {
+		b := newLLBuilder(f.n)
+		for i := 0; i < f.n; i++ {
+			g := cur.Group(i)
+			items := make([]Item, 0, len(g))
+			for _, it := range g {
+				if !it.IsNode() {
+					return LLSeq{}, errf(codeType, "cannot take the root of an atomic value")
+				}
+				items = append(items, NodeItem(it.D, 0))
+			}
+			b.add(sortDedupNodes(items)...)
+		}
+		cur = b.done()
+	}
+	steps := p.Steps
+	for si := 0; si < len(steps); si++ {
+		step := steps[si]
+		// Fuse descendant-or-self::node()/child::T (the // abbreviation)
+		// into descendant::T when the child step has no predicates; this
+		// avoids materialising every node of the subtree.
+		if step.Axis == xpath.AxisDescendantOrSelf && step.Test.Kind == xpath.TestAnyNode &&
+			len(step.Predicates) == 0 && si+1 < len(steps) {
+			next := steps[si+1]
+			if next.Axis == xpath.AxisChild && len(next.Predicates) == 0 {
+				step = &xqast.Step{Axis: xpath.AxisDescendant, Test: next.Test}
+				si++
+			}
+		}
+		var err error
+		cur, err = ev.evalStep(step, cur, f)
+		if err != nil {
+			return LLSeq{}, err
+		}
+	}
+	return cur, nil
+}
+
+// evalFilter evaluates E[p1][p2]... — predicates over an arbitrary sequence.
+func (ev *Evaluator) evalFilter(v *xqast.Filter, f *frame) (LLSeq, error) {
+	cur, err := ev.eval(v.Base, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	for _, pred := range v.Predicates {
+		cur, err = ev.applyPredicate(cur, pred, f, false)
+		if err != nil {
+			return LLSeq{}, err
+		}
+	}
+	return cur, nil
+}
+
+// stepRow is one context node of a step with its originating iteration.
+type stepRow struct {
+	iter int32
+	item Item
+}
+
+// evalStep applies one axis step to the context sequence.
+func (ev *Evaluator) evalStep(step *xqast.Step, ctx LLSeq, f *frame) (LLSeq, error) {
+	// Flatten the context. For forward and select steps every context node
+	// becomes one "inner iteration" so positional predicates see
+	// per-context-node positions; the union of per-node results equals the
+	// sequence-level semi-join. The reject steps are anti-joins over the
+	// *whole* context sequence of an iteration (section 3.1: "not
+	// contained in ANY area-annotation in S1"), so there the group is the
+	// iteration itself — a union of per-node complements would be wrong.
+	perIteration := step.Axis == xpath.AxisRejectNarrow || step.Axis == xpath.AxisRejectWide
+	rows := make([]stepRow, 0, ctx.Total())
+	if perIteration {
+		for i := 0; i < ctx.N(); i++ {
+			rows = append(rows, stepRow{iter: int32(i)})
+		}
+		for i := 0; i < ctx.N(); i++ {
+			for _, it := range ctx.Group(i) {
+				if !it.IsNode() {
+					return LLSeq{}, errf(codeType, "axis step applied to an atomic value")
+				}
+			}
+		}
+	} else {
+		for i := 0; i < ctx.N(); i++ {
+			for _, it := range ctx.Group(i) {
+				if !it.IsNode() {
+					return LLSeq{}, errf(codeType, "axis step applied to an atomic value")
+				}
+				rows = append(rows, stepRow{iter: int32(i), item: it})
+			}
+		}
+	}
+	var results [][]Item
+	var err error
+	if step.Axis.StandOff() {
+		if perIteration {
+			results, err = ev.standOffRejectStep(step, ctx)
+		} else {
+			results, err = ev.standOffStep(step, rows)
+		}
+	} else {
+		results, err = ev.treeStep(step, rows)
+	}
+	if err != nil {
+		return LLSeq{}, err
+	}
+	// Predicates, evaluated per context node group.
+	for _, pred := range step.Predicates {
+		results, err = ev.applyStepPredicate(results, rows, pred, f, step.Axis.Reverse())
+		if err != nil {
+			return LLSeq{}, err
+		}
+	}
+	// Merge per original iteration, dedup in document order.
+	b := newLLBuilder(ctx.N())
+	r := 0
+	for i := 0; i < ctx.N(); i++ {
+		var items []Item
+		for r < len(rows) && rows[r].iter == int32(i) {
+			items = append(items, results[r]...)
+			r++
+		}
+		b.add(sortDedupNodes(items)...)
+	}
+	return b.done(), nil
+}
+
+// treeStep evaluates a standard axis per context node.
+func (ev *Evaluator) treeStep(step *xqast.Step, rows []stepRow) ([][]Item, error) {
+	results := make([][]Item, len(rows))
+	compiled := map[*tree.Doc]xpath.Compiled{}
+	compileFor := func(d *tree.Doc) xpath.Compiled {
+		c, ok := compiled[d]
+		if !ok {
+			c = xpath.Compile(d, step.Test)
+			compiled[d] = c
+		}
+		return c
+	}
+	for r, row := range rows {
+		it := row.item
+		if it.Kind == KAttr {
+			res, err := attrSourceStep(step, it)
+			if err != nil {
+				return nil, err
+			}
+			results[r] = res
+			continue
+		}
+		if step.Axis == xpath.AxisAttribute {
+			results[r] = attrAxis(it, step.Test)
+			continue
+		}
+		pres := xpath.CompiledStep(it.D, step.Axis, compileFor(it.D), it.Pre)
+		if len(pres) == 0 {
+			continue
+		}
+		items := make([]Item, len(pres))
+		for k, p := range pres {
+			items[k] = NodeItem(it.D, p)
+		}
+		results[r] = items
+	}
+	return results, nil
+}
+
+// attrAxis returns the matching attribute nodes of an element.
+func attrAxis(it Item, test xpath.Test) []Item {
+	if it.D.Kind(it.Pre) != tree.ElementNode {
+		return nil
+	}
+	if test.Kind != xpath.TestAttribute && test.Kind != xpath.TestAnyNode {
+		return nil
+	}
+	lo, hi := it.D.Attrs(it.Pre)
+	var out []Item
+	for a := lo; a < hi; a++ {
+		if test.Name == "" || it.D.AttrName(a) == test.Name {
+			out = append(out, AttrItem(it.D, it.Pre, a))
+		}
+	}
+	return out
+}
+
+// attrSourceStep evaluates the few axes that make sense from an attribute
+// node context.
+func attrSourceStep(step *xqast.Step, it Item) ([]Item, error) {
+	c := xpath.Compile(it.D, step.Test)
+	switch step.Axis {
+	case xpath.AxisParent:
+		if c.Matches(it.D, it.Pre) {
+			return []Item{NodeItem(it.D, it.Pre)}, nil
+		}
+		return nil, nil
+	case xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
+		var out []Item
+		pres := xpath.CompiledStep(it.D, xpath.AxisAncestorOrSelf, c, it.Pre)
+		for _, p := range pres {
+			out = append(out, NodeItem(it.D, p))
+		}
+		if step.Axis == xpath.AxisAncestorOrSelf && step.Test.Kind == xpath.TestAnyNode {
+			out = append(out, it)
+		}
+		return out, nil
+	case xpath.AxisSelf:
+		if step.Test.Kind == xpath.TestAnyNode ||
+			(step.Test.Kind == xpath.TestAttribute && (step.Test.Name == "" || it.D.AttrName(it.Att) == step.Test.Name)) {
+			return []Item{it}, nil
+		}
+		return nil, nil
+	default:
+		// child/descendant/sibling/... of an attribute: empty.
+		return nil, nil
+	}
+}
+
+// standOffStep evaluates one of the four StandOff axes: partition the
+// context per document fragment (section 4.4), run the configured join
+// strategy against each document's region index, and map the (iter, pre)
+// pairs back to items.
+func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, error) {
+	if ev.IndexFor == nil {
+		return nil, errf(codeStandOffIndex, "no region index provider configured")
+	}
+	var op core.Op
+	switch step.Axis {
+	case xpath.AxisSelectNarrow:
+		op = core.SelectNarrow
+	case xpath.AxisSelectWide:
+		op = core.SelectWide
+	case xpath.AxisRejectNarrow:
+		op = core.RejectNarrow
+	default:
+		op = core.RejectWide
+	}
+	results := make([][]Item, len(rows))
+
+	// Partition context rows by document.
+	byDoc := map[*tree.Doc][]core.CtxNode{}
+	var docs []*tree.Doc
+	for r, row := range rows {
+		it := row.item
+		if it.Kind != KNode { // attributes are never area-annotations
+			continue
+		}
+		if _, seen := byDoc[it.D]; !seen {
+			docs = append(docs, it.D)
+		}
+		byDoc[it.D] = append(byDoc[it.D], core.CtxNode{Iter: int32(r), Pre: it.Pre})
+	}
+	for _, d := range docs {
+		ix, err := ev.IndexFor(d)
+		if err != nil {
+			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
+		}
+		cand, postFilter := ev.candidatesFor(ix, step.Test)
+		if cand == nil {
+			continue // the test can never match an area-annotation
+		}
+		pairs := core.Join(ix, op, ev.Strategy, byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
+		var test xpath.Compiled
+		if postFilter {
+			test = xpath.Compile(d, step.Test)
+		}
+		for _, pr := range pairs {
+			if postFilter && !test.Matches(d, pr.Pre) {
+				continue
+			}
+			results[pr.Iter] = append(results[pr.Iter], NodeItem(d, pr.Pre))
+		}
+	}
+	return results, nil
+}
+
+// standOffRejectStep evaluates reject-narrow/reject-wide at iteration
+// granularity: one anti-join per iteration over all its context nodes.
+func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, error) {
+	if ev.IndexFor == nil {
+		return nil, errf(codeStandOffIndex, "no region index provider configured")
+	}
+	op := core.RejectNarrow
+	if step.Axis == xpath.AxisRejectWide {
+		op = core.RejectWide
+	}
+	results := make([][]Item, ctx.N())
+
+	// Partition context nodes by document; the anti-join runs per document
+	// fragment against that document's candidates (section 4.4). An
+	// iteration with no context node in some document still rejects "all
+	// candidates" of documents it touches; candidates of untouched
+	// documents are out of scope, mirroring that XPath steps only return
+	// nodes from the documents of their context nodes.
+	byDoc := map[*tree.Doc][]core.CtxNode{}
+	iterTouches := map[*tree.Doc][]bool{}
+	var docs []*tree.Doc
+	for i := 0; i < ctx.N(); i++ {
+		for _, it := range ctx.Group(i) {
+			if it.Kind != KNode {
+				continue
+			}
+			if _, seen := byDoc[it.D]; !seen {
+				docs = append(docs, it.D)
+				iterTouches[it.D] = make([]bool, ctx.N())
+			}
+			byDoc[it.D] = append(byDoc[it.D], core.CtxNode{Iter: int32(i), Pre: it.Pre})
+			iterTouches[it.D][i] = true
+		}
+	}
+	for _, d := range docs {
+		ix, err := ev.IndexFor(d)
+		if err != nil {
+			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
+		}
+		cand, postFilter := ev.candidatesFor(ix, step.Test)
+		if cand == nil {
+			continue
+		}
+		pairs := core.Join(ix, op, ev.Strategy, byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
+		var test xpath.Compiled
+		if postFilter {
+			test = xpath.Compile(d, step.Test)
+		}
+		for _, pr := range pairs {
+			if !iterTouches[d][pr.Iter] {
+				continue // iteration has no context node in this document
+			}
+			if postFilter && !test.Matches(d, pr.Pre) {
+				continue
+			}
+			results[pr.Iter] = append(results[pr.Iter], NodeItem(d, pr.Pre))
+		}
+	}
+	return results, nil
+}
+
+// candidatesFor builds the candidate sequence for a StandOff step. With
+// pushdown enabled and an element name test, the element-name index is
+// intersected with the region index (section 4.3); otherwise the whole
+// index is the candidate sequence and the node test is applied afterwards.
+// A nil result means the test can never match (area-annotations are always
+// elements).
+func (ev *Evaluator) candidatesFor(ix *core.RegionIndex, test xpath.Test) (*core.Candidates, bool) {
+	switch test.Kind {
+	case xpath.TestElement, xpath.TestAnyNode:
+	default:
+		return nil, false // text()/comment()/... never match elements
+	}
+	if test.Name == "" {
+		return ix.All(), false
+	}
+	if !ev.Pushdown {
+		return ix.All(), true
+	}
+	d := ix.Doc()
+	id, ok := d.Dict().Lookup(test.Name)
+	if !ok {
+		return nil, false
+	}
+	return ix.FilterByName(id), false
+}
+
+// applyStepPredicate filters step results with one predicate. Each result
+// node is an inner iteration whose context item is the node, position() its
+// 1-based index within its context-node group (reversed for reverse axes),
+// and last() the group size.
+func (ev *Evaluator) applyStepPredicate(results [][]Item, rows []stepRow, pred xqast.Expr, f *frame, reverse bool) ([][]Item, error) {
+	total := 0
+	for _, g := range results {
+		total += len(g)
+	}
+	outerOf := make([]int32, 0, total)  // inner iteration -> context row
+	rowIters := make([]int32, 0, total) // inner iteration -> frame iteration
+	ctxSeq := LLSeq{Off: make([]int32, 1, total+1)}
+	pos := make([]int64, 0, total)
+	last := make([]int64, 0, total)
+	for r, g := range results {
+		for k, it := range g {
+			outerOf = append(outerOf, int32(r))
+			rowIters = append(rowIters, rows[r].iter)
+			ctxSeq.Items = append(ctxSeq.Items, it)
+			ctxSeq.Off = append(ctxSeq.Off, int32(len(ctxSeq.Items)))
+			p := int64(k + 1)
+			if reverse {
+				p = int64(len(g) - k)
+			}
+			pos = append(pos, p)
+			last = append(last, int64(len(g)))
+		}
+	}
+	// Lift the outer frame into the inner iterations so predicates can use
+	// enclosing variables.
+	frameMap := make([]int32, total)
+	copy(frameMap, rowIters)
+	nf := f.expand(frameMap)
+	nf.ctx = newBinding(ctxSeq)
+	nf.pos = pos
+	nf.last = last
+
+	verdicts, err := ev.eval(pred, nf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Item, len(results))
+	j := 0
+	for r, g := range results {
+		for k, it := range g {
+			keep, err := predicateKeep(verdicts.Group(j), pos[j])
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out[r] = append(out[r], it)
+			}
+			j++
+			_ = k
+		}
+	}
+	return out, nil
+}
+
+// applyPredicate filters a plain filter expression E[pred] per iteration.
+func (ev *Evaluator) applyPredicate(cur LLSeq, pred xqast.Expr, f *frame, reverse bool) (LLSeq, error) {
+	total := cur.Total()
+	outerOf := make([]int32, 0, total)
+	ctxSeq := LLSeq{Off: make([]int32, 1, total+1)}
+	pos := make([]int64, 0, total)
+	last := make([]int64, 0, total)
+	for i := 0; i < cur.N(); i++ {
+		g := cur.Group(i)
+		for k, it := range g {
+			outerOf = append(outerOf, int32(i))
+			ctxSeq.Items = append(ctxSeq.Items, it)
+			ctxSeq.Off = append(ctxSeq.Off, int32(len(ctxSeq.Items)))
+			p := int64(k + 1)
+			if reverse {
+				p = int64(len(g) - k)
+			}
+			pos = append(pos, p)
+			last = append(last, int64(len(g)))
+		}
+	}
+	nf := f.expand(outerOf)
+	nf.ctx = newBinding(ctxSeq)
+	nf.pos = pos
+	nf.last = last
+	verdicts, err := ev.eval(pred, nf)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	b := newLLBuilder(cur.N())
+	j := 0
+	for i := 0; i < cur.N(); i++ {
+		var items []Item
+		for range cur.Group(i) {
+			keep, err := predicateKeep(verdicts.Group(j), pos[j])
+			if err != nil {
+				return LLSeq{}, err
+			}
+			if keep {
+				items = append(items, ctxSeq.Items[j])
+			}
+			j++
+		}
+		b.add(items...)
+	}
+	return b.done(), nil
+}
+
+// predicateKeep decides a predicate verdict: a numeric singleton is a
+// position test, anything else goes through the effective boolean value.
+func predicateKeep(verdict []Item, position int64) (bool, error) {
+	if len(verdict) == 1 && isNumeric(verdict[0]) {
+		num, _ := verdict[0].NumericValue()
+		return num == float64(position), nil
+	}
+	return ebv(verdict)
+}

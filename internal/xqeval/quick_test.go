@@ -1,0 +1,182 @@
+package xqeval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// seqSpec describes a random loop-lifted sequence.
+type seqSpec struct {
+	Sizes []uint8
+}
+
+// Generate implements quick.Generator.
+func (seqSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(12)
+	s := seqSpec{Sizes: make([]uint8, n)}
+	for i := range s.Sizes {
+		s.Sizes[i] = uint8(r.Intn(5))
+	}
+	return reflect.ValueOf(s)
+}
+
+func (s seqSpec) seq() LLSeq {
+	b := newLLBuilder(len(s.Sizes))
+	v := int64(0)
+	for _, n := range s.Sizes {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Int(v)
+			v++
+		}
+		b.add(items...)
+	}
+	return b.done()
+}
+
+// TestQuickLLSeqInvariants: offsets are monotone, groups partition the
+// items, and Total matches.
+func TestQuickLLSeqInvariants(t *testing.T) {
+	f := func(spec seqSpec) bool {
+		s := spec.seq()
+		if s.N() != len(spec.Sizes) {
+			return false
+		}
+		total := 0
+		for i := 0; i < s.N(); i++ {
+			if s.Off[i] > s.Off[i+1] {
+				return false
+			}
+			g := s.Group(i)
+			if len(g) != int(spec.Sizes[i]) {
+				return false
+			}
+			total += len(g)
+		}
+		return total == s.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBindingLift: lifting a binding through an arbitrary iteration
+// mapping reads exactly the mapped groups, and composes (lift then lift =
+// lift of the composition); materialize agrees with group-by-group reads.
+func TestQuickBindingLift(t *testing.T) {
+	f := func(spec seqSpec, mapBytes []uint8, mapBytes2 []uint8) bool {
+		base := newBinding(spec.seq())
+		n := base.n()
+		toMap := func(bs []uint8) []int32 {
+			m := make([]int32, len(bs))
+			for i, b := range bs {
+				m[i] = int32(int(b) % n)
+			}
+			return m
+		}
+		m1 := toMap(mapBytes)
+		lifted := base.lift(m1)
+		if lifted.n() != len(m1) {
+			return false
+		}
+		for j, o := range m1 {
+			a := lifted.group(j)
+			b := base.group(int(o))
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if a[k].I != b[k].I {
+					return false
+				}
+			}
+		}
+		// Composition.
+		if len(m1) > 0 {
+			m2 := make([]int32, len(mapBytes2))
+			for i, b := range mapBytes2 {
+				m2[i] = int32(int(b) % len(m1))
+			}
+			twice := lifted.lift(m2)
+			direct := base.lift(composeMap(m1, m2))
+			if twice.n() != direct.n() {
+				return false
+			}
+			for j := 0; j < twice.n(); j++ {
+				a, b := twice.group(j), direct.group(j)
+				if len(a) != len(b) {
+					return false
+				}
+				for k := range a {
+					if a[k].I != b[k].I {
+						return false
+					}
+				}
+			}
+		}
+		// materialize flattens to the same content.
+		mat := lifted.materialize()
+		for j := 0; j < lifted.n(); j++ {
+			a, b := mat.Group(j), lifted.group(j)
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if a[k].I != b[k].I {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExpandForRoundTrip: expanding a sequence into a for-loop space
+// and regrouping by the outer map reconstructs the original sequence.
+func TestQuickExpandForRoundTrip(t *testing.T) {
+	f := func(spec seqSpec) bool {
+		seq := spec.seq()
+		inner, outerOf, varB := expandFor(seq)
+		if inner != seq.Total() || len(outerOf) != inner || varB.n() != inner {
+			return false
+		}
+		// Each inner iteration binds exactly one item, in order.
+		b := newLLBuilder(seq.N())
+		j := 0
+		for i := 0; i < seq.N(); i++ {
+			var items []Item
+			for j < inner && outerOf[j] == int32(i) {
+				g := varB.group(j)
+				if len(g) != 1 {
+					return false
+				}
+				items = append(items, g[0])
+				j++
+			}
+			b.add(items...)
+		}
+		round := b.done()
+		if round.Total() != seq.Total() {
+			return false
+		}
+		for k := range round.Items {
+			if round.Items[k].I != seq.Items[k].I {
+				return false
+			}
+		}
+		for i := 0; i <= seq.N(); i++ {
+			if round.Off[i] != seq.Off[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package xqlex tokenizes XQuery source text. XQuery has no reserved words
+// — "for" is a legal element name — so the lexer only distinguishes names,
+// literals and punctuation; keyword recognition is the parser's job. Nested
+// (: comments :) are stripped here. Direct element constructors switch the
+// parser into XML parsing mode, which re-lexes the raw source, so the lexer
+// exposes byte positions.
+package xqlex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	// EOF terminates the stream.
+	EOF Kind = iota
+	// Name is an NCName or QName (prefix:local).
+	Name
+	// Integer is an integer literal.
+	Integer
+	// Decimal is a decimal or double literal.
+	Decimal
+	// String is a string literal (quotes stripped, escapes decoded).
+	String
+	// Symbol is punctuation or an operator glyph.
+	Symbol
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string // name text, literal value, or symbol spelling
+	Pos  int    // byte offset of the first character
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of query"
+	case String:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a lexical error with position info.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{
+	"(:", // handled specially (comment)
+	":=", "::", "..", "//", "<<", ">>", "<=", ">=", "!=",
+	"{", "}", "(", ")", "[", "]", ",", ";", "$", "@", "/", ".", "*",
+	"+", "-", "=", "<", ">", "|", ":", "?",
+}
+
+// Lexer produces tokens from src.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Pos returns the current byte offset (used by the parser to re-scan direct
+// constructor content).
+func (l *Lexer) Pos() int { return l.pos }
+
+// SetPos rewinds or advances the lexer to byte offset pos. Line/column
+// information is recomputed from the start (only used at constructor
+// boundaries, never in hot paths).
+func (l *Lexer) SetPos(pos int) {
+	l.line, l.col = 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+	}
+	l.pos = pos
+}
+
+// Src returns the full source text.
+func (l *Lexer) Src() string { return l.src }
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.advance(1)
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "(:") {
+			depth := 0
+			for l.pos < len(l.src) {
+				if strings.HasPrefix(l.src[l.pos:], "(:") {
+					depth++
+					l.advance(2)
+				} else if strings.HasPrefix(l.src[l.pos:], ":)") {
+					depth--
+					l.advance(2)
+					if depth == 0 {
+						break
+					}
+				} else {
+					l.advance(1)
+				}
+			}
+			if depth != 0 {
+				return l.errf("unterminated comment")
+			}
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Pos: l.pos, Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.src[l.pos]
+
+	// String literals with doubled-quote escapes.
+	if c == '"' || c == '\'' {
+		quote := c
+		l.advance(1)
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == quote {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					sb.WriteByte(quote)
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				break
+			}
+			sb.WriteByte(ch)
+			l.advance(1)
+		}
+		tok.Kind = String
+		tok.Text = sb.String()
+		return tok, nil
+	}
+
+	// Numbers: 12, 12.5, .5, 1e3, 1.5E-2.
+	if isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		start := l.pos
+		kind := Integer
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' {
+			kind = Decimal
+			l.advance(1)
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			kind = Decimal
+			l.advance(1)
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.advance(1)
+			}
+			if l.pos >= len(l.src) || !isDigit(l.src[l.pos]) {
+				return Token{}, l.errf("malformed number literal")
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		if l.pos < len(l.src) && isNameStart(l.src[l.pos]) {
+			return Token{}, l.errf("number immediately followed by a name")
+		}
+		tok.Kind = kind
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	}
+
+	// Names (QName: NCName or NCName:NCName).
+	if isNameStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.advance(1)
+		}
+		// A single colon joins a prefix to a local name; a double colon is
+		// an axis separator and stays a symbol.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == ':' && l.src[l.pos+1] != ':' &&
+			isNameStart(l.src[l.pos+1]) {
+			l.advance(1)
+			for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		tok.Kind = Name
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	}
+
+	// Symbols.
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.advance(len(s))
+			tok.Kind = Symbol
+			tok.Text = s
+			return tok, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}

@@ -1,0 +1,145 @@
+package xqlex
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := New(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == EOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func kinds(toks []Token) string {
+	var parts []string
+	for _, t := range toks {
+		switch t.Kind {
+		case Name:
+			parts = append(parts, "n:"+t.Text)
+		case Integer:
+			parts = append(parts, "i:"+t.Text)
+		case Decimal:
+			parts = append(parts, "d:"+t.Text)
+		case String:
+			parts = append(parts, "s:"+t.Text)
+		case Symbol:
+			parts = append(parts, t.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestLexBasics(t *testing.T) {
+	cases := [][2]string{
+		{`for $x in (1, 2.5)`, `n:for $ n:x n:in ( i:1 , d:2.5 )`},
+		{`a/b//c`, `n:a / n:b // n:c`},
+		{`child::a[@id = "x"]`, `n:child :: n:a [ @ n:id = s:x ]`},
+		{`select-narrow::shot`, `n:select-narrow :: n:shot`},
+		{`1+2`, `i:1 + i:2`},
+		{`x-1`, `n:x-1`}, // hyphens join names: XQuery needs spaces for minus
+		{`x - 1`, `n:x - i:1`},
+		{`$p:var`, `$ n:p:var`},
+		{`ns:func()`, `n:ns:func ( )`},
+		{`.5 .. . //`, `d:.5 .. . //`},
+		{`1e3 1.5E-2`, `d:1e3 d:1.5E-2`},
+		{`'it''s' "a""b"`, `s:it's s:a"b`},
+		{`a << b >> c`, `n:a << n:b >> n:c`},
+		{`x := y`, `n:x := n:y`},
+		{`<= >= != =`, `<= >= != =`},
+		{`(: comment :) 7`, `i:7`},
+		{`(: nested (: inner :) outer :) x`, `n:x`},
+		{`a (:c:) b`, `n:a n:b`},
+		{`_under _x.y`, `n:_under n:_x.y`},
+	}
+	for _, c := range cases {
+		if got := kinds(lexAll(t, c[0])); got != c[1] {
+			t.Errorf("lex %q:\n got  %s\nwant %s", c[0], got, c[1])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`'unterminated`,
+		`(: unterminated`,
+		`1x`,
+		`1.5e`,
+		`1e+`,
+		"\x01",
+	} {
+		lx := New(src)
+		var err error
+		for {
+			var tok Token
+			tok, err = lx.Next()
+			if err != nil || tok.Kind == EOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lex %q should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	lx := New("ab\n  cd")
+	tok, _ := lx.Next()
+	if tok.Line != 1 || tok.Col != 1 {
+		t.Fatalf("first token at %d:%d", tok.Line, tok.Col)
+	}
+	tok, _ = lx.Next()
+	if tok.Line != 2 || tok.Col != 3 {
+		t.Fatalf("second token at %d:%d", tok.Line, tok.Col)
+	}
+	if tok.Pos != 5 {
+		t.Fatalf("second token pos = %d", tok.Pos)
+	}
+}
+
+func TestLexSetPos(t *testing.T) {
+	src := `aa bb cc`
+	lx := New(src)
+	if _, err := lx.Next(); err != nil {
+		t.Fatal(err)
+	}
+	lx.SetPos(3)
+	tok, _ := lx.Next()
+	if tok.Text != "bb" || tok.Col != 4 {
+		t.Fatalf("after SetPos: %q at col %d", tok.Text, tok.Col)
+	}
+	if lx.Src() != src {
+		t.Fatal("Src() changed")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: EOF}).String() != "end of query" {
+		t.Fatal("EOF string")
+	}
+	if s := (Token{Kind: String, Text: "x"}).String(); !strings.Contains(s, `"x"`) {
+		t.Fatalf("string token: %s", s)
+	}
+	if s := (Token{Kind: Name, Text: "abc"}).String(); s != `"abc"` {
+		t.Fatalf("name token: %s", s)
+	}
+}
+
+func TestLexError(t *testing.T) {
+	e := &Error{Line: 3, Col: 9, Msg: "boom"}
+	if e.Error() != "xquery:3:9: boom" {
+		t.Fatalf("error format: %s", e.Error())
+	}
+}

@@ -1,0 +1,359 @@
+package xqparse
+
+import (
+	"fmt"
+	"strings"
+
+	"soxq/internal/xqast"
+)
+
+// parseDirectConstructor parses a direct element constructor starting at the
+// current '<' token. Constructor syntax is XML-like, so it is parsed from
+// the raw source; enclosed { expressions } are handed back to the expression
+// parser. On return, the token stream resumes after the constructor.
+func (p *parser) parseDirectConstructor() (xqast.Expr, error) {
+	dp := &directParser{p: p, src: p.lx.Src(), pos: p.tok.Pos}
+	elem, err := dp.element()
+	if err != nil {
+		return nil, err
+	}
+	p.lx.SetPos(dp.pos)
+	p.peeked = nil
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return elem, nil
+}
+
+type directParser struct {
+	p   *parser
+	src string
+	pos int
+}
+
+func (d *directParser) errf(format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < d.pos && i < len(d.src); i++ {
+		if d.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (d *directParser) eof() bool { return d.pos >= len(d.src) }
+
+func (d *directParser) hasPrefix(s string) bool {
+	return strings.HasPrefix(d.src[d.pos:], s)
+}
+
+func (d *directParser) skipWS() {
+	for !d.eof() {
+		switch d.src[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isConstructorNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isConstructorNameChar(c byte) bool {
+	return isConstructorNameStart(c) || c == '-' || c == '.' || c == ':' || (c >= '0' && c <= '9')
+}
+
+func (d *directParser) name() (string, error) {
+	start := d.pos
+	if d.eof() || !isConstructorNameStart(d.src[d.pos]) {
+		return "", d.errf("expected a name in element constructor")
+	}
+	for !d.eof() && isConstructorNameChar(d.src[d.pos]) {
+		d.pos++
+	}
+	return d.src[start:d.pos], nil
+}
+
+// enclosed parses an { expr } whose '{' has already been consumed.
+func (d *directParser) enclosed() (xqast.Expr, error) {
+	p := d.p
+	p.lx.SetPos(d.pos)
+	p.peeked = nil
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isSym("}") {
+		return nil, p.errf("expected '}' to close enclosed expression, found %s", p.tok)
+	}
+	d.pos = p.tok.Pos + 1
+	return &xqast.Enclosed{X: e}, nil
+}
+
+func (d *directParser) element() (*xqast.DirectElem, error) {
+	if !d.hasPrefix("<") {
+		return nil, d.errf("expected '<'")
+	}
+	d.pos++
+	name, err := d.name()
+	if err != nil {
+		return nil, err
+	}
+	el := &xqast.DirectElem{Name: name}
+	// Attributes.
+	for {
+		d.skipWS()
+		if d.eof() {
+			return nil, d.errf("unterminated constructor <%s>", name)
+		}
+		if d.hasPrefix("/>") {
+			d.pos += 2
+			return el, nil
+		}
+		if d.hasPrefix(">") {
+			d.pos++
+			break
+		}
+		attName, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		d.skipWS()
+		if !d.hasPrefix("=") {
+			return nil, d.errf("expected '=' after attribute %q", attName)
+		}
+		d.pos++
+		d.skipWS()
+		val, err := d.attrValueTemplate()
+		if err != nil {
+			return nil, err
+		}
+		el.Attrs = append(el.Attrs, xqast.DirectAttr{Name: attName, Value: val})
+	}
+	// Content.
+	for {
+		if d.eof() {
+			return nil, d.errf("unterminated content of <%s>", name)
+		}
+		switch {
+		case d.hasPrefix("</"):
+			d.pos += 2
+			close, err := d.name()
+			if err != nil {
+				return nil, err
+			}
+			if close != name {
+				return nil, d.errf("constructor end tag </%s> does not match <%s>", close, name)
+			}
+			d.skipWS()
+			if !d.hasPrefix(">") {
+				return nil, d.errf("malformed end tag </%s>", close)
+			}
+			d.pos++
+			return el, nil
+		case d.hasPrefix("<!--"):
+			end := strings.Index(d.src[d.pos+4:], "-->")
+			if end < 0 {
+				return nil, d.errf("unterminated comment in constructor")
+			}
+			d.pos += 4 + end + 3
+		case d.hasPrefix("<![CDATA["):
+			end := strings.Index(d.src[d.pos+9:], "]]>")
+			if end < 0 {
+				return nil, d.errf("unterminated CDATA in constructor")
+			}
+			text := d.src[d.pos+9 : d.pos+9+end]
+			if text != "" {
+				el.Content = append(el.Content, &xqast.StringLit{V: text})
+			}
+			d.pos += 9 + end + 3
+		case d.hasPrefix("<"):
+			child, err := d.element()
+			if err != nil {
+				return nil, err
+			}
+			el.Content = append(el.Content, child)
+		case d.hasPrefix("{{"):
+			el.Content = append(el.Content, &xqast.StringLit{V: "{"})
+			d.pos += 2
+		case d.hasPrefix("}}"):
+			el.Content = append(el.Content, &xqast.StringLit{V: "}"})
+			d.pos += 2
+		case d.hasPrefix("}"):
+			return nil, d.errf("unexpected '}' in constructor content (write }} for a literal brace)")
+		case d.hasPrefix("{"):
+			d.pos++
+			e, err := d.enclosed()
+			if err != nil {
+				return nil, err
+			}
+			el.Content = append(el.Content, e)
+		default:
+			text, err := d.textRun("<{}")
+			if err != nil {
+				return nil, err
+			}
+			// Boundary whitespace is stripped (XQuery default).
+			if strings.TrimLeft(text, " \t\r\n") != "" {
+				el.Content = append(el.Content, &xqast.StringLit{V: text})
+			}
+		}
+	}
+}
+
+// attrValueTemplate parses a quoted attribute value that may contain
+// enclosed expressions.
+func (d *directParser) attrValueTemplate() ([]xqast.Expr, error) {
+	if d.eof() || (d.src[d.pos] != '"' && d.src[d.pos] != '\'') {
+		return nil, d.errf("attribute value must be quoted")
+	}
+	quote := d.src[d.pos]
+	d.pos++
+	var parts []xqast.Expr
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			parts = append(parts, &xqast.StringLit{V: text.String()})
+			text.Reset()
+		}
+	}
+	for {
+		if d.eof() {
+			return nil, d.errf("unterminated attribute value")
+		}
+		c := d.src[d.pos]
+		switch {
+		case c == quote:
+			if d.pos+1 < len(d.src) && d.src[d.pos+1] == quote {
+				text.WriteByte(quote)
+				d.pos += 2
+				continue
+			}
+			d.pos++
+			flush()
+			return parts, nil
+		case c == '{':
+			if d.hasPrefix("{{") {
+				text.WriteByte('{')
+				d.pos += 2
+				continue
+			}
+			d.pos++
+			flush()
+			e, err := d.enclosed()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		case c == '}':
+			if d.hasPrefix("}}") {
+				text.WriteByte('}')
+				d.pos += 2
+				continue
+			}
+			return nil, d.errf("unexpected '}' in attribute value")
+		case c == '&':
+			r, n, err := decodeEntity(d.src[d.pos:])
+			if err != nil {
+				return nil, d.errf("%v", err)
+			}
+			text.WriteString(r)
+			d.pos += n
+		case c == '<':
+			return nil, d.errf("'<' not allowed in attribute value")
+		default:
+			text.WriteByte(c)
+			d.pos++
+		}
+	}
+}
+
+// textRun consumes character data up to any byte in stop, decoding entities.
+func (d *directParser) textRun(stop string) (string, error) {
+	var sb strings.Builder
+	for !d.eof() {
+		c := d.src[d.pos]
+		if strings.IndexByte(stop, c) >= 0 {
+			break
+		}
+		if c == '&' {
+			r, n, err := decodeEntity(d.src[d.pos:])
+			if err != nil {
+				return "", d.errf("%v", err)
+			}
+			sb.WriteString(r)
+			d.pos += n
+			continue
+		}
+		sb.WriteByte(c)
+		d.pos++
+	}
+	return sb.String(), nil
+}
+
+// decodeEntity decodes a leading &...; reference, returning the replacement
+// and consumed byte count.
+func decodeEntity(s string) (string, int, error) {
+	semi := strings.IndexByte(s, ';')
+	if semi < 2 {
+		return "", 0, errMalformedEntity
+	}
+	ent := s[1:semi]
+	switch ent {
+	case "amp":
+		return "&", semi + 1, nil
+	case "lt":
+		return "<", semi + 1, nil
+	case "gt":
+		return ">", semi + 1, nil
+	case "quot":
+		return `"`, semi + 1, nil
+	case "apos":
+		return "'", semi + 1, nil
+	}
+	if strings.HasPrefix(ent, "#") {
+		digits := ent[1:]
+		base := 10
+		if strings.HasPrefix(digits, "x") || strings.HasPrefix(digits, "X") {
+			digits, base = digits[1:], 16
+		}
+		var v int64
+		if digits == "" {
+			return "", 0, errMalformedEntity
+		}
+		for i := 0; i < len(digits); i++ {
+			c := digits[i]
+			var dg int64
+			switch {
+			case c >= '0' && c <= '9':
+				dg = int64(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				dg = int64(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				dg = int64(c-'A') + 10
+			default:
+				return "", 0, errMalformedEntity
+			}
+			v = v*int64(base) + dg
+			if v > 0x10FFFF {
+				return "", 0, errMalformedEntity
+			}
+		}
+		if v == 0 {
+			return "", 0, errMalformedEntity
+		}
+		return string(rune(v)), semi + 1, nil
+	}
+	return "", 0, errMalformedEntity
+}
+
+var errMalformedEntity = &Error{Msg: "malformed entity reference in constructor"}

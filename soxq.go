@@ -1,0 +1,377 @@
+// Package soxq is an XQuery engine with native stand-off annotation support,
+// implementing Alink, Bhoedjang, de Vries and Boncz, "Efficient XQuery
+// Support for Stand-Off Annotation" (XIME-P 2006).
+//
+// Stand-off annotations are XML elements that carry [start,end] regions
+// referring into an external BLOB (a video stream, a text corpus, a disk
+// image) instead of containing the annotated content. The engine extends
+// XPath with the paper's four StandOff axis steps
+//
+//	select-narrow::  containment semi-join
+//	select-wide::    overlap semi-join
+//	reject-narrow::  containment anti-join
+//	reject-wide::    overlap anti-join
+//
+// and evaluates them over a region index with loop-lifted StandOff
+// MergeJoins, so that a step inside a for-loop costs one index pass for all
+// iterations. The naive and per-iteration algorithms from the paper's
+// evaluation are available as execution modes for benchmarking.
+//
+// Quick start:
+//
+//	eng := soxq.New()
+//	eng.LoadXML("sample.xml", []byte(`<doc>
+//	  <scene id="s1" start="0" end="99"/>
+//	  <hit start="10" end="20"/>
+//	</doc>`))
+//	res, err := eng.Query(`doc("sample.xml")//scene/select-narrow::hit`)
+package soxq
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"soxq/internal/blob"
+	"soxq/internal/core"
+	"soxq/internal/tree"
+	"soxq/internal/xmark"
+	"soxq/internal/xmlparse"
+	"soxq/internal/xqeval"
+	"soxq/internal/xqparse"
+)
+
+// Mode selects how StandOff steps are executed, mirroring the three variants
+// of the paper's section 4.6 experiment.
+type Mode int
+
+const (
+	// ModeLoopLifted runs the Loop-Lifted StandOff MergeJoin (the paper's
+	// contribution and the default).
+	ModeLoopLifted Mode = iota
+	// ModeBasic runs the Basic StandOff MergeJoin once per loop iteration.
+	ModeBasic
+	// ModeUDF evaluates StandOff steps as quadratic nested loops — the
+	// cost model of the paper's "XQuery Function" baselines.
+	ModeUDF
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLoopLifted:
+		return "looplifted"
+	case ModeBasic:
+		return "basic"
+	default:
+		return "udf"
+	}
+}
+
+func (m Mode) strategy() core.Strategy {
+	switch m {
+	case ModeBasic:
+		return core.StrategyBasic
+	case ModeUDF:
+		return core.StrategyNaive
+	default:
+		return core.StrategyLoopLifted
+	}
+}
+
+// Config tunes query execution.
+type Config struct {
+	// Mode picks the StandOff join algorithm (default ModeLoopLifted).
+	Mode Mode
+	// NoPushdown disables candidate-sequence pushdown of name tests into
+	// StandOff steps; the step then scans all annotations and filters
+	// afterwards (section 3.3's optimizer discussion).
+	NoPushdown bool
+	// HeapActiveList replaces the paper's sorted active list with the
+	// max-heap suggested in its section 5 (future work).
+	HeapActiveList bool
+}
+
+// Engine holds loaded documents, their BLOBs, and cached region indexes. It
+// is safe for concurrent queries.
+type Engine struct {
+	mu      sync.RWMutex
+	docs    map[string]*tree.Doc
+	blobs   map[string]blob.Store
+	indexes map[indexKey]*core.RegionIndex
+	options core.Options
+}
+
+type indexKey struct {
+	doc  *tree.Doc
+	opts core.Options
+}
+
+// New returns an empty engine with the paper's default stand-off options
+// (integer positions in start/end attributes).
+func New() *Engine {
+	return &Engine{
+		docs:    map[string]*tree.Doc{},
+		blobs:   map[string]blob.Store{},
+		indexes: map[indexKey]*core.RegionIndex{},
+		options: core.DefaultOptions(),
+	}
+}
+
+// Declare sets an engine-wide default stand-off option (standoff-type,
+// standoff-start, standoff-end, standoff-region), as if every query preamble
+// declared it. Query preambles still override per query.
+func (e *Engine) Declare(option, value string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	known, err := e.options.Set(option, value)
+	if err != nil {
+		return err
+	}
+	if !known {
+		return fmt.Errorf("soxq: unknown option %q", option)
+	}
+	return nil
+}
+
+// LoadXML parses data and registers it under name for fn:doc.
+func (e *Engine) LoadXML(name string, data []byte) error {
+	d, err := xmlparse.Parse(name, data)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.docs[name] = d
+	e.mu.Unlock()
+	return nil
+}
+
+// LoadXMLFile reads path and registers the document under name.
+func (e *Engine) LoadXMLFile(name, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return e.LoadXML(name, data)
+}
+
+// LoadStandOff registers a stand-off annotation document together with the
+// BLOB its regions refer into (used by the so:blob-text extension).
+func (e *Engine) LoadStandOff(name string, data []byte, store blob.Store) error {
+	if err := e.LoadXML(name, data); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.blobs[name] = store
+	e.mu.Unlock()
+	return nil
+}
+
+// SetBlob attaches (or replaces) the BLOB of an already-loaded document.
+func (e *Engine) SetBlob(name string, store blob.Store) {
+	e.mu.Lock()
+	e.blobs[name] = store
+	e.mu.Unlock()
+}
+
+// ConvertToStandOff converts a loaded plain XML document into stand-off form
+// (text content moved to a BLOB, region attributes added, record elements
+// optionally permuted) and registers the result under soName.
+func (e *Engine) ConvertToStandOff(name, soName string, permute bool, seed uint64) error {
+	e.mu.RLock()
+	d, ok := e.docs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("soxq: no document %q", name)
+	}
+	cfg := xmark.DefaultStandOffConfig()
+	cfg.Permute = permute
+	cfg.Seed = seed
+	res, err := xmark.StandOffize(d, cfg)
+	if err != nil {
+		return err
+	}
+	return e.LoadStandOff(soName, res.XML, blob.FromBytes(res.Blob))
+}
+
+// Unload removes a document (and its BLOB and cached indexes).
+func (e *Engine) Unload(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.docs[name]
+	delete(e.docs, name)
+	delete(e.blobs, name)
+	for k := range e.indexes {
+		if k.doc == d {
+			delete(e.indexes, k)
+		}
+	}
+}
+
+// Documents returns the names of all loaded documents.
+func (e *Engine) Documents() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.docs))
+	for n := range e.docs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Query runs an XQuery with the default configuration.
+func (e *Engine) Query(q string) (*Result, error) {
+	return e.QueryWith(q, Config{})
+}
+
+// QueryWith runs an XQuery under the given configuration.
+func (e *Engine) QueryWith(q string, cfg Config) (*Result, error) {
+	m, err := xqparse.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	opts := e.options
+	e.mu.RUnlock()
+	for _, o := range m.Options {
+		name := o.Name
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[i+1:]
+		}
+		if _, err := opts.Set(name, o.Value); err != nil {
+			return nil, err
+		}
+	}
+	ev := &xqeval.Evaluator{
+		Resolver: e.resolve,
+		IndexFor: func(d *tree.Doc) (*core.RegionIndex, error) { return e.indexFor(d, opts) },
+		BlobFor:  e.blobFor,
+		Options:  opts,
+		Strategy: cfg.Mode.strategy(),
+		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
+		Pushdown: !cfg.NoPushdown,
+	}
+	items, err := ev.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{items: items}, nil
+}
+
+func (e *Engine) resolve(uri string) (*tree.Doc, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.docs[uri]
+	if !ok {
+		return nil, fmt.Errorf("document %q is not loaded", uri)
+	}
+	return d, nil
+}
+
+func (e *Engine) blobFor(d *tree.Doc) blob.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.blobs[d.Name]
+}
+
+// indexFor returns the cached region index of d under opts, building it on
+// first use (the paper's pre-created per-document index, section 3.3).
+func (e *Engine) indexFor(d *tree.Doc, opts core.Options) (*core.RegionIndex, error) {
+	key := indexKey{doc: d, opts: opts}
+	e.mu.RLock()
+	ix, ok := e.indexes[key]
+	e.mu.RUnlock()
+	if ok {
+		return ix, nil
+	}
+	ix, err := core.BuildIndex(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.indexes[key] = ix
+	e.mu.Unlock()
+	return ix, nil
+}
+
+// BuildIndex eagerly builds (and caches) the region index for a loaded
+// document under the engine's current options, so that the first query does
+// not pay for index construction.
+func (e *Engine) BuildIndex(name string) error {
+	d, err := e.resolve(name)
+	if err != nil {
+		return err
+	}
+	e.mu.RLock()
+	opts := e.options
+	e.mu.RUnlock()
+	_, err = e.indexFor(d, opts)
+	return err
+}
+
+// Result is an evaluated query result: a sequence of values.
+type Result struct {
+	items []xqeval.Item
+}
+
+// Len returns the number of items.
+func (r *Result) Len() int { return len(r.items) }
+
+// Value returns item i.
+func (r *Result) Value(i int) Value { return Value{it: r.items[i]} }
+
+// Values returns all items.
+func (r *Result) Values() []Value {
+	out := make([]Value, len(r.items))
+	for i := range r.items {
+		out[i] = Value{it: r.items[i]}
+	}
+	return out
+}
+
+// String renders the whole sequence, items separated by spaces, nodes as
+// XML.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for i := range r.items {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(Value{it: r.items[i]}.XML())
+	}
+	return sb.String()
+}
+
+// Strings returns the string value of every item.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.items))
+	for i, it := range r.items {
+		out[i] = it.StringValue()
+	}
+	return out
+}
+
+// Value is one item of a query result.
+type Value struct {
+	it xqeval.Item
+}
+
+// IsNode reports whether the value is a node (element, attribute, text...).
+func (v Value) IsNode() bool { return v.it.IsNode() }
+
+// String returns the item's string value (text content for nodes).
+func (v Value) String() string { return v.it.StringValue() }
+
+// XML renders a node as XML markup; atomic values render as their string
+// value and attribute nodes as name="value".
+func (v Value) XML() string {
+	switch v.it.Kind {
+	case xqeval.KNode:
+		return v.it.D.XMLString(v.it.Pre)
+	case xqeval.KAttr:
+		return fmt.Sprintf(`%s="%s"`, v.it.D.AttrName(v.it.Att),
+			tree.EscapeAttr(v.it.D.AttrValue(v.it.Att)))
+	default:
+		return v.it.StringValue()
+	}
+}
