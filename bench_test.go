@@ -98,9 +98,13 @@ func BenchmarkTable31_StandOffJoins(b *testing.B) {
 	}
 	for _, axis := range []string{"select-narrow", "select-wide", "reject-narrow", "reject-wide"} {
 		q := fmt.Sprintf(`doc("sample.xml")//music[@artist = "U2"]/%s::shot`, axis)
+		prep, err := eng.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(axis, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Query(q); err != nil {
+				if _, err := prep.Exec(Config{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -166,14 +170,21 @@ var fig6Variants = []struct {
 	{"looplifted", Config{Mode: ModeLoopLifted}},
 }
 
+// benchFig6 prepares each query once and measures Exec only, so the figure
+// compares join strategies rather than parser and compiler throughput (one
+// compiled plan serves all three modes; Mode is an Exec-time knob).
 func benchFig6(b *testing.B, query int) {
 	for _, scale := range benchScales {
 		data := dataFor(b, scale)
 		q := xmark.StandOffQuery(query, "so.xml")
+		prep, err := data.eng.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, variant := range fig6Variants {
 			b.Run(fmt.Sprintf("%s/scale=%g", variant.name, scale), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := data.eng.QueryWith(q, variant.cfg); err != nil {
+					if _, err := prep.Exec(variant.cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -194,10 +205,13 @@ func BenchmarkFig6_Q7(b *testing.B) { benchFig6(b, 7) }
 // only; the paper reports DNF for every size >= 11 MB.
 func BenchmarkUDFNoCandidate(b *testing.B) {
 	data := dataFor(b, 0.01)
-	q := xmark.StandOffQuery(6, "so.xml")
+	prep, err := data.eng.Prepare(xmark.StandOffQuery(6, "so.xml"))
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := Config{Mode: ModeUDF, NoPushdown: true}
 	for i := 0; i < b.N; i++ {
-		if _, err := data.eng.QueryWith(q, cfg); err != nil {
+		if _, err := prep.Exec(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,17 +236,23 @@ func BenchmarkStaircaseVsStandOff(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("query/descendant", func(b *testing.B) {
-		q := xmark.Query(6, "plain.xml")
+		prep, err := data.eng.Prepare(xmark.Query(6, "plain.xml"))
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
-			if _, err := data.eng.Query(q); err != nil {
+			if _, err := prep.Exec(Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("query/select-narrow", func(b *testing.B) {
-		q := xmark.StandOffQuery(6, "so.xml")
+		prep, err := data.eng.Prepare(xmark.StandOffQuery(6, "so.xml"))
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
-			if _, err := data.eng.Query(q); err != nil {
+			if _, err := prep.Exec(Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -281,7 +301,10 @@ func mustSerialize(b *testing.B, d *tree.Doc) []byte {
 
 func BenchmarkAblation_SelectionPushdown(b *testing.B) {
 	data := dataFor(b, 0.05)
-	q := xmark.StandOffQuery(6, "so.xml")
+	prep, err := data.eng.Prepare(xmark.StandOffQuery(6, "so.xml"))
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, pd := range []struct {
 		name string
 		cfg  Config
@@ -291,7 +314,7 @@ func BenchmarkAblation_SelectionPushdown(b *testing.B) {
 	} {
 		b.Run(pd.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := data.eng.QueryWith(q, pd.cfg); err != nil {
+				if _, err := prep.Exec(pd.cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -368,6 +391,77 @@ func BenchmarkAblation_ActiveList(b *testing.B) {
 					core.Join(ix, core.SelectNarrow, core.StrategyLoopLifted, ctx, nIters, cands, structure.cfg)
 				}
 			})
+		}
+	}
+}
+
+// ---- E10: the compiled query pipeline ----------------------------------
+
+// The three pipeline benchmarks quantify what the Prepare/Exec split buys:
+//
+//	BenchmarkQueryUncached   parse + compile + execute every call (the
+//	                         pre-refactor QueryWith cost model)
+//	BenchmarkQueryCached     Engine.Query with a plan-cache hit
+//	BenchmarkPreparedExec    execution of a held Prepared statement
+//
+// Cached ≈ PreparedExec (one LRU lookup apart) and both beat Uncached by
+// the full parse-and-compile constant factor.
+
+const pipelineBenchScale = 0.01
+
+func pipelineBenchQuery() string { return xmark.StandOffQuery(6, "so.xml") }
+
+func BenchmarkQueryUncached(b *testing.B) {
+	data := dataFor(b, pipelineBenchScale)
+	q := pipelineBenchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A unique trailing comment defeats the plan cache, so every call
+		// pays parse + compile + execute.
+		if _, err := data.eng.Query(fmt.Sprintf("%s\n(: %d :)", q, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryCached(b *testing.B) {
+	data := dataFor(b, pipelineBenchScale)
+	q := pipelineBenchQuery()
+	if _, err := data.eng.Query(q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := data.eng.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparedExec(b *testing.B) {
+	data := dataFor(b, pipelineBenchScale)
+	prep, err := data.eng.Prepare(pipelineBenchQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Exec(Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrepare isolates the parse + compile stages the cache removes.
+func BenchmarkPrepare(b *testing.B) {
+	data := dataFor(b, pipelineBenchScale)
+	q := pipelineBenchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := data.eng.Prepare(q); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

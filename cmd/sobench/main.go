@@ -44,6 +44,8 @@ func main() {
 	dir := flag.String("dir", "soxq-bench-data", "directory for generated data files")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	prepare := flag.Bool("prepare", false,
+		"prepare each query before timing so cells measure pure execution (excludes parse+compile)")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -52,7 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *cellDoc != "" {
-		runCell(*cellDoc, *cellQuery, *cellVariant)
+		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare)
 		return
 	}
 
@@ -77,7 +79,7 @@ func main() {
 		}
 		for _, q := range queryList {
 			for _, variant := range variantList {
-				secs, ok := runCellSubprocess(soPath, q, variant, *timeout)
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare)
 				k := key{scale, q, variant}
 				if !ok {
 					results[k] = "DNF"
@@ -180,11 +182,16 @@ func ensureData(dir string, scale float64, seed uint64) (string, error) {
 
 // runCellSubprocess executes one measurement in a child process and kills it
 // at the timeout (DNF).
-func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration) (float64, bool) {
-	cmd := exec.Command(os.Args[0],
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool) (float64, bool) {
+	args := []string{
 		"-run-cell-doc", soPath,
 		"-run-cell-query", strconv.Itoa(q),
-		"-run-cell-variant", variant)
+		"-run-cell-variant", variant,
+	}
+	if prepare {
+		args = append(args, "-prepare")
+	}
+	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -217,8 +224,11 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 }
 
 // runCell is the subprocess body: load the document, build the index, run
-// the query once, print the evaluation seconds.
-func runCell(soPath string, q int, variant string) {
+// the query once, print the evaluation seconds. With prepare set, the query
+// is compiled before the clock starts, so the cell times the join strategy
+// alone (the paper-figure mode); otherwise the cell includes parse+compile,
+// matching the pre-pipeline measurements.
+func runCell(soPath string, q int, variant string, prepare bool) {
 	cfg := soxq.Config{}
 	switch variant {
 	case "udf":
@@ -241,8 +251,21 @@ func runCell(soPath string, q int, variant string) {
 		fatal("%v", err)
 	}
 	query := xmark.StandOffQuery(q, "doc.xml")
-	start := time.Now()
-	res, err := eng.QueryWith(query, cfg)
+	var res *soxq.Result
+	var err error
+	var start time.Time
+	if prepare {
+		var prep *soxq.Prepared
+		prep, err = eng.Prepare(query)
+		if err != nil {
+			fatal("Q%d (%s): %v", q, variant, err)
+		}
+		start = time.Now()
+		res, err = prep.Exec(cfg)
+	} else {
+		start = time.Now()
+		res, err = eng.QueryWith(query, cfg)
+	}
 	if err != nil {
 		fatal("Q%d (%s): %v", q, variant, err)
 	}

@@ -93,8 +93,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "load: %v\n", time.Since(loadStart))
 	}
 
+	// The pipeline is parse -> compile -> execute: Prepare covers the first
+	// two stages, Exec the third, so -time reports them separately.
+	compileStart := time.Now()
+	prep, err := eng.Prepare(q)
+	fatalIf(err)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "compile: %v\n", time.Since(compileStart))
+	}
 	evalStart := time.Now()
-	res, err := eng.QueryWith(q, cfg)
+	res, err := prep.Exec(cfg)
 	fatalIf(err)
 	if *timing {
 		fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))

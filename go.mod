@@ -1,0 +1,3 @@
+module soxq
+
+go 1.24

@@ -1,0 +1,91 @@
+// Package plancache provides the bounded LRU cache the engine keeps its
+// compiled query plans in. The cache is safe for concurrent use: lookups
+// from many query goroutines interleave with invalidation from Declare and
+// Unload. Values are expected to be immutable (compiled plans are), so a
+// value handed out by Get stays valid after eviction or Purge.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, concurrency-safe LRU map.
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	items  map[K]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding at most max entries; max <= 0 means a
+// default capacity of 256.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache[K, V]{max: max, ll: list.New(), items: map[K]*list.Element{}}
+}
+
+// Get returns the cached value for k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts (or refreshes) a value, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Purge drops every entry (cache invalidation on Declare/Unload). Hit and
+// miss counters survive so long-running engines keep meaningful stats.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,91 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v %v", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refresh lost: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](3)
+	for i := 0; i < 3; i++ {
+		c.Put(i, i)
+	}
+	c.Get(0) // 0 is now most recent; 1 is the LRU victim
+	c.Put(3, 3)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("1 should have been evicted")
+	}
+	for _, k := range []int{0, 2, 3} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d should survive", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, string](8)
+	c.Put("x", "y")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("purged entry returned")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 300; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 256 {
+		t.Fatalf("default capacity = %d, want 256", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Put(k, i)
+				c.Get(k)
+				if i%100 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

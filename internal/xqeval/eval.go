@@ -9,24 +9,27 @@ import (
 	"soxq/internal/core"
 	"soxq/internal/tree"
 	"soxq/internal/xqast"
+	"soxq/internal/xqplan"
 )
 
-// Evaluator executes parsed queries. It is configured by the public engine
-// with a document resolver, a region-index provider (the engine caches one
-// index per document and option set), and the StandOff execution strategy
-// under evaluation.
+// Evaluator is the per-run execution state for one compiled query: the
+// immutable Plan (shared, cacheable, safe for any number of concurrent
+// runs), the engine environment it executes against, the strategy knobs of
+// one execution, and the mutable recursion depth. An Evaluator is cheap to
+// construct; create a fresh one per Run — a single Evaluator must not be
+// shared between goroutines or reused across runs.
 type Evaluator struct {
+	// Plan is the compiled query (function table, globals, folded body,
+	// static StandOff step decisions, effective options).
+	Plan *xqplan.Plan
 	// Resolver loads a document for fn:doc.
 	Resolver func(uri string) (*tree.Doc, error)
-	// IndexFor returns the region index for a document under the current
+	// IndexFor returns the region index for a document under the plan's
 	// stand-off options.
 	IndexFor func(d *tree.Doc) (*core.RegionIndex, error)
 	// BlobFor returns the BLOB a document's regions refer into (may return
 	// nil); used by the so:blob-text extension function.
 	BlobFor func(d *tree.Doc) blob.Store
-	// Options are the stand-off options after the query preamble was
-	// applied.
-	Options core.Options
 	// Strategy picks the StandOff join algorithm (section 4.6 variants).
 	Strategy core.Strategy
 	// JoinCfg tunes the join (active-set structure, tracing).
@@ -37,41 +40,27 @@ type Evaluator struct {
 	// MaxRecursion bounds user-defined function recursion.
 	MaxRecursion int
 
-	funcs map[string]*xqast.FunctionDecl // key: name/arity
 	depth int
 }
 
-// Run evaluates a module and returns the result sequence.
-func (ev *Evaluator) Run(m *xqast.Module) ([]Item, error) {
+// Run executes the compiled plan and returns the result sequence.
+func (ev *Evaluator) Run() ([]Item, error) {
 	if ev.MaxRecursion == 0 {
 		ev.MaxRecursion = 512
 	}
-	ev.funcs = map[string]*xqast.FunctionDecl{}
-	for _, fd := range m.Functions {
-		key := funcKey(fd.Name, len(fd.Params))
-		if _, dup := ev.funcs[key]; dup {
-			return nil, errf(codeUndefFunc, "duplicate function %s#%d", fd.Name, len(fd.Params))
-		}
-		ev.funcs[key] = fd
-	}
 	f := newFrame(1)
-	for _, vd := range m.Variables {
+	for _, vd := range ev.Plan.Globals() {
 		val, err := ev.eval(vd.Value, f)
 		if err != nil {
 			return nil, err
 		}
 		f = f.bind(vd.Name, newBinding(val))
 	}
-	out, err := ev.eval(m.Body, f)
+	out, err := ev.eval(ev.Plan.Body(), f)
 	if err != nil {
 		return nil, err
 	}
 	return out.Group(0), nil
-}
-
-func funcKey(name string, arity int) string {
-	// Builtins are matched on local name; user functions on full QName.
-	return name + "/" + string(rune('0'+arity))
 }
 
 // eval dispatches on the expression type. Every case returns an LLSeq with

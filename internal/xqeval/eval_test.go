@@ -10,6 +10,7 @@ import (
 	"soxq/internal/tree"
 	"soxq/internal/xmlparse"
 	"soxq/internal/xqparse"
+	"soxq/internal/xqplan"
 )
 
 // harness wires an Evaluator over an in-memory document map, the way the
@@ -42,26 +43,28 @@ func (h *harness) addDoc(t *testing.T, name, src string) *tree.Doc {
 
 func (h *harness) run(t *testing.T, query string, strat core.Strategy) ([]Item, error) {
 	t.Helper()
+	plan, err := h.compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return h.newEvaluator(plan, strat).Run()
+}
+
+// compile parses and compiles a query against the harness options, the way
+// the public engine's Prepare does.
+func (h *harness) compile(query string) (*xqplan.Plan, error) {
 	m, err := xqparse.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	opts := h.opts
-	for _, o := range m.Options {
-		name := o.Name
-		if i := strings.IndexByte(name, ':'); i >= 0 {
-			name = name[i+1:]
-		}
-		if _, err := opts.Set(name, o.Value); err != nil {
-			return nil, err
-		}
-	}
-	return h.newEvaluator(opts, strat).Run(m)
+	return xqplan.Compile(m, h.opts)
 }
 
-// newEvaluator builds an Evaluator over the harness state.
-func (h *harness) newEvaluator(opts core.Options, strat core.Strategy) *Evaluator {
+// newEvaluator builds a per-run Evaluator over the harness state.
+func (h *harness) newEvaluator(plan *xqplan.Plan, strat core.Strategy) *Evaluator {
+	opts := plan.Options()
 	return &Evaluator{
+		Plan: plan,
 		Resolver: func(uri string) (*tree.Doc, error) {
 			d, ok := h.docs[uri]
 			if !ok {
@@ -81,7 +84,6 @@ func (h *harness) newEvaluator(opts core.Options, strat core.Strategy) *Evaluato
 			return ix, nil
 		},
 		BlobFor:  func(d *tree.Doc) blob.Store { return h.blobs[d] },
-		Options:  opts,
 		Strategy: strat,
 		Pushdown: true,
 	}

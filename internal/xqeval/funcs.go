@@ -19,7 +19,7 @@ func (ev *Evaluator) evalCall(v *xqast.FuncCall, f *frame) (LLSeq, error) {
 		local = local[i+1:]
 	}
 	// User-defined functions win on exact QName+arity.
-	if fd, ok := ev.funcs[funcKey(v.Name, len(v.Args))]; ok {
+	if fd, ok := ev.Plan.Function(v.Name, len(v.Args)); ok {
 		return ev.callUDF(fd, v.Args, f)
 	}
 	// StandOff built-ins (so:select-narrow etc., with or without candidate
@@ -767,6 +767,7 @@ func aggregate(kind string, seq LLSeq, n int) (LLSeq, error) {
 // soRegions returns the region geometry of area-annotations as constructed
 // <region> elements (engine extension).
 func (ev *Evaluator) soRegions(src LLSeq, f *frame) (LLSeq, error) {
+	opts := ev.Plan.Options()
 	b := newLLBuilder(f.n)
 	for i := 0; i < f.n; i++ {
 		var out []Item
@@ -776,7 +777,7 @@ func (ev *Evaluator) soRegions(src LLSeq, f *frame) (LLSeq, error) {
 				return LLSeq{}, err
 			}
 			for _, r := range regs {
-				fb := newRegionFragment(ev.Options, r)
+				fb := newRegionFragment(opts, r)
 				out = append(out, fb)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"soxq/internal/tree"
 	"soxq/internal/xpath"
 	"soxq/internal/xqast"
+	"soxq/internal/xqplan"
 )
 
 // evalPath evaluates a path expression: establish the starting context, then
@@ -248,17 +249,8 @@ func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, e
 	if ev.IndexFor == nil {
 		return nil, errf(codeStandOffIndex, "no region index provider configured")
 	}
-	var op core.Op
-	switch step.Axis {
-	case xpath.AxisSelectNarrow:
-		op = core.SelectNarrow
-	case xpath.AxisSelectWide:
-		op = core.SelectWide
-	case xpath.AxisRejectNarrow:
-		op = core.RejectNarrow
-	default:
-		op = core.RejectWide
-	}
+	so := ev.Plan.StandOff(step)
+	op := so.Op
 	results := make([][]Item, len(rows))
 
 	// Partition context rows by document.
@@ -279,7 +271,7 @@ func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, e
 		if err != nil {
 			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
 		}
-		cand, postFilter := ev.candidatesFor(ix, step.Test)
+		cand, postFilter := ev.candidatesFor(ix, so)
 		if cand == nil {
 			continue // the test can never match an area-annotation
 		}
@@ -304,10 +296,8 @@ func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, 
 	if ev.IndexFor == nil {
 		return nil, errf(codeStandOffIndex, "no region index provider configured")
 	}
-	op := core.RejectNarrow
-	if step.Axis == xpath.AxisRejectWide {
-		op = core.RejectWide
-	}
+	so := ev.Plan.StandOff(step)
+	op := so.Op
 	results := make([][]Item, ctx.N())
 
 	// Partition context nodes by document; the anti-join runs per document
@@ -337,7 +327,7 @@ func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, 
 		if err != nil {
 			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
 		}
-		cand, postFilter := ev.candidatesFor(ix, step.Test)
+		cand, postFilter := ev.candidatesFor(ix, so)
 		if cand == nil {
 			continue
 		}
@@ -359,30 +349,27 @@ func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, 
 	return results, nil
 }
 
-// candidatesFor builds the candidate sequence for a StandOff step. With
-// pushdown enabled and an element name test, the element-name index is
-// intersected with the region index (section 4.3); otherwise the whole
-// index is the candidate sequence and the node test is applied afterwards.
-// A nil result means the test can never match (area-annotations are always
-// elements).
-func (ev *Evaluator) candidatesFor(ix *core.RegionIndex, test xpath.Test) (*core.Candidates, bool) {
-	switch test.Kind {
-	case xpath.TestElement, xpath.TestAnyNode:
-	default:
-		return nil, false // text()/comment()/... never match elements
-	}
-	if test.Name == "" {
+// candidatesFor materialises the candidate sequence for a StandOff step
+// whose policy was decided at compile time (section 3.3, xqplan.Decide).
+// Only the element-name to name-id resolution happens here, because it is
+// per-document. A nil result means the step is statically or dynamically
+// empty (the test can never match, or the name does not occur in this
+// document).
+func (ev *Evaluator) candidatesFor(ix *core.RegionIndex, so xqplan.SOStep) (*core.Candidates, bool) {
+	switch so.Policy(ev.Pushdown) {
+	case xqplan.CandAll:
 		return ix.All(), false
-	}
-	if !ev.Pushdown {
+	case xqplan.CandAllFiltered:
 		return ix.All(), true
-	}
-	d := ix.Doc()
-	id, ok := d.Dict().Lookup(test.Name)
-	if !ok {
+	case xqplan.CandByName:
+		id, ok := ix.Doc().Dict().Lookup(so.Name)
+		if !ok {
+			return nil, false
+		}
+		return ix.FilterByName(id), false
+	default: // CandImpossible: text()/comment()/... never match elements
 		return nil, false
 	}
-	return ix.FilterByName(id), false
 }
 
 // applyStepPredicate filters step results with one predicate. Each result

@@ -8,7 +8,6 @@ import (
 
 	"soxq/internal/blob"
 	"soxq/internal/core"
-	"soxq/internal/xqparse"
 )
 
 const figure1Doc = `<sample>
@@ -294,23 +293,13 @@ func TestPushdownEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-run with pushdown disabled.
-	m, err := xqparse.Parse(q)
+	plan, err := h.compile(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := h.opts
-	for _, o := range m.Options {
-		name := o.Name
-		if i := strings.IndexByte(name, ':'); i >= 0 {
-			name = name[i+1:]
-		}
-		if _, err := opts.Set(name, o.Value); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ev := h.newEvaluator(opts, core.StrategyLoopLifted)
+	ev := h.newEvaluator(plan, core.StrategyLoopLifted)
 	ev.Pushdown = false
-	noPD, err := ev.Run(m)
+	noPD, err := ev.Run()
 	if err != nil {
 		t.Fatal(err)
 	}

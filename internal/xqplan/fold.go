@@ -1,0 +1,177 @@
+package xqplan
+
+import (
+	"math"
+
+	"soxq/internal/xqast"
+)
+
+// fold rewrites an expression with constant subexpressions evaluated:
+// arithmetic and unary minus over numeric literals. Folding reproduces the
+// evaluator's semantics exactly (integer ops stay integers, div always
+// yields a double) and leaves anything that would raise a dynamic error —
+// division by zero, for example — unfolded so errors still surface at run
+// time. Child expressions of every container are folded in place.
+func fold(e xqast.Expr) xqast.Expr {
+	switch v := e.(type) {
+	case *xqast.FLWOR:
+		for _, cl := range v.Clauses {
+			switch c := cl.(type) {
+			case *xqast.ForClause:
+				c.Seq = fold(c.Seq)
+			case *xqast.LetClause:
+				c.Seq = fold(c.Seq)
+			}
+		}
+		if v.Where != nil {
+			v.Where = fold(v.Where)
+		}
+		for i := range v.OrderBy {
+			v.OrderBy[i].Key = fold(v.OrderBy[i].Key)
+		}
+		v.Return = fold(v.Return)
+	case *xqast.Quantified:
+		v.Seq = fold(v.Seq)
+		v.Satisfies = fold(v.Satisfies)
+	case *xqast.IfExpr:
+		v.Cond = fold(v.Cond)
+		v.Then = fold(v.Then)
+		v.Else = fold(v.Else)
+	case *xqast.Binary:
+		v.L = fold(v.L)
+		v.R = fold(v.R)
+		if folded, ok := foldArith(v); ok {
+			return folded
+		}
+	case *xqast.Unary:
+		v.X = fold(v.X)
+		if folded, ok := foldUnary(v); ok {
+			return folded
+		}
+	case *xqast.Path:
+		if v.Start != nil {
+			v.Start = fold(v.Start)
+		}
+		for _, step := range v.Steps {
+			for i := range step.Predicates {
+				step.Predicates[i] = fold(step.Predicates[i])
+			}
+		}
+	case *xqast.Filter:
+		v.Base = fold(v.Base)
+		for i := range v.Predicates {
+			v.Predicates[i] = fold(v.Predicates[i])
+		}
+	case *xqast.FuncCall:
+		for i := range v.Args {
+			v.Args[i] = fold(v.Args[i])
+		}
+	case *xqast.DirectElem:
+		for ai := range v.Attrs {
+			for i := range v.Attrs[ai].Value {
+				v.Attrs[ai].Value[i] = fold(v.Attrs[ai].Value[i])
+			}
+		}
+		for i := range v.Content {
+			v.Content[i] = fold(v.Content[i])
+		}
+	case *xqast.Enclosed:
+		v.X = fold(v.X)
+	case *xqast.ComputedElem:
+		if v.NameExpr != nil {
+			v.NameExpr = fold(v.NameExpr)
+		}
+		v.Content = fold(v.Content)
+	case *xqast.ComputedAttr:
+		if v.NameExpr != nil {
+			v.NameExpr = fold(v.NameExpr)
+		}
+		v.Content = fold(v.Content)
+	case *xqast.ComputedText:
+		v.Content = fold(v.Content)
+	}
+	return e
+}
+
+// numLit extracts a numeric literal value.
+func numLit(e xqast.Expr) (i int64, f float64, isInt, ok bool) {
+	switch v := e.(type) {
+	case *xqast.IntLit:
+		return v.V, float64(v.V), true, true
+	case *xqast.FloatLit:
+		return 0, v.V, false, true
+	}
+	return 0, 0, false, false
+}
+
+// foldArith folds a binary arithmetic operator over two numeric literals.
+func foldArith(v *xqast.Binary) (xqast.Expr, bool) {
+	switch v.Op {
+	case "+", "-", "*", "div", "idiv", "mod":
+	default:
+		return nil, false
+	}
+	li, lf, lInt, ok := numLit(v.L)
+	if !ok {
+		return nil, false
+	}
+	ri, rf, rInt, ok := numLit(v.R)
+	if !ok {
+		return nil, false
+	}
+	// Integer fast path, mirroring the evaluator: div always yields a
+	// double; zero divisors are left for the runtime to report.
+	if lInt && rInt && v.Op != "div" {
+		switch v.Op {
+		case "+":
+			return &xqast.IntLit{V: li + ri}, true
+		case "-":
+			return &xqast.IntLit{V: li - ri}, true
+		case "*":
+			return &xqast.IntLit{V: li * ri}, true
+		case "idiv":
+			if ri == 0 {
+				return nil, false
+			}
+			return &xqast.IntLit{V: li / ri}, true
+		case "mod":
+			if ri == 0 {
+				return nil, false
+			}
+			return &xqast.IntLit{V: li % ri}, true
+		}
+	}
+	if rf == 0 && (v.Op == "div" || v.Op == "idiv" || v.Op == "mod") {
+		return nil, false
+	}
+	switch v.Op {
+	case "+":
+		return &xqast.FloatLit{V: lf + rf}, true
+	case "-":
+		return &xqast.FloatLit{V: lf - rf}, true
+	case "*":
+		return &xqast.FloatLit{V: lf * rf}, true
+	case "div":
+		return &xqast.FloatLit{V: lf / rf}, true
+	case "idiv":
+		return &xqast.IntLit{V: int64(lf / rf)}, true
+	case "mod":
+		return &xqast.FloatLit{V: math.Mod(lf, rf)}, true
+	}
+	return nil, false
+}
+
+// foldUnary folds unary plus/minus over a numeric literal.
+func foldUnary(v *xqast.Unary) (xqast.Expr, bool) {
+	i, f, isInt, ok := numLit(v.X)
+	if !ok {
+		return nil, false
+	}
+	if !v.Neg {
+		return v.X, true
+	}
+	if isInt {
+		return &xqast.IntLit{V: -i}, true
+	}
+	return &xqast.FloatLit{V: -f}, true
+}

@@ -1,0 +1,294 @@
+// Package xqplan is the compile stage between internal/xqparse and
+// internal/xqeval. Compile turns a parsed xqast.Module plus the engine's
+// stand-off options into an immutable Plan: preamble options resolved, the
+// function table built and arity-checked once, global variables ordered, the
+// section 3.3 candidate-pushdown decision made statically for every StandOff
+// axis step, and constant subexpressions folded.
+//
+// A Plan carries no mutable state and no references to documents or indexes,
+// so one Plan can back any number of concurrent executions and can be cached
+// across queries (the engine keys its plan cache on query text + effective
+// options).
+package xqplan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"soxq/internal/core"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+)
+
+// Error is a static (compile-time) error with its W3C error code.
+type Error struct {
+	Code string // e.g. "XQST0034", "XQST0039"
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("xquery error %s: %s", e.Code, e.Msg) }
+
+func errf(code, format string, args ...any) error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+const (
+	codeDupFunc   = "XQST0034" // duplicate function declaration
+	codeDupParam  = "XQST0039" // duplicate parameter name
+	codeBadOption = "XQST0013" // invalid option value
+)
+
+// CandPolicy is the statically decided candidate-sequence policy of one
+// StandOff step (the section 3.3 optimizer decision).
+type CandPolicy int
+
+const (
+	// CandImpossible: the node test can never match an area-annotation
+	// (text(), comment(), attribute tests); the step is statically empty.
+	CandImpossible CandPolicy = iota
+	// CandAll: every area-annotation is a candidate, no residual filter.
+	CandAll
+	// CandAllFiltered: every area-annotation is a candidate and the node
+	// test is applied to the join output (pushdown disabled).
+	CandAllFiltered
+	// CandByName: the element-name index is intersected with the region
+	// index before the join (section 4.3 pushdown).
+	CandByName
+)
+
+// SOStep is the compiled form of one StandOff axis step: the join operator
+// plus the candidate policy under both optimizer settings. The element-name
+// to name-id resolution stays at run time because it is per-document.
+type SOStep struct {
+	Op     core.Op
+	Push   CandPolicy // policy with candidate pushdown enabled
+	NoPush CandPolicy // policy with candidate pushdown disabled
+	Name   string     // element name for CandByName
+}
+
+// Policy returns the candidate policy for the given pushdown setting.
+func (s SOStep) Policy(pushdown bool) CandPolicy {
+	if pushdown {
+		return s.Push
+	}
+	return s.NoPush
+}
+
+// soOps maps the four StandOff axes to their join operators.
+var soOps = map[xpath.Axis]core.Op{
+	xpath.AxisSelectNarrow: core.SelectNarrow,
+	xpath.AxisSelectWide:   core.SelectWide,
+	xpath.AxisRejectNarrow: core.RejectNarrow,
+	xpath.AxisRejectWide:   core.RejectWide,
+}
+
+// Decide computes the compiled form of a StandOff step. Compile calls it for
+// every step found in the module; the evaluator falls back to it for steps
+// synthesised at run time (the so:select-narrow(...) function form).
+func Decide(step *xqast.Step) SOStep {
+	so := SOStep{Op: soOps[step.Axis]}
+	switch step.Test.Kind {
+	case xpath.TestElement, xpath.TestAnyNode:
+	default:
+		// Area-annotations are always elements.
+		so.Push, so.NoPush = CandImpossible, CandImpossible
+		return so
+	}
+	if step.Test.Name == "" {
+		so.Push, so.NoPush = CandAll, CandAll
+		return so
+	}
+	so.Push, so.NoPush = CandByName, CandAllFiltered
+	so.Name = step.Test.Name
+	return so
+}
+
+// FuncKey is the function-table key: the (possibly prefixed) name and the
+// arity, encoded unambiguously as "name/arity".
+func FuncKey(name string, arity int) string {
+	return name + "/" + strconv.Itoa(arity)
+}
+
+// Plan is an immutable compiled query.
+type Plan struct {
+	body    xqast.Expr
+	globals []*xqast.VarDecl
+	opts    core.Options
+	funcs   map[string]*xqast.FunctionDecl
+	so      map[*xqast.Step]SOStep
+}
+
+// Compile builds a Plan from a parsed module. base is the engine-wide option
+// set; the module's preamble overrides it (option names are matched on their
+// local name, as in section 2). The module is consumed: Compile may rewrite
+// its expressions in place (constant folding), so callers must not share the
+// module or evaluate it directly afterwards.
+func Compile(m *xqast.Module, base core.Options) (*Plan, error) {
+	p := &Plan{
+		opts:  base,
+		funcs: make(map[string]*xqast.FunctionDecl, len(m.Functions)),
+		so:    map[*xqast.Step]SOStep{},
+	}
+	// (1) Resolve preamble options against the engine defaults.
+	for _, o := range m.Options {
+		name := o.Name
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[i+1:]
+		}
+		if _, err := p.opts.Set(name, o.Value); err != nil {
+			return nil, errf(codeBadOption, "%v", err)
+		}
+	}
+	// (2) Build the function table once, checking name/arity collisions and
+	// duplicate parameters.
+	for _, fd := range m.Functions {
+		key := FuncKey(fd.Name, len(fd.Params))
+		if _, dup := p.funcs[key]; dup {
+			return nil, errf(codeDupFunc, "duplicate function %s#%d", fd.Name, len(fd.Params))
+		}
+		seen := make(map[string]bool, len(fd.Params))
+		for _, param := range fd.Params {
+			if seen[param] {
+				return nil, errf(codeDupParam, "duplicate parameter $%s in function %s#%d", param, fd.Name, len(fd.Params))
+			}
+			seen[param] = true
+		}
+		p.funcs[key] = fd
+	}
+	// (3) Fold constants, then record the compiled decision for every
+	// StandOff step of the folded tree (function bodies included).
+	for _, fd := range m.Functions {
+		fd.Body = fold(fd.Body)
+		p.analyze(fd.Body)
+	}
+	for _, vd := range m.Variables {
+		vd.Value = fold(vd.Value)
+		p.analyze(vd.Value)
+	}
+	m.Body = fold(m.Body)
+	p.analyze(m.Body)
+	p.body = m.Body
+	p.globals = m.Variables
+	return p, nil
+}
+
+// Body returns the compiled query body.
+func (p *Plan) Body() xqast.Expr { return p.body }
+
+// Globals returns the global variable declarations in declaration order.
+func (p *Plan) Globals() []*xqast.VarDecl { return p.globals }
+
+// Options returns the effective stand-off options (engine defaults with the
+// query preamble applied).
+func (p *Plan) Options() core.Options { return p.opts }
+
+// Function resolves a user-declared function by name and arity.
+func (p *Plan) Function(name string, arity int) (*xqast.FunctionDecl, bool) {
+	fd, ok := p.funcs[FuncKey(name, arity)]
+	return fd, ok
+}
+
+// NumFunctions returns the size of the function table.
+func (p *Plan) NumFunctions() int { return len(p.funcs) }
+
+// NumStandOffSteps returns how many StandOff axis steps were compiled.
+func (p *Plan) NumStandOffSteps() int { return len(p.so) }
+
+// StandOff returns the compiled decision for a StandOff step. Steps that
+// were not part of the compiled module (the evaluator synthesises steps for
+// the function form of the joins) are decided on the fly.
+func (p *Plan) StandOff(step *xqast.Step) SOStep {
+	if so, ok := p.so[step]; ok {
+		return so
+	}
+	return Decide(step)
+}
+
+// analyze walks an expression recording the compiled form of every StandOff
+// axis step.
+func (p *Plan) analyze(e xqast.Expr) {
+	walk(e, func(x xqast.Expr) {
+		path, ok := x.(*xqast.Path)
+		if !ok {
+			return
+		}
+		for _, step := range path.Steps {
+			if step.Axis.StandOff() {
+				p.so[step] = Decide(step)
+			}
+		}
+	})
+}
+
+// walk calls fn on e and every nested expression, including step and filter
+// predicates and constructor content.
+func walk(e xqast.Expr, fn func(xqast.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *xqast.FLWOR:
+		for _, cl := range v.Clauses {
+			switch c := cl.(type) {
+			case *xqast.ForClause:
+				walk(c.Seq, fn)
+			case *xqast.LetClause:
+				walk(c.Seq, fn)
+			}
+		}
+		walk(v.Where, fn)
+		for _, spec := range v.OrderBy {
+			walk(spec.Key, fn)
+		}
+		walk(v.Return, fn)
+	case *xqast.Quantified:
+		walk(v.Seq, fn)
+		walk(v.Satisfies, fn)
+	case *xqast.IfExpr:
+		walk(v.Cond, fn)
+		walk(v.Then, fn)
+		walk(v.Else, fn)
+	case *xqast.Binary:
+		walk(v.L, fn)
+		walk(v.R, fn)
+	case *xqast.Unary:
+		walk(v.X, fn)
+	case *xqast.Path:
+		walk(v.Start, fn)
+		for _, step := range v.Steps {
+			for _, pred := range step.Predicates {
+				walk(pred, fn)
+			}
+		}
+	case *xqast.Filter:
+		walk(v.Base, fn)
+		for _, pred := range v.Predicates {
+			walk(pred, fn)
+		}
+	case *xqast.FuncCall:
+		for _, a := range v.Args {
+			walk(a, fn)
+		}
+	case *xqast.DirectElem:
+		for _, attr := range v.Attrs {
+			for _, part := range attr.Value {
+				walk(part, fn)
+			}
+		}
+		for _, c := range v.Content {
+			walk(c, fn)
+		}
+	case *xqast.Enclosed:
+		walk(v.X, fn)
+	case *xqast.ComputedElem:
+		walk(v.NameExpr, fn)
+		walk(v.Content, fn)
+	case *xqast.ComputedAttr:
+		walk(v.NameExpr, fn)
+		walk(v.Content, fn)
+	case *xqast.ComputedText:
+		walk(v.Content, fn)
+	}
+}

@@ -1,0 +1,223 @@
+package xqplan
+
+import (
+	"strings"
+	"testing"
+
+	"soxq/internal/core"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+	"soxq/internal/xqparse"
+)
+
+func compile(t *testing.T, q string) *Plan {
+	t.Helper()
+	m, err := xqparse.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Compile(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestFuncKeyEncoding(t *testing.T) {
+	// The old rune encoding ('0'+arity) broke past arity 9 and could not
+	// round-trip; the name/arity form is unambiguous.
+	if got := FuncKey("local:f", 12); got != "local:f/12" {
+		t.Fatalf("FuncKey = %q", got)
+	}
+	if FuncKey("f", 10) == FuncKey("f", 1) {
+		t.Fatal("keys must differ per arity")
+	}
+}
+
+func TestCompileFunctionTable(t *testing.T) {
+	p := compile(t, `
+		declare function local:one($a) { $a };
+		declare function local:one($a, $b) { ($a, $b) };
+		local:one(1)`)
+	if p.NumFunctions() != 2 {
+		t.Fatalf("NumFunctions = %d, want 2", p.NumFunctions())
+	}
+	if _, ok := p.Function("local:one", 1); !ok {
+		t.Fatal("local:one#1 missing")
+	}
+	if _, ok := p.Function("local:one", 2); !ok {
+		t.Fatal("local:one#2 missing")
+	}
+	if _, ok := p.Function("local:one", 3); ok {
+		t.Fatal("local:one#3 must not resolve")
+	}
+}
+
+func TestCompileDuplicateFunction(t *testing.T) {
+	m, err := xqparse.Parse(`
+		declare function local:f($a) { $a };
+		declare function local:f($x) { $x };
+		local:f(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(m, core.DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "XQST0034") {
+		t.Fatalf("want duplicate-function error, got %v", err)
+	}
+}
+
+func TestCompileDuplicateParam(t *testing.T) {
+	m, err := xqparse.Parse(`declare function local:f($a, $a) { $a }; 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(m, core.DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "XQST0039") {
+		t.Fatalf("want duplicate-parameter error, got %v", err)
+	}
+}
+
+func TestCompileResolvesPreambleOptions(t *testing.T) {
+	p := compile(t, `declare option so:standoff-type "so:timecode"; 1`)
+	if p.Options().Type != core.TypeTimecode {
+		t.Fatalf("preamble option not applied: %+v", p.Options())
+	}
+	// Engine-wide defaults survive when the preamble is silent.
+	base := core.DefaultOptions()
+	base.Start = "s0"
+	m, err := xqparse.Parse(`1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Options().Start != "s0" {
+		t.Fatalf("base options lost: %+v", p2.Options())
+	}
+}
+
+func TestCompileBadOption(t *testing.T) {
+	m, err := xqparse.Parse(`declare option so:standoff-type "xs:string"; 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(m, core.DefaultOptions()); err == nil {
+		t.Fatal("want bad-option error")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	for _, tc := range []struct {
+		q    string
+		want xqast.Expr
+	}{
+		{`1 + 2 * 3`, &xqast.IntLit{V: 7}},
+		{`-(4 - 6)`, &xqast.IntLit{V: 2}},
+		{`7 idiv 2`, &xqast.IntLit{V: 3}},
+		{`7 mod 2`, &xqast.IntLit{V: 1}},
+		{`1 div 2`, &xqast.FloatLit{V: 0.5}},
+		{`1.5 + 0.25`, &xqast.FloatLit{V: 1.75}},
+	} {
+		p := compile(t, tc.q)
+		switch want := tc.want.(type) {
+		case *xqast.IntLit:
+			got, ok := p.Body().(*xqast.IntLit)
+			if !ok || got.V != want.V {
+				t.Errorf("%s: body = %#v, want IntLit %d", tc.q, p.Body(), want.V)
+			}
+		case *xqast.FloatLit:
+			got, ok := p.Body().(*xqast.FloatLit)
+			if !ok || got.V != want.V {
+				t.Errorf("%s: body = %#v, want FloatLit %v", tc.q, p.Body(), want.V)
+			}
+		}
+	}
+}
+
+func TestFoldingPreservesDynamicErrors(t *testing.T) {
+	// Division by zero must stay a runtime error, not a compile crash or a
+	// silently folded value.
+	p := compile(t, `1 idiv 0`)
+	if _, folded := p.Body().(*xqast.IntLit); folded {
+		t.Fatal("1 idiv 0 must not fold")
+	}
+}
+
+func TestFoldingReachesNestedScopes(t *testing.T) {
+	p := compile(t, `
+		declare variable $g := 2 + 3;
+		declare function local:f($x) { $x + (1 + 1) };
+		for $i in 1 to (2 * 2) where $i > (0 + 1) return local:f($i)`)
+	if g, ok := p.Globals()[0].Value.(*xqast.IntLit); !ok || g.V != 5 {
+		t.Fatalf("global not folded: %#v", p.Globals()[0].Value)
+	}
+	fd, _ := p.Function("local:f", 1)
+	body, ok := fd.Body.(*xqast.Binary)
+	if !ok {
+		t.Fatalf("function body shape: %#v", fd.Body)
+	}
+	if r, ok := body.R.(*xqast.IntLit); !ok || r.V != 2 {
+		t.Fatalf("function body constant not folded: %#v", body.R)
+	}
+}
+
+func TestStandOffDecisions(t *testing.T) {
+	p := compile(t, `doc("d.xml")//music/select-narrow::shot`)
+	if p.NumStandOffSteps() != 1 {
+		t.Fatalf("NumStandOffSteps = %d, want 1", p.NumStandOffSteps())
+	}
+	var so SOStep
+	walk(p.Body(), func(e xqast.Expr) {
+		if path, ok := e.(*xqast.Path); ok {
+			for _, s := range path.Steps {
+				if s.Axis.StandOff() {
+					so = p.StandOff(s)
+				}
+			}
+		}
+	})
+	if so.Op != core.SelectNarrow {
+		t.Fatalf("Op = %v", so.Op)
+	}
+	if so.Policy(true) != CandByName || so.Name != "shot" {
+		t.Fatalf("pushdown policy = %v name %q", so.Policy(true), so.Name)
+	}
+	if so.Policy(false) != CandAllFiltered {
+		t.Fatalf("no-pushdown policy = %v", so.Policy(false))
+	}
+}
+
+func TestStandOffDecisionKinds(t *testing.T) {
+	for _, tc := range []struct {
+		test         xpath.Test
+		push, noPush CandPolicy
+	}{
+		{xpath.Test{Kind: xpath.TestText}, CandImpossible, CandImpossible},
+		{xpath.Test{Kind: xpath.TestAnyNode}, CandAll, CandAll},
+		{xpath.Test{Kind: xpath.TestElement}, CandAll, CandAll},
+		{xpath.NameTest("x"), CandByName, CandAllFiltered},
+	} {
+		so := Decide(&xqast.Step{Axis: xpath.AxisSelectWide, Test: tc.test})
+		if so.Push != tc.push || so.NoPush != tc.noPush {
+			t.Errorf("Decide(%v) = %v/%v, want %v/%v", tc.test, so.Push, so.NoPush, tc.push, tc.noPush)
+		}
+		if so.Op != core.SelectWide {
+			t.Errorf("Decide(%v).Op = %v", tc.test, so.Op)
+		}
+	}
+}
+
+// TestStandOffStepsInsidePredicatesAndConstructors pins that analysis walks
+// the whole tree, not just top-level paths.
+func TestStandOffStepsEverywhere(t *testing.T) {
+	p := compile(t, `
+		declare function local:f($s) { $s/select-wide::b };
+		for $x in doc("d.xml")//a[./select-narrow::c]
+		return <r>{ local:f($x), $x/reject-wide::d }</r>`)
+	if got := p.NumStandOffSteps(); got != 3 {
+		t.Fatalf("NumStandOffSteps = %d, want 3", got)
+	}
+}

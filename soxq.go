@@ -35,11 +35,13 @@ import (
 
 	"soxq/internal/blob"
 	"soxq/internal/core"
+	"soxq/internal/plancache"
 	"soxq/internal/tree"
 	"soxq/internal/xmark"
 	"soxq/internal/xmlparse"
 	"soxq/internal/xqeval"
 	"soxq/internal/xqparse"
+	"soxq/internal/xqplan"
 )
 
 // Mode selects how StandOff steps are executed, mirroring the three variants
@@ -92,20 +94,33 @@ type Config struct {
 	HeapActiveList bool
 }
 
-// Engine holds loaded documents, their BLOBs, and cached region indexes. It
-// is safe for concurrent queries.
+// Engine holds loaded documents, their BLOBs, cached region indexes, and a
+// bounded LRU cache of compiled query plans. It is safe for concurrent
+// queries.
 type Engine struct {
 	mu      sync.RWMutex
 	docs    map[string]*tree.Doc
 	blobs   map[string]blob.Store
 	indexes map[indexKey]*core.RegionIndex
 	options core.Options
+	plans   *plancache.Cache[planKey, *xqplan.Plan]
 }
 
 type indexKey struct {
 	doc  *tree.Doc
 	opts core.Options
 }
+
+// planKey identifies a cached plan: the query text plus the engine options
+// in effect when it was compiled (the preamble is part of the text, so two
+// engines' defaults never alias).
+type planKey struct {
+	query string
+	opts  core.Options
+}
+
+// PlanCacheSize is the default capacity of the engine's plan cache.
+const PlanCacheSize = 256
 
 // New returns an empty engine with the paper's default stand-off options
 // (integer positions in start/end attributes).
@@ -115,6 +130,7 @@ func New() *Engine {
 		blobs:   map[string]blob.Store{},
 		indexes: map[indexKey]*core.RegionIndex{},
 		options: core.DefaultOptions(),
+		plans:   plancache.New[planKey, *xqplan.Plan](PlanCacheSize),
 	}
 }
 
@@ -131,6 +147,11 @@ func (e *Engine) Declare(option, value string) error {
 	if !known {
 		return fmt.Errorf("soxq: unknown option %q", option)
 	}
+	// Cached plans embed the effective options they were compiled under;
+	// entries for the previous defaults can never be hit again, so drop
+	// them. (Prepared statements keep their compile-time options — like a
+	// database prepared statement, they are not retroactively re-planned.)
+	e.plans.Purge()
 	return nil
 }
 
@@ -194,7 +215,11 @@ func (e *Engine) ConvertToStandOff(name, soName string, permute bool, seed uint6
 	return e.LoadStandOff(soName, res.XML, blob.FromBytes(res.Blob))
 }
 
-// Unload removes a document (and its BLOB and cached indexes).
+// Unload removes a document (and its BLOB and cached indexes), and
+// invalidates the plan cache. Plans hold no document references — fn:doc
+// resolves at execution time — but dropping them keeps an unload a clean
+// point-in-time barrier for callers that reload a changed document under
+// the same name.
 func (e *Engine) Unload(name string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -206,6 +231,7 @@ func (e *Engine) Unload(name string) {
 			delete(e.indexes, k)
 		}
 	}
+	e.plans.Purge()
 }
 
 // Documents returns the names of all loaded documents.
@@ -219,43 +245,105 @@ func (e *Engine) Documents() []string {
 	return names
 }
 
-// Query runs an XQuery with the default configuration.
-func (e *Engine) Query(q string) (*Result, error) {
-	return e.QueryWith(q, Config{})
+// Prepared is a query compiled against an engine: parsed once, the function
+// table built and arity-checked once, the section 3.3 candidate-pushdown
+// decisions made statically, and the preamble options resolved against the
+// engine defaults in effect at Prepare time. The underlying plan is
+// immutable, so one Prepared may Exec from any number of goroutines
+// concurrently — the repeated-query scenario the paper's loop-lifting
+// targets pays the parse-and-compile cost exactly once.
+type Prepared struct {
+	eng  *Engine
+	plan *xqplan.Plan
 }
 
-// QueryWith runs an XQuery under the given configuration.
-func (e *Engine) QueryWith(q string, cfg Config) (*Result, error) {
+// Prepare parses and compiles a query for repeated execution.
+func (e *Engine) Prepare(q string) (*Prepared, error) {
+	plan, err := compile(q, e.currentOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, plan: plan}, nil
+}
+
+func (e *Engine) currentOptions() core.Options {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.options
+}
+
+// compile runs the parse and compile stages under the given option
+// defaults.
+func compile(q string, opts core.Options) (*xqplan.Plan, error) {
 	m, err := xqparse.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	opts := e.options
-	e.mu.RUnlock()
-	for _, o := range m.Options {
-		name := o.Name
-		if i := strings.IndexByte(name, ':'); i >= 0 {
-			name = name[i+1:]
-		}
-		if _, err := opts.Set(name, o.Value); err != nil {
-			return nil, err
-		}
-	}
+	return xqplan.Compile(m, opts)
+}
+
+// Exec runs the compiled query under the given configuration. It is safe to
+// call concurrently: each call builds a fresh per-run evaluator over the
+// shared immutable plan.
+func (p *Prepared) Exec(cfg Config) (*Result, error) {
+	opts := p.plan.Options()
+	e := p.eng
 	ev := &xqeval.Evaluator{
+		Plan:     p.plan,
 		Resolver: e.resolve,
 		IndexFor: func(d *tree.Doc) (*core.RegionIndex, error) { return e.indexFor(d, opts) },
 		BlobFor:  e.blobFor,
-		Options:  opts,
 		Strategy: cfg.Mode.strategy(),
 		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
 		Pushdown: !cfg.NoPushdown,
 	}
-	items, err := ev.Run(m)
+	items, err := ev.Run()
 	if err != nil {
 		return nil, err
 	}
 	return &Result{items: items}, nil
+}
+
+// Query runs an XQuery with the default configuration, reusing a cached
+// plan when the same query text was compiled before.
+func (e *Engine) Query(q string) (*Result, error) {
+	return e.QueryWith(q, Config{})
+}
+
+// QueryWith runs an XQuery under the given configuration. Plans are cached
+// in a bounded LRU keyed by query text + effective engine options, so a
+// repeated query costs one cache lookup plus execution — within measurement
+// noise of holding a Prepared statement (see BenchmarkQueryCached).
+func (e *Engine) QueryWith(q string, cfg Config) (*Result, error) {
+	p, err := e.preparedCached(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec(cfg)
+}
+
+// preparedCached returns a Prepared for q, consulting the plan cache. The
+// options snapshot taken here keys the cache AND seeds the compile, so a
+// concurrent Declare can never associate a plan with the wrong key.
+func (e *Engine) preparedCached(q string) (*Prepared, error) {
+	opts := e.currentOptions()
+	key := planKey{query: q, opts: opts}
+	if plan, ok := e.plans.Get(key); ok {
+		return &Prepared{eng: e, plan: plan}, nil
+	}
+	plan, err := compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.Put(key, plan)
+	return &Prepared{eng: e, plan: plan}, nil
+}
+
+// PlanCacheStats reports the plan cache's cumulative hit and miss counts
+// and its current size.
+func (e *Engine) PlanCacheStats() (hits, misses uint64, size int) {
+	hits, misses = e.plans.Stats()
+	return hits, misses, e.plans.Len()
 }
 
 func (e *Engine) resolve(uri string) (*tree.Doc, error) {
