@@ -39,7 +39,7 @@ var paperScaleNames = map[string]string{
 func main() {
 	scales := flag.String("scales", "0.1,0.5,1", "comma-separated XMark scale factors")
 	queries := flag.String("queries", "1,2,6,7", "comma-separated XMark query numbers")
-	variants := flag.String("variants", "udf,basic,looplifted", "comma-separated variants (udf,udf-nocand,basic,looplifted)")
+	variants := flag.String("variants", "udf,basic,looplifted", "comma-separated variants (udf,udf-nocand,basic,looplifted,auto)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-cell budget before declaring DNF (paper: 1h)")
 	dir := flag.String("dir", "soxq-bench-data", "directory for generated data files")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -131,6 +131,8 @@ func variantLabel(v string) string {
 		return "Basic StandOff MergeJoin"
 	case "looplifted":
 		return "Loop-Lifted StandOff MergeJoin"
+	case "auto":
+		return "Per-Step Cost Model (auto)"
 	}
 	return v
 }
@@ -231,6 +233,8 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 func runCell(soPath string, q int, variant string, prepare bool) {
 	cfg := soxq.Config{}
 	switch variant {
+	case "auto":
+		cfg.Mode = soxq.ModeAuto
 	case "udf":
 		cfg.Mode = soxq.ModeUDF
 	case "udf-nocand":

@@ -9,8 +9,12 @@
 //	     -f query.xq -mode basic
 //
 // Documents are registered under the name given before '='; queries address
-// them with fn:doc. -mode selects the paper's execution strategies
-// (looplifted, basic, udf).
+// them with fn:doc. -mode selects the execution strategy: auto (the default;
+// the planner picks Basic vs Loop-Lifted per step from the region index
+// statistics) or one of the paper's forced variants (looplifted, basic,
+// udf). -explain executes the query and prints the compiled plan — per step
+// the axis, node test, // fusion, candidate policy and the join strategy the
+// cost model actually chose — instead of the query results.
 package main
 
 import (
@@ -36,10 +40,11 @@ func main() {
 	flag.Var(&declares, "declare", "engine-wide stand-off option: option=value (repeatable)")
 	query := flag.String("q", "", "query text")
 	queryFile := flag.String("f", "", "file containing the query")
-	mode := flag.String("mode", "looplifted", "execution mode: looplifted, basic or udf")
+	mode := flag.String("mode", "auto", "execution mode: auto, looplifted, basic or udf")
 	noPushdown := flag.Bool("no-pushdown", false, "disable candidate-sequence pushdown")
 	heap := flag.Bool("heap", false, "use the heap-based active set (paper section 5)")
 	timing := flag.Bool("time", false, "print load and evaluation timing to stderr")
+	explain := flag.Bool("explain", false, "print the compiled plan (with resolved join strategies) instead of results")
 	flag.Parse()
 
 	if (*query == "") == (*queryFile == "") {
@@ -53,6 +58,8 @@ func main() {
 	}
 	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap}
 	switch *mode {
+	case "auto":
+		cfg.Mode = soxq.ModeAuto
 	case "looplifted":
 		cfg.Mode = soxq.ModeLoopLifted
 	case "basic":
@@ -106,6 +113,12 @@ func main() {
 	fatalIf(err)
 	if *timing {
 		fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
+	}
+	if *explain {
+		// The query ran above, so the plan's strategy memos hold the
+		// choices the cost model actually made.
+		fmt.Print(prep.Explain().String())
+		return
 	}
 	for _, v := range res.Values() {
 		fmt.Println(v.XML())

@@ -1,0 +1,123 @@
+package soxq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanExplain is the structured description of a prepared query's compiled
+// form: the effective stand-off options, how many constant subexpressions
+// the compiler folded away, and one entry per path expression with its
+// compiled step program. Paths appear in compile discovery order (a
+// predicate's path precedes the path of the step it filters).
+type PlanExplain struct {
+	// Options renders the effective stand-off options the plan was
+	// compiled under.
+	Options string
+	// Folds is the number of constant-folding rewrites applied.
+	Folds int
+	// Paths holds one step program per path expression.
+	Paths []PathExplain
+}
+
+// PathExplain is one path expression's compiled step program.
+type PathExplain struct {
+	Steps []StepExplain
+}
+
+// StepExplain describes one compiled step of a path.
+type StepExplain struct {
+	// Axis and Test render the step as compiled — a step fused from the //
+	// abbreviation shows the descendant axis it actually executes.
+	Axis string
+	Test string
+	// Fused marks a step produced by the compile-time fusion of
+	// descendant-or-self::node()/child::T.
+	Fused bool
+	// Predicates is the number of predicates applied after the step.
+	Predicates int
+	// StandOff marks one of the four StandOff axes; the remaining fields
+	// are only meaningful when it is set.
+	StandOff bool
+	// Op is the join operator (select-narrow, ...).
+	Op string
+	// PushPolicy and NoPushPolicy are the section 3.3 candidate policies
+	// under the two optimizer settings ("all", "all+filter",
+	// "by-name", "impossible").
+	PushPolicy   string
+	NoPushPolicy string
+	// Strategy reports the join-strategy choice: "auto" before the step
+	// has executed against an index, and "auto(basic)" /
+	// "auto(looplifted)" afterwards, listing every distinct choice the
+	// cost model made (one per region index the plan has bound to). An
+	// execution that forces a mode (ModeBasic, ...) bypasses the cost
+	// model and leaves this unresolved.
+	Strategy string
+}
+
+// Explain returns the structured description of the compiled plan. Call it
+// after an Exec in auto mode to see the join strategies the cost model
+// actually selected; before any execution the strategy of each StandOff
+// step reads "auto".
+func (p *Prepared) Explain() *PlanExplain {
+	ix := p.plan.Explain()
+	out := &PlanExplain{Options: ix.Options.String(), Folds: ix.Folds}
+	for _, pe := range ix.Paths {
+		var path PathExplain
+		for _, se := range pe.Steps {
+			path.Steps = append(path.Steps, StepExplain{
+				Axis:         se.Axis,
+				Test:         se.Test,
+				Fused:        se.Fused,
+				Predicates:   se.Predicates,
+				StandOff:     se.StandOff,
+				Op:           se.Op,
+				PushPolicy:   policyString(se.PushPolicy, se.Name),
+				NoPushPolicy: policyString(se.NoPushPolicy, se.Name),
+				Strategy:     se.Strategy(),
+			})
+		}
+		out.Paths = append(out.Paths, path)
+	}
+	return out
+}
+
+func policyString(policy, name string) string {
+	if policy == "by-name" {
+		return "by-name(" + name + ")"
+	}
+	return policy
+}
+
+// String renders the plan description, one line per step:
+//
+//	options: type=xs:integer start=@start end=@end
+//	folds: 1
+//	path 1:
+//	  step 1: descendant::music (fused //)
+//	  step 2: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)}
+func (x *PlanExplain) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "options: %s\n", x.Options)
+	fmt.Fprintf(&sb, "folds: %d\n", x.Folds)
+	for pi, p := range x.Paths {
+		fmt.Fprintf(&sb, "path %d:\n", pi+1)
+		for si, s := range p.Steps {
+			fmt.Fprintf(&sb, "  step %d: %s::%s", si+1, s.Axis, s.Test)
+			if s.Predicates == 1 {
+				sb.WriteString(" [1 predicate]")
+			} else if s.Predicates > 1 {
+				fmt.Fprintf(&sb, " [%d predicates]", s.Predicates)
+			}
+			if s.Fused {
+				sb.WriteString(" (fused //)")
+			}
+			if s.StandOff {
+				fmt.Fprintf(&sb, " standoff{op=%s push=%s nopush=%s strategy=%s}",
+					s.Op, s.PushPolicy, s.NoPushPolicy, s.Strategy)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package soxq
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// figure2Doc is the sample document of the paper's Figure 1/2 walkthrough.
+const figure2Doc = `<doc>
+  <music artist="U2" start="0" end="31"/>
+  <music artist="Bach" start="52" end="94"/>
+  <shot id="Intro" start="0" end="8"/>
+  <shot id="Interview" start="8" end="64"/>
+  <shot id="Outro" start="64" end="94"/>
+</doc>`
+
+func figure2Engine(t *testing.T) *Engine {
+	t.Helper()
+	eng := New()
+	if err := eng.LoadXML("d.xml", []byte(figure2Doc)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestExplainGoldenAxisQuery pins the rendered plan of the Figure 2 example
+// in its axis form, before and after execution: the stand-off step reads
+// strategy=auto until an auto-mode Exec resolves it against the document's
+// region index (five areas — far below the cutoff, so Basic).
+func TestExplainGoldenAxisQuery(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`for $s in doc("d.xml")//music[@artist = "U2"]/select-narrow::shot
+	         return string($s/@id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBefore := `options: type=xs:integer start=@start end=@end
+folds: 0
+path 1:
+  step 1: attribute::artist
+path 2:
+  step 1: descendant-or-self::node()
+  step 2: child::music [1 predicate]
+  step 3: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto}
+path 3:
+  step 1: attribute::id
+`
+	if got := prep.Explain().String(); got != wantBefore {
+		t.Fatalf("explain before exec:\n%s\nwant:\n%s", got, wantBefore)
+	}
+	res, err := prep.Exec(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != "Intro" {
+		t.Fatalf("result = %q, want Intro", got)
+	}
+	wantAfter := strings.Replace(wantBefore, "strategy=auto}", "strategy=auto(basic)}", 1)
+	if got := prep.Explain().String(); got != wantAfter {
+		t.Fatalf("explain after exec:\n%s\nwant:\n%s", got, wantAfter)
+	}
+}
+
+// TestExplainGoldenUDFQuery pins the plan of the Figure 2 library-function
+// form: no stand-off steps, and both // abbreviations compiled into fused
+// descendant steps.
+func TestExplainGoldenUDFQuery(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`
+declare function local:select-narrow($input) {
+  (for $q in $input
+   for $p in root($q)//*
+   where $p/@start >= $q/@start
+     and $p/@end <= $q/@end
+   return $p)/.
+};
+for $s in local:select-narrow(doc("d.xml")//music)/self::shot
+return string($s/@id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	want := `options: type=xs:integer start=@start end=@end
+folds: 0
+path 1:
+  step 1: descendant::* (fused //)
+path 2:
+  step 1: attribute::start
+path 3:
+  step 1: attribute::start
+path 4:
+  step 1: attribute::end
+path 5:
+  step 1: attribute::end
+path 6:
+  step 1: self::node()
+path 7:
+  step 1: descendant::music (fused //)
+path 8:
+  step 1: self::shot
+path 9:
+  step 1: attribute::id
+`
+	if got := prep.Explain().String(); got != want {
+		t.Fatalf("explain:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainFoldCount: the fold counter surfaces in Explain.
+func TestExplainFoldCount(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`concat("a", "b"), 1 + 2, if (true()) then 1 else 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.Explain().Folds; got != 3 {
+		t.Fatalf("Folds = %d, want 3", got)
+	}
+}
+
+// bigStandoffEngine loads a document whose dense layer exceeds the cost
+// model's cutoff while the sparse layer stays below it.
+func bigStandoffEngine(t *testing.T, dense, sparse int) *Engine {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < dense; i++ {
+		fmt.Fprintf(&sb, `<word start="%d" end="%d"/>`, i*10, i*10+9)
+	}
+	for i := 0; i < sparse; i++ {
+		fmt.Fprintf(&sb, `<chapter start="%d" end="%d"/>`, i*1000, i*1000+999)
+	}
+	sb.WriteString("</doc>")
+	eng := New()
+	if err := eng.LoadXML("d.xml", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// soStrategy extracts the strategy string of the single stand-off step.
+func soStrategy(t *testing.T, prep *Prepared) string {
+	t.Helper()
+	for _, p := range prep.Explain().Paths {
+		for _, s := range p.Steps {
+			if s.StandOff {
+				return s.Strategy
+			}
+		}
+	}
+	t.Fatal("no stand-off step in plan")
+	return ""
+}
+
+// TestStrategyFlipsPerLayer: the same query shape resolves to different
+// join strategies depending on which annotation layer it targets — the
+// per-step decision a single per-query knob cannot make.
+func TestStrategyFlipsPerLayer(t *testing.T) {
+	eng := bigStandoffEngine(t, 500, 5)
+	dense, err := eng.Prepare(`doc("d.xml")//chapter/select-narrow::word`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := eng.Prepare(`doc("d.xml")//word/select-wide::chapter`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dense.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparse.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := soStrategy(t, dense); got != "auto(looplifted)" {
+		t.Fatalf("dense-layer step strategy = %q, want auto(looplifted)", got)
+	}
+	if got := soStrategy(t, sparse); got != "auto(basic)" {
+		t.Fatalf("sparse-layer step strategy = %q, want auto(basic)", got)
+	}
+}
+
+// TestModeOverrideWins: a forced mode bypasses the cost model — the step
+// stays unresolved after a forced Exec and only resolves under ModeAuto.
+func TestModeOverrideWins(t *testing.T) {
+	eng := bigStandoffEngine(t, 500, 5)
+	prep, err := eng.Prepare(`doc("d.xml")//chapter/select-narrow::word`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeLoopLifted, ModeBasic, ModeUDF} {
+		if _, err := prep.Exec(Config{Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+		if got := soStrategy(t, prep); got != "auto" {
+			t.Fatalf("after forced %v run: strategy = %q, want auto (unresolved)", mode, got)
+		}
+	}
+	if _, err := prep.Exec(Config{Mode: ModeAuto}); err != nil {
+		t.Fatal(err)
+	}
+	if got := soStrategy(t, prep); got != "auto(looplifted)" {
+		t.Fatalf("after auto run: strategy = %q", got)
+	}
+}
+
+// TestAutoMatchesForcedModes: whatever the cost model picks, the answer is
+// identical to every forced mode.
+func TestAutoMatchesForcedModes(t *testing.T) {
+	eng := bigStandoffEngine(t, 100, 4)
+	q := `for $c in doc("d.xml")//chapter return count($c/select-narrow::word)`
+	ref, err := eng.QueryWith(q, Config{Mode: ModeAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeLoopLifted, ModeBasic, ModeUDF} {
+		res, err := eng.QueryWith(q, Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.String() != ref.String() {
+			t.Fatalf("mode %v: %q != auto %q", mode, res.String(), ref.String())
+		}
+	}
+}

@@ -46,6 +46,9 @@ type RegionIndex struct {
 	endPermOnce sync.Once
 	rEndPerm    []int32 // region row indices ordered by (end, start, id)
 
+	statsOnce sync.Once
+	stats     Stats // planner statistics, built lazily (see stats.go)
+
 	nameCands sync.Map // element name id -> *Candidates (FilterByName cache)
 }
 

@@ -68,6 +68,16 @@ func DefaultOptions() Options {
 	return Options{Type: TypeInteger, Start: "start", End: "end"}
 }
 
+// String renders the options in the compact form the planner's EXPLAIN
+// output uses: "@name" marks the attribute representation, "<name>" the
+// region-element representation.
+func (o Options) String() string {
+	if o.UseRegionElements {
+		return fmt.Sprintf("type=%v region=<%s> start=<%s> end=<%s>", o.Type, o.Region, o.Start, o.End)
+	}
+	return fmt.Sprintf("type=%v start=@%s end=@%s", o.Type, o.Start, o.End)
+}
+
 // ErrBadOption reports an invalid standoff option value.
 var ErrBadOption = errors.New("core: invalid standoff option")
 

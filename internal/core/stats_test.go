@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"soxq/internal/xmlparse"
+)
+
+func TestStats(t *testing.T) {
+	d, err := xmlparse.Parse("d.xml", []byte(`<doc>
+	  <scene start="0" end="99"/>
+	  <scene start="100" end="199"/>
+	  <hit start="10" end="20"/>
+	  <plain/>
+	</doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Areas != 3 || st.Regions != 3 {
+		t.Fatalf("Areas=%d Regions=%d, want 3/3", st.Areas, st.Regions)
+	}
+	if st.MultiRegion {
+		t.Fatal("MultiRegion must be false for attribute regions")
+	}
+	if st.DocNodes != d.NumNodes() {
+		t.Fatalf("DocNodes = %d, want %d", st.DocNodes, d.NumNodes())
+	}
+	// Per-tag element cardinalities from the tree dictionary: all elements
+	// count, not only area-annotations.
+	for name, want := range map[string]int{"doc": 1, "scene": 2, "hit": 1, "plain": 1, "ghost": 0} {
+		if got := st.Card(name); got != want {
+			t.Errorf("Card(%q) = %d, want %d", name, got, want)
+		}
+	}
+	// Attribute names never appear as element cardinalities.
+	if got := st.Card("start"); got != 0 {
+		t.Errorf("Card(start) = %d, want 0", got)
+	}
+	// The computation is memoized: a second call returns the same values.
+	if st2 := ix.Stats(); st2.Areas != st.Areas || st2.Card("scene") != st.Card("scene") {
+		t.Fatal("Stats not stable across calls")
+	}
+}
+
+func TestStatsMultiRegion(t *testing.T) {
+	d, err := xmlparse.Parse("d.xml", []byte(`<doc>
+	  <ann><r><s>0</s><e>10</e></r><r><s>20</s><e>30</e></r></ann>
+	</doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Type: TypeInteger, Start: "s", End: "e", Region: "r", UseRegionElements: true}
+	ix, err := BuildIndex(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Areas != 1 || st.Regions != 2 || !st.MultiRegion {
+		t.Fatalf("Areas=%d Regions=%d MultiRegion=%v, want 1/2/true", st.Areas, st.Regions, st.MultiRegion)
+	}
+}

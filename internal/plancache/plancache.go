@@ -7,22 +7,32 @@ package plancache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 )
 
 // Cache is a bounded, concurrency-safe LRU map.
 type Cache[K comparable, V any] struct {
-	mu     sync.Mutex
-	max    int
-	ll     *list.List // front = most recently used
-	items  map[K]*list.Element
-	hits   uint64
-	misses uint64
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+	inflight map[K]*flight[V]
+	hits     uint64
+	misses   uint64
 }
 
 type entry[K comparable, V any] struct {
 	key K
 	val V
+}
+
+// flight is one in-progress computation that concurrent misses on the same
+// key wait on instead of computing again.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 // New returns a cache holding at most max entries; max <= 0 means a
@@ -31,7 +41,7 @@ func New[K comparable, V any](max int) *Cache[K, V] {
 	if max <= 0 {
 		max = 256
 	}
-	return &Cache[K, V]{max: max, ll: list.New(), items: map[K]*list.Element{}}
+	return &Cache[K, V]{max: max, ll: list.New(), items: map[K]*list.Element{}, inflight: map[K]*flight[V]{}}
 }
 
 // Get returns the cached value for k and marks it most recently used.
@@ -54,6 +64,10 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 func (c *Cache[K, V]) Put(k K, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(k, v)
+}
+
+func (c *Cache[K, V]) putLocked(k K, v V) {
 	if el, ok := c.items[k]; ok {
 		el.Value.(*entry[K, V]).val = v
 		c.ll.MoveToFront(el)
@@ -66,6 +80,58 @@ func (c *Cache[K, V]) Put(k K, v V) {
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
 	}
 }
+
+// GetOrCompute returns the cached value for k, or computes and caches it.
+// Concurrent misses on the same key are collapsed (singleflight): one caller
+// runs compute, the others block until it finishes and share its result.
+// Errors are returned to every waiter but never cached, so a later call
+// retries. Each collapsed waiter still counts as one miss in Stats — it paid
+// (part of) a compile wait.
+//
+// A Purge racing an in-flight compute does not cancel it; the computed value
+// is inserted afterwards. That is sound for the engine's use because a key
+// fully determines its value (query text + options), so a post-purge insert
+// equals what an immediate recompute would produce.
+func (c *Cache[K, V]) GetOrCompute(k K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.misses++
+	if f, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+
+	// Pre-set the error so waiters see a failure (not a zero value with a
+	// nil error) if compute panics; the deferred cleanup runs either way,
+	// so a panic cannot wedge the key for every later caller.
+	f.err = errComputePanicked
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if f.err == nil {
+			c.putLocked(k, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	return f.val, f.err
+}
+
+// errComputePanicked is what singleflight waiters receive when the caller
+// running compute panicked out of GetOrCompute. The panic itself propagates
+// on the computing goroutine; a later call simply retries.
+var errComputePanicked = errors.New("plancache: compute panicked")
 
 // Purge drops every entry (cache invalidation on Declare/Unload). Hit and
 // miss counters survive so long-running engines keep meaningful stats.

@@ -1,8 +1,10 @@
 package plancache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -67,6 +69,128 @@ func TestDefaultCapacity(t *testing.T) {
 	}
 	if c.Len() != 256 {
 		t.Fatalf("default capacity = %d, want 256", c.Len())
+	}
+}
+
+func TestGetOrComputeCachesValue(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute("k", compute)
+		if err != nil || v != 42 {
+			t.Fatalf("GetOrCompute = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result must not be cached")
+	}
+	// A later call retries and can succeed.
+	v, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+// TestSingleflight pins that concurrent misses on the same key collapse into
+// one compute: the first caller blocks inside compute while the rest arrive,
+// and all of them observe the single result.
+func TestSingleflight(t *testing.T) {
+	c := New[string, int](4)
+	const waiters = 8
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	results := make(chan int, waiters)
+
+	go func() {
+		v, _ := c.GetOrCompute("k", func() (int, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return 99, nil
+		})
+		results <- v
+	}()
+	<-entered // the leader is inside compute; everyone else must wait on it
+	var wg sync.WaitGroup
+	for i := 0; i < waiters-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := c.GetOrCompute("k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			results <- v
+		}()
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if v := <-results; v != 99 {
+			t.Fatalf("waiter got %d, want 99", v)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+}
+
+// TestGetOrComputePanicDoesNotWedge: a panicking compute must not leave the
+// key permanently inflight — waiters get an error and a later call retries.
+func TestGetOrComputePanicDoesNotWedge(t *testing.T) {
+	c := New[string, int](4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.GetOrCompute("k", func() (int, error) { panic("boom") })
+	}()
+	if c.Len() != 0 {
+		t.Fatal("panicked compute must not cache")
+	}
+	v, err := c.GetOrCompute("k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+}
+
+func TestSingleflightDistinctKeys(t *testing.T) {
+	// Distinct keys do not serialize behind each other.
+	c := New[string, int](8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("k%d", i)
+			v, err := c.GetOrCompute(k, func() (int, error) { return i, nil })
+			if err != nil || v != i {
+				t.Errorf("key %s = %v, %v", k, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
 	}
 }
 

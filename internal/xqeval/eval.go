@@ -31,6 +31,10 @@ type Evaluator struct {
 	// nil); used by the so:blob-text extension function.
 	BlobFor func(d *tree.Doc) blob.Store
 	// Strategy picks the StandOff join algorithm (section 4.6 variants).
+	// core.StrategyAuto defers the Basic vs Loop-Lifted choice to the
+	// plan's per-step cost model, resolved against each region index's
+	// statistics at first use; any other value forces that algorithm for
+	// every step.
 	Strategy core.Strategy
 	// JoinCfg tunes the join (active-set structure, tracing).
 	JoinCfg core.JoinConfig
@@ -540,8 +544,6 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 				return LLSeq{}, err
 			}
 			ks := make([]Item, cur.n)
-			empty := Item{Kind: KUntyped, S: ""}
-			_ = empty
 			for i := 0; i < cur.n; i++ {
 				g := keySeq.Group(i)
 				if len(g) > 1 {

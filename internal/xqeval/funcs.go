@@ -9,6 +9,7 @@ import (
 	"soxq/internal/interval"
 	"soxq/internal/xpath"
 	"soxq/internal/xqast"
+	"soxq/internal/xqplan"
 )
 
 // evalCall dispatches function calls: the stand-off built-ins (Alternative 3
@@ -65,16 +66,16 @@ func (ev *Evaluator) callStandOffFunc(op core.Op, argExprs []xqast.Expr, f *fram
 		core.SelectNarrow: xpath.AxisSelectNarrow, core.SelectWide: xpath.AxisSelectWide,
 		core.RejectNarrow: xpath.AxisRejectNarrow, core.RejectWide: xpath.AxisRejectWide,
 	}[op]
+	// The function form is an unrestricted axis step synthesised at run
+	// time; CompileStep gives it the same compiled form module steps get.
+	sp := xqplan.CompileStep(&xqast.Step{Axis: axis, Test: xpath.Test{Kind: xpath.TestAnyNode}})
 	if candidates == nil {
-		// Equivalent to an unrestricted axis step from the input nodes.
-		step := &xqast.Step{Axis: axis, Test: xpath.Test{Kind: xpath.TestAnyNode}}
-		return ev.evalStep(step, input, f)
+		return ev.evalStep(sp, input, f)
 	}
 	// Candidate-sequence form: run the step unrestricted, then intersect
 	// with the candidate node set per iteration (the node sets are small
 	// compared to the index side, and semantics stay exact).
-	step := &xqast.Step{Axis: axis, Test: xpath.Test{Kind: xpath.TestAnyNode}}
-	full, err := ev.evalStep(step, input, f)
+	full, err := ev.evalStep(sp, input, f)
 	if err != nil {
 		return LLSeq{}, err
 	}

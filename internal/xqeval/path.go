@@ -9,9 +9,11 @@ import (
 )
 
 // evalPath evaluates a path expression: establish the starting context, then
-// apply each step in bulk across all iterations, with per-iteration
-// document-order deduplication after every step (XPath semantics, and the
-// contract of the StandOff steps in section 3.2).
+// apply the path's compiled step program in bulk across all iterations, with
+// per-iteration document-order deduplication after every step (XPath
+// semantics, and the contract of the StandOff steps in section 3.2). The //
+// fusion, name tests and stand-off decisions were all made at compile time;
+// this function only executes them.
 func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
 	var cur LLSeq
 	if p.Start != nil {
@@ -41,22 +43,9 @@ func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
 		}
 		cur = b.done()
 	}
-	steps := p.Steps
-	for si := 0; si < len(steps); si++ {
-		step := steps[si]
-		// Fuse descendant-or-self::node()/child::T (the // abbreviation)
-		// into descendant::T when the child step has no predicates; this
-		// avoids materialising every node of the subtree.
-		if step.Axis == xpath.AxisDescendantOrSelf && step.Test.Kind == xpath.TestAnyNode &&
-			len(step.Predicates) == 0 && si+1 < len(steps) {
-			next := steps[si+1]
-			if next.Axis == xpath.AxisChild && len(next.Predicates) == 0 {
-				step = &xqast.Step{Axis: xpath.AxisDescendant, Test: next.Test}
-				si++
-			}
-		}
+	for _, sp := range ev.Plan.Program(p) {
 		var err error
-		cur, err = ev.evalStep(step, cur, f)
+		cur, err = ev.evalStep(sp, cur, f)
 		if err != nil {
 			return LLSeq{}, err
 		}
@@ -85,8 +74,8 @@ type stepRow struct {
 	item Item
 }
 
-// evalStep applies one axis step to the context sequence.
-func (ev *Evaluator) evalStep(step *xqast.Step, ctx LLSeq, f *frame) (LLSeq, error) {
+// evalStep applies one compiled axis step to the context sequence.
+func (ev *Evaluator) evalStep(sp *xqplan.StepPlan, ctx LLSeq, f *frame) (LLSeq, error) {
 	// Flatten the context. For forward and select steps every context node
 	// becomes one "inner iteration" so positional predicates see
 	// per-context-node positions; the union of per-node results equals the
@@ -94,7 +83,7 @@ func (ev *Evaluator) evalStep(step *xqast.Step, ctx LLSeq, f *frame) (LLSeq, err
 	// *whole* context sequence of an iteration (section 3.1: "not
 	// contained in ANY area-annotation in S1"), so there the group is the
 	// iteration itself — a union of per-node complements would be wrong.
-	perIteration := step.Axis == xpath.AxisRejectNarrow || step.Axis == xpath.AxisRejectWide
+	perIteration := sp.Axis == xpath.AxisRejectNarrow || sp.Axis == xpath.AxisRejectWide
 	rows := make([]stepRow, 0, ctx.Total())
 	if perIteration {
 		for i := 0; i < ctx.N(); i++ {
@@ -119,21 +108,21 @@ func (ev *Evaluator) evalStep(step *xqast.Step, ctx LLSeq, f *frame) (LLSeq, err
 	}
 	var results [][]Item
 	var err error
-	if step.Axis.StandOff() {
+	if sp.StandOff {
 		if perIteration {
-			results, err = ev.standOffRejectStep(step, ctx)
+			results, err = ev.standOffRejectStep(sp, ctx)
 		} else {
-			results, err = ev.standOffStep(step, rows)
+			results, err = ev.standOffStep(sp, rows)
 		}
 	} else {
-		results, err = ev.treeStep(step, rows)
+		results, err = ev.treeStep(sp, rows)
 	}
 	if err != nil {
 		return LLSeq{}, err
 	}
 	// Predicates, evaluated per context node group.
-	for _, pred := range step.Predicates {
-		results, err = ev.applyStepPredicate(results, rows, pred, f, step.Axis.Reverse())
+	for _, pred := range sp.Predicates {
+		results, err = ev.applyStepPredicate(results, rows, pred, f, sp.Axis.Reverse())
 		if err != nil {
 			return LLSeq{}, err
 		}
@@ -152,33 +141,35 @@ func (ev *Evaluator) evalStep(step *xqast.Step, ctx LLSeq, f *frame) (LLSeq, err
 	return b.done(), nil
 }
 
-// treeStep evaluates a standard axis per context node.
-func (ev *Evaluator) treeStep(step *xqast.Step, rows []stepRow) ([][]Item, error) {
-	results := make([][]Item, len(rows))
-	compiled := map[*tree.Doc]xpath.Compiled{}
-	compileFor := func(d *tree.Doc) xpath.Compiled {
-		c, ok := compiled[d]
-		if !ok {
-			c = xpath.Compile(d, step.Test)
-			compiled[d] = c
-		}
-		return c
+// strategyFor resolves the join strategy of one StandOff step against one
+// region index: a forced engine strategy (the benchmarking modes) always
+// wins; StrategyAuto defers to the step's memoized cost-model choice.
+func (ev *Evaluator) strategyFor(sp *xqplan.StepPlan, ix *core.RegionIndex) core.Strategy {
+	if ev.Strategy != core.StrategyAuto {
+		return ev.Strategy
 	}
+	return sp.StrategyFor(ix, ev.Pushdown)
+}
+
+// treeStep evaluates a standard axis per context node, using the step's
+// per-document pre-compiled node test.
+func (ev *Evaluator) treeStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item, error) {
+	results := make([][]Item, len(rows))
 	for r, row := range rows {
 		it := row.item
 		if it.Kind == KAttr {
-			res, err := attrSourceStep(step, it)
+			res, err := attrSourceStep(sp, it)
 			if err != nil {
 				return nil, err
 			}
 			results[r] = res
 			continue
 		}
-		if step.Axis == xpath.AxisAttribute {
-			results[r] = attrAxis(it, step.Test)
+		if sp.Axis == xpath.AxisAttribute {
+			results[r] = attrAxis(it, sp.Test)
 			continue
 		}
-		pres := xpath.CompiledStep(it.D, step.Axis, compileFor(it.D), it.Pre)
+		pres := xpath.CompiledStep(it.D, sp.Axis, sp.CompiledTest(it.D), it.Pre)
 		if len(pres) == 0 {
 			continue
 		}
@@ -211,9 +202,9 @@ func attrAxis(it Item, test xpath.Test) []Item {
 
 // attrSourceStep evaluates the few axes that make sense from an attribute
 // node context.
-func attrSourceStep(step *xqast.Step, it Item) ([]Item, error) {
-	c := xpath.Compile(it.D, step.Test)
-	switch step.Axis {
+func attrSourceStep(sp *xqplan.StepPlan, it Item) ([]Item, error) {
+	c := sp.CompiledTest(it.D)
+	switch sp.Axis {
 	case xpath.AxisParent:
 		if c.Matches(it.D, it.Pre) {
 			return []Item{NodeItem(it.D, it.Pre)}, nil
@@ -225,13 +216,13 @@ func attrSourceStep(step *xqast.Step, it Item) ([]Item, error) {
 		for _, p := range pres {
 			out = append(out, NodeItem(it.D, p))
 		}
-		if step.Axis == xpath.AxisAncestorOrSelf && step.Test.Kind == xpath.TestAnyNode {
+		if sp.Axis == xpath.AxisAncestorOrSelf && sp.Test.Kind == xpath.TestAnyNode {
 			out = append(out, it)
 		}
 		return out, nil
 	case xpath.AxisSelf:
-		if step.Test.Kind == xpath.TestAnyNode ||
-			(step.Test.Kind == xpath.TestAttribute && (step.Test.Name == "" || it.D.AttrName(it.Att) == step.Test.Name)) {
+		if sp.Test.Kind == xpath.TestAnyNode ||
+			(sp.Test.Kind == xpath.TestAttribute && (sp.Test.Name == "" || it.D.AttrName(it.Att) == sp.Test.Name)) {
 			return []Item{it}, nil
 		}
 		return nil, nil
@@ -242,15 +233,14 @@ func attrSourceStep(step *xqast.Step, it Item) ([]Item, error) {
 }
 
 // standOffStep evaluates one of the four StandOff axes: partition the
-// context per document fragment (section 4.4), run the configured join
-// strategy against each document's region index, and map the (iter, pre)
-// pairs back to items.
-func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, error) {
+// context per document fragment (section 4.4), run the step's join strategy
+// against each document's region index, and map the (iter, pre) pairs back
+// to items.
+func (ev *Evaluator) standOffStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item, error) {
 	if ev.IndexFor == nil {
 		return nil, errf(codeStandOffIndex, "no region index provider configured")
 	}
-	so := ev.Plan.StandOff(step)
-	op := so.Op
+	op := sp.SO.Op
 	results := make([][]Item, len(rows))
 
 	// Partition context rows by document.
@@ -271,14 +261,14 @@ func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, e
 		if err != nil {
 			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
 		}
-		cand, postFilter := ev.candidatesFor(ix, so)
+		cand, postFilter := ev.candidatesFor(ix, sp.SO)
 		if cand == nil {
 			continue // the test can never match an area-annotation
 		}
-		pairs := core.Join(ix, op, ev.Strategy, byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
+		pairs := core.Join(ix, op, ev.strategyFor(sp, ix), byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
 		var test xpath.Compiled
 		if postFilter {
-			test = xpath.Compile(d, step.Test)
+			test = sp.CompiledTest(d)
 		}
 		for _, pr := range pairs {
 			if postFilter && !test.Matches(d, pr.Pre) {
@@ -292,12 +282,11 @@ func (ev *Evaluator) standOffStep(step *xqast.Step, rows []stepRow) ([][]Item, e
 
 // standOffRejectStep evaluates reject-narrow/reject-wide at iteration
 // granularity: one anti-join per iteration over all its context nodes.
-func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, error) {
+func (ev *Evaluator) standOffRejectStep(sp *xqplan.StepPlan, ctx LLSeq) ([][]Item, error) {
 	if ev.IndexFor == nil {
 		return nil, errf(codeStandOffIndex, "no region index provider configured")
 	}
-	so := ev.Plan.StandOff(step)
-	op := so.Op
+	op := sp.SO.Op
 	results := make([][]Item, ctx.N())
 
 	// Partition context nodes by document; the anti-join runs per document
@@ -327,14 +316,14 @@ func (ev *Evaluator) standOffRejectStep(step *xqast.Step, ctx LLSeq) ([][]Item, 
 		if err != nil {
 			return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
 		}
-		cand, postFilter := ev.candidatesFor(ix, so)
+		cand, postFilter := ev.candidatesFor(ix, sp.SO)
 		if cand == nil {
 			continue
 		}
-		pairs := core.Join(ix, op, ev.Strategy, byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
+		pairs := core.Join(ix, op, ev.strategyFor(sp, ix), byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
 		var test xpath.Compiled
 		if postFilter {
-			test = xpath.Compile(d, step.Test)
+			test = sp.CompiledTest(d)
 		}
 		for _, pr := range pairs {
 			if !iterTouches[d][pr.Iter] {
@@ -381,14 +370,12 @@ func (ev *Evaluator) applyStepPredicate(results [][]Item, rows []stepRow, pred x
 	for _, g := range results {
 		total += len(g)
 	}
-	outerOf := make([]int32, 0, total)  // inner iteration -> context row
 	rowIters := make([]int32, 0, total) // inner iteration -> frame iteration
 	ctxSeq := LLSeq{Off: make([]int32, 1, total+1)}
 	pos := make([]int64, 0, total)
 	last := make([]int64, 0, total)
 	for r, g := range results {
 		for k, it := range g {
-			outerOf = append(outerOf, int32(r))
 			rowIters = append(rowIters, rows[r].iter)
 			ctxSeq.Items = append(ctxSeq.Items, it)
 			ctxSeq.Off = append(ctxSeq.Off, int32(len(ctxSeq.Items)))
@@ -416,7 +403,7 @@ func (ev *Evaluator) applyStepPredicate(results [][]Item, rows []stepRow, pred x
 	out := make([][]Item, len(results))
 	j := 0
 	for r, g := range results {
-		for k, it := range g {
+		for _, it := range g {
 			keep, err := predicateKeep(verdicts.Group(j), pos[j])
 			if err != nil {
 				return nil, err
@@ -425,7 +412,6 @@ func (ev *Evaluator) applyStepPredicate(results [][]Item, rows []stepRow, pred x
 				out[r] = append(out[r], it)
 			}
 			j++
-			_ = k
 		}
 	}
 	return out, nil

@@ -1,0 +1,90 @@
+package xqplan
+
+import "soxq/internal/core"
+
+// Explain is the structured description of a compiled plan: the effective
+// options, the fold count, and one entry per path expression in discovery
+// order (post-order of the compile pass: a predicate's path precedes the
+// path of the step it filters). The engine renders it for Prepared.Explain
+// and the CLI's -explain flag.
+type Explain struct {
+	Options core.Options
+	Folds   int
+	Paths   []PathExplain
+}
+
+// PathExplain describes one path expression's step program.
+type PathExplain struct {
+	Steps []StepExplain
+}
+
+// StepExplain describes one compiled step.
+type StepExplain struct {
+	Axis       string
+	Test       string
+	Fused      bool // produced by the compile-time // fusion
+	Predicates int
+
+	// StandOff step description; zero values for tree axes.
+	StandOff     bool
+	Op           string
+	PushPolicy   string // candidate policy with pushdown enabled
+	NoPushPolicy string // candidate policy with pushdown disabled
+	Name         string // element name for the by-name policy
+	// Resolved lists the strategies the cost model has actually chosen so
+	// far, one entry per distinct choice across the region indexes this
+	// plan has executed against in auto mode (empty before the first auto
+	// execution, and for executions that forced a strategy).
+	Resolved []string
+}
+
+// Strategy renders the step's strategy: "auto" while unresolved, with the
+// cost model's choices appended once executions resolved them, e.g.
+// "auto(looplifted)".
+func (s StepExplain) Strategy() string {
+	if !s.StandOff {
+		return ""
+	}
+	if len(s.Resolved) == 0 {
+		return "auto"
+	}
+	out := "auto("
+	for i, r := range s.Resolved {
+		if i > 0 {
+			out += ","
+		}
+		out += r
+	}
+	return out + ")"
+}
+
+// Explain returns the structured description of the plan's compiled form.
+// The strategy fields reflect the cost-model choices memoized so far, so an
+// Explain taken after an execution reports the strategies actually used.
+func (p *Plan) Explain() *Explain {
+	ex := &Explain{Options: p.opts, Folds: p.folds}
+	for _, path := range p.paths {
+		var pe PathExplain
+		for _, sp := range p.programs[path] {
+			se := StepExplain{
+				Axis:       sp.Axis.String(),
+				Test:       sp.Test.String(),
+				Fused:      sp.Fused,
+				Predicates: len(sp.Predicates),
+				StandOff:   sp.StandOff,
+			}
+			if sp.StandOff {
+				se.Op = sp.SO.Op.String()
+				se.PushPolicy = sp.SO.Push.String()
+				se.NoPushPolicy = sp.SO.NoPush.String()
+				se.Name = sp.SO.Name
+				for _, st := range sp.ResolvedStrategies() {
+					se.Resolved = append(se.Resolved, st.String())
+				}
+			}
+			pe.Steps = append(pe.Steps, se)
+		}
+		ex.Paths = append(ex.Paths, pe)
+	}
+	return ex
+}

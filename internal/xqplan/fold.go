@@ -2,96 +2,21 @@ package xqplan
 
 import (
 	"math"
+	"strings"
 
 	"soxq/internal/xqast"
 )
 
-// fold rewrites an expression with constant subexpressions evaluated:
-// arithmetic and unary minus over numeric literals. Folding reproduces the
-// evaluator's semantics exactly (integer ops stay integers, div always
-// yields a double) and leaves anything that would raise a dynamic error —
-// division by zero, for example — unfolded so errors still surface at run
-// time. Child expressions of every container are folded in place.
-func fold(e xqast.Expr) xqast.Expr {
-	switch v := e.(type) {
-	case *xqast.FLWOR:
-		for _, cl := range v.Clauses {
-			switch c := cl.(type) {
-			case *xqast.ForClause:
-				c.Seq = fold(c.Seq)
-			case *xqast.LetClause:
-				c.Seq = fold(c.Seq)
-			}
-		}
-		if v.Where != nil {
-			v.Where = fold(v.Where)
-		}
-		for i := range v.OrderBy {
-			v.OrderBy[i].Key = fold(v.OrderBy[i].Key)
-		}
-		v.Return = fold(v.Return)
-	case *xqast.Quantified:
-		v.Seq = fold(v.Seq)
-		v.Satisfies = fold(v.Satisfies)
-	case *xqast.IfExpr:
-		v.Cond = fold(v.Cond)
-		v.Then = fold(v.Then)
-		v.Else = fold(v.Else)
-	case *xqast.Binary:
-		v.L = fold(v.L)
-		v.R = fold(v.R)
-		if folded, ok := foldArith(v); ok {
-			return folded
-		}
-	case *xqast.Unary:
-		v.X = fold(v.X)
-		if folded, ok := foldUnary(v); ok {
-			return folded
-		}
-	case *xqast.Path:
-		if v.Start != nil {
-			v.Start = fold(v.Start)
-		}
-		for _, step := range v.Steps {
-			for i := range step.Predicates {
-				step.Predicates[i] = fold(step.Predicates[i])
-			}
-		}
-	case *xqast.Filter:
-		v.Base = fold(v.Base)
-		for i := range v.Predicates {
-			v.Predicates[i] = fold(v.Predicates[i])
-		}
-	case *xqast.FuncCall:
-		for i := range v.Args {
-			v.Args[i] = fold(v.Args[i])
-		}
-	case *xqast.DirectElem:
-		for ai := range v.Attrs {
-			for i := range v.Attrs[ai].Value {
-				v.Attrs[ai].Value[i] = fold(v.Attrs[ai].Value[i])
-			}
-		}
-		for i := range v.Content {
-			v.Content[i] = fold(v.Content[i])
-		}
-	case *xqast.Enclosed:
-		v.X = fold(v.X)
-	case *xqast.ComputedElem:
-		if v.NameExpr != nil {
-			v.NameExpr = fold(v.NameExpr)
-		}
-		v.Content = fold(v.Content)
-	case *xqast.ComputedAttr:
-		if v.NameExpr != nil {
-			v.NameExpr = fold(v.NameExpr)
-		}
-		v.Content = fold(v.Content)
-	case *xqast.ComputedText:
-		v.Content = fold(v.Content)
-	}
-	return e
-}
+// This file holds the constant-folding rules applied by Plan.pass (plan.go):
+// arithmetic and unary minus over numeric literals, string concatenation
+// over string literals, and/or with literal operands, and dead-branch
+// elimination of if with a literal condition. Folding reproduces the
+// evaluator's semantics exactly and leaves anything that would raise a
+// dynamic error — division by zero, for example — unfolded so errors still
+// surface at run time. The one sanctioned exception: a logical expression
+// whose result is decided by one literal operand (false and E, true or E)
+// folds to that result even though E might raise an error; XQuery section
+// 3.6 explicitly allows a processor to not evaluate the other operand.
 
 // numLit extracts a numeric literal value.
 func numLit(e xqast.Expr) (i int64, f float64, isInt, ok bool) {
@@ -174,4 +99,123 @@ func foldUnary(v *xqast.Unary) (xqast.Expr, bool) {
 		return &xqast.IntLit{V: -i}, true
 	}
 	return &xqast.FloatLit{V: -f}, true
+}
+
+// localName strips an optional namespace prefix.
+func localName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// litEBV computes the effective boolean value of a literal expression:
+// string/number literals, the empty sequence, and true()/false() calls (the
+// AST has no boolean literal — the parser emits the function form). Calls
+// only count when the name is not shadowed by a user declaration, matching
+// the evaluator's UDF-first dispatch.
+func (p *Plan) litEBV(e xqast.Expr) (val, ok bool) {
+	switch v := e.(type) {
+	case *xqast.StringLit:
+		return v.V != "", true
+	case *xqast.IntLit:
+		return v.V != 0, true
+	case *xqast.FloatLit:
+		return v.V != 0 && !math.IsNaN(v.V), true
+	case *xqast.EmptySeq:
+		return false, true
+	case *xqast.FuncCall:
+		if len(v.Args) != 0 || p.shadowed(v.Name, 0) {
+			return false, false
+		}
+		switch localName(v.Name) {
+		case "true":
+			return true, true
+		case "false":
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// shadowed reports whether a user-declared function hides the built-in of
+// the same name and arity (the evaluator resolves UDFs first on the exact
+// QName, so folding the built-in semantics would be wrong).
+func (p *Plan) shadowed(name string, arity int) bool {
+	_, ok := p.funcs[FuncKey(name, arity)]
+	return ok
+}
+
+// boolExpr builds a true()/false() call, the AST's boolean literal form.
+// ok is false when the name is shadowed by a user declaration.
+func (p *Plan) boolExpr(v bool) (xqast.Expr, bool) {
+	name := "false"
+	if v {
+		name = "true"
+	}
+	if p.shadowed(name, 0) {
+		return nil, false
+	}
+	return &xqast.FuncCall{Name: name}, true
+}
+
+// booleanCall wraps e in fn:boolean so a half-folded logical expression
+// (true() and E) keeps returning a boolean, not E's value.
+func (p *Plan) booleanCall(e xqast.Expr) (xqast.Expr, bool) {
+	if p.shadowed("boolean", 1) {
+		return nil, false
+	}
+	return &xqast.FuncCall{Name: "boolean", Args: []xqast.Expr{e}}, true
+}
+
+// foldLogical folds and/or when at least one operand is a literal: both
+// literal folds fully; a deciding literal (false and E, true or E)
+// short-circuits; a neutral literal (true and E, false or E) reduces to
+// boolean(E).
+func (p *Plan) foldLogical(v *xqast.Binary) (xqast.Expr, bool) {
+	and := v.Op == "and"
+	lv, lok := p.litEBV(v.L)
+	rv, rok := p.litEBV(v.R)
+	switch {
+	case lok && rok:
+		if and {
+			return p.boolExpr(lv && rv)
+		}
+		return p.boolExpr(lv || rv)
+	case lok:
+		if lv != and { // false and E | true or E: decided, E discarded
+			if folded, ok := p.boolExpr(lv); ok {
+				p.prune(v.R)
+				return folded, true
+			}
+			return nil, false
+		}
+		return p.booleanCall(v.R) // true and E | false or E
+	case rok:
+		if rv != and {
+			if folded, ok := p.boolExpr(rv); ok {
+				p.prune(v.L)
+				return folded, true
+			}
+			return nil, false
+		}
+		return p.booleanCall(v.L)
+	}
+	return nil, false
+}
+
+// foldConcat folds fn:concat over all-literal string arguments.
+func (p *Plan) foldConcat(v *xqast.FuncCall) (xqast.Expr, bool) {
+	if localName(v.Name) != "concat" || len(v.Args) < 2 || p.shadowed(v.Name, len(v.Args)) {
+		return nil, false
+	}
+	var sb strings.Builder
+	for _, a := range v.Args {
+		s, ok := a.(*xqast.StringLit)
+		if !ok {
+			return nil, false
+		}
+		sb.WriteString(s.V)
+	}
+	return &xqast.StringLit{V: sb.String()}, true
 }

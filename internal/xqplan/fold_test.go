@@ -1,0 +1,136 @@
+package xqplan
+
+import (
+	"testing"
+
+	"soxq/internal/xqast"
+)
+
+// boolCall asserts the expression is a zero-argument true()/false() call.
+func boolCall(t *testing.T, e xqast.Expr, want bool) {
+	t.Helper()
+	fc, ok := e.(*xqast.FuncCall)
+	if !ok || len(fc.Args) != 0 {
+		t.Fatalf("body = %#v, want %v() call", e, want)
+	}
+	name := "false"
+	if want {
+		name = "true"
+	}
+	if fc.Name != name {
+		t.Fatalf("body = %s(), want %s()", fc.Name, name)
+	}
+}
+
+func TestFoldConcat(t *testing.T) {
+	p := compile(t, `concat("foo", "-", "bar")`)
+	s, ok := p.Body().(*xqast.StringLit)
+	if !ok || s.V != "foo-bar" {
+		t.Fatalf("body = %#v, want StringLit foo-bar", p.Body())
+	}
+	if p.Folds() != 1 {
+		t.Fatalf("Folds = %d, want 1", p.Folds())
+	}
+	// Non-literal arguments stay a call.
+	p = compile(t, `concat("a", string(1))`)
+	if _, ok := p.Body().(*xqast.FuncCall); !ok {
+		t.Fatalf("body = %#v, want unfolded call", p.Body())
+	}
+}
+
+func TestFoldConcatShadowed(t *testing.T) {
+	// A user function named concat with matching arity hides the built-in;
+	// folding the built-in semantics would be wrong.
+	p := compile(t, `declare function concat($a, $b) { 0 }; concat("a", "b")`)
+	if _, ok := p.Body().(*xqast.StringLit); ok {
+		t.Fatal("shadowed concat must not fold")
+	}
+}
+
+func TestFoldLogical(t *testing.T) {
+	for _, tc := range []struct {
+		q    string
+		want bool
+	}{
+		{`true() and false()`, false},
+		{`true() and true()`, true},
+		{`false() or true()`, true},
+		{`false() or false()`, false},
+		// Deciding literal short-circuits even with a non-literal other
+		// operand (XQuery section 3.6 allows skipping its evaluation).
+		{`false() and doc("x.xml")`, false},
+		{`doc("x.xml") and false()`, false},
+		{`true() or doc("x.xml")`, true},
+		{`doc("x.xml") or true()`, true},
+		// Literal operands that are not boolean calls fold through EBV.
+		{`1 and "x"`, true},
+		{`0 or ""`, false},
+		{`() or 1`, true},
+	} {
+		p := compile(t, tc.q)
+		boolCall(t, p.Body(), tc.want)
+	}
+}
+
+func TestFoldLogicalNeutralLiteral(t *testing.T) {
+	// true() and E must keep returning a boolean, so it folds to
+	// boolean(E), not to E.
+	p := compile(t, `true() and doc("x.xml")`)
+	fc, ok := p.Body().(*xqast.FuncCall)
+	if !ok || fc.Name != "boolean" || len(fc.Args) != 1 {
+		t.Fatalf("body = %#v, want boolean(E)", p.Body())
+	}
+}
+
+func TestFoldIfDeadBranch(t *testing.T) {
+	p := compile(t, `if (true()) then 1 + 1 else doc("x.xml")`)
+	if got, ok := p.Body().(*xqast.IntLit); !ok || got.V != 2 {
+		t.Fatalf("body = %#v, want IntLit 2", p.Body())
+	}
+	p = compile(t, `if (0) then 1 else 3`)
+	if got, ok := p.Body().(*xqast.IntLit); !ok || got.V != 3 {
+		t.Fatalf("body = %#v, want IntLit 3", p.Body())
+	}
+	// A non-literal condition keeps both branches.
+	p = compile(t, `if (doc("x.xml")) then 1 else 2`)
+	if _, ok := p.Body().(*xqast.IfExpr); !ok {
+		t.Fatalf("body = %#v, want IfExpr", p.Body())
+	}
+}
+
+// TestFoldPrunesDeadPrograms: paths inside a folded-away subtree (dead if
+// branch, skipped and/or operand) must not linger in the plan — EXPLAIN and
+// NumStandOffSteps describe only steps that can execute.
+func TestFoldPrunesDeadPrograms(t *testing.T) {
+	for _, q := range []string{
+		`if (false()) then doc("d.xml")//a/select-narrow::b else 1`,
+		`if (true()) then 1 else doc("d.xml")//a/select-narrow::b`,
+		`false() and doc("d.xml")//a/select-narrow::b`,
+		`true() or doc("d.xml")//a/select-narrow::b`,
+	} {
+		p := compile(t, q)
+		if got := p.NumStandOffSteps(); got != 0 {
+			t.Errorf("%s: NumStandOffSteps = %d, want 0 (dead subtree)", q, got)
+		}
+		if got := len(p.Programs()); got != 0 {
+			t.Errorf("%s: %d programs survive, want 0", q, got)
+		}
+	}
+	// The surviving branch's path stays registered.
+	p := compile(t, `if (true()) then doc("d.xml")//a/select-narrow::b else 1`)
+	if got := p.NumStandOffSteps(); got != 1 {
+		t.Fatalf("live branch: NumStandOffSteps = %d, want 1", got)
+	}
+}
+
+func TestFoldCountsCascade(t *testing.T) {
+	// Folds cascade bottom-up in the single pass: 1+1 folds, making the
+	// if-condition literal, which folds the if, leaving the then branch.
+	p := compile(t, `if (1 + 1) then concat("a", "b") else 0`)
+	if got, ok := p.Body().(*xqast.StringLit); !ok || got.V != "ab" {
+		t.Fatalf("body = %#v, want StringLit ab", p.Body())
+	}
+	if p.Folds() != 3 { // arith, concat, if
+		t.Fatalf("Folds = %d, want 3", p.Folds())
+	}
+}

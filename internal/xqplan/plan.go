@@ -1,14 +1,19 @@
 // Package xqplan is the compile stage between internal/xqparse and
 // internal/xqeval. Compile turns a parsed xqast.Module plus the engine's
 // stand-off options into an immutable Plan: preamble options resolved, the
-// function table built and arity-checked once, global variables ordered, the
-// section 3.3 candidate-pushdown decision made statically for every StandOff
-// axis step, and constant subexpressions folded.
+// function table built and arity-checked once, global variables ordered,
+// constant subexpressions folded, and every path expression compiled into a
+// step program — per step, the axis with the // fusion applied, the node
+// test, the stand-off classification with the section 3.3 candidate-pushdown
+// decision, and the join-strategy selection hook (resolved against region
+// index statistics at first execution, since documents bind after Prepare).
 //
-// A Plan carries no mutable state and no references to documents or indexes,
-// so one Plan can back any number of concurrent executions and can be cached
+// A Plan carries no mutable state besides per-step memo tables of resolved
+// (document, index) residue and no references to documents or indexes, so
+// one Plan can back any number of concurrent executions and can be cached
 // across queries (the engine keys its plan cache on query text + effective
-// options).
+// options). Plan.Explain describes the compiled form for the EXPLAIN
+// surfaces.
 package xqplan
 
 import (
@@ -57,6 +62,21 @@ const (
 	CandByName
 )
 
+func (c CandPolicy) String() string {
+	switch c {
+	case CandImpossible:
+		return "impossible"
+	case CandAll:
+		return "all"
+	case CandAllFiltered:
+		return "all+filter"
+	case CandByName:
+		return "by-name"
+	default:
+		return fmt.Sprintf("CandPolicy(%d)", int(c))
+	}
+}
+
 // SOStep is the compiled form of one StandOff axis step: the join operator
 // plus the candidate policy under both optimizer settings. The element-name
 // to name-id resolution stays at run time because it is per-document.
@@ -83,9 +103,9 @@ var soOps = map[xpath.Axis]core.Op{
 	xpath.AxisRejectWide:   core.RejectWide,
 }
 
-// Decide computes the compiled form of a StandOff step. Compile calls it for
-// every step found in the module; the evaluator falls back to it for steps
-// synthesised at run time (the so:select-narrow(...) function form).
+// Decide computes the compiled form of a StandOff step; CompileStep calls it
+// for every StandOff step, whether found in the module or synthesised at run
+// time for the function form of the joins.
 func Decide(step *xqast.Step) SOStep {
 	so := SOStep{Op: soOps[step.Axis]}
 	switch step.Test.Kind {
@@ -112,11 +132,13 @@ func FuncKey(name string, arity int) string {
 
 // Plan is an immutable compiled query.
 type Plan struct {
-	body    xqast.Expr
-	globals []*xqast.VarDecl
-	opts    core.Options
-	funcs   map[string]*xqast.FunctionDecl
-	so      map[*xqast.Step]SOStep
+	body     xqast.Expr
+	globals  []*xqast.VarDecl
+	opts     core.Options
+	funcs    map[string]*xqast.FunctionDecl
+	programs map[*xqast.Path]Program
+	paths    []*xqast.Path // discovery order, for deterministic EXPLAIN
+	folds    int           // number of constant-folding rewrites applied
 }
 
 // Compile builds a Plan from a parsed module. base is the engine-wide option
@@ -126,9 +148,9 @@ type Plan struct {
 // module or evaluate it directly afterwards.
 func Compile(m *xqast.Module, base core.Options) (*Plan, error) {
 	p := &Plan{
-		opts:  base,
-		funcs: make(map[string]*xqast.FunctionDecl, len(m.Functions)),
-		so:    map[*xqast.Step]SOStep{},
+		opts:     base,
+		funcs:    make(map[string]*xqast.FunctionDecl, len(m.Functions)),
+		programs: map[*xqast.Path]Program{},
 	}
 	// (1) Resolve preamble options against the engine defaults.
 	for _, o := range m.Options {
@@ -141,7 +163,8 @@ func Compile(m *xqast.Module, base core.Options) (*Plan, error) {
 		}
 	}
 	// (2) Build the function table once, checking name/arity collisions and
-	// duplicate parameters.
+	// duplicate parameters. This happens before the expression pass so that
+	// folding can tell built-ins from user declarations that shadow them.
 	for _, fd := range m.Functions {
 		key := FuncKey(fd.Name, len(fd.Params))
 		if _, dup := p.funcs[key]; dup {
@@ -156,21 +179,89 @@ func Compile(m *xqast.Module, base core.Options) (*Plan, error) {
 		}
 		p.funcs[key] = fd
 	}
-	// (3) Fold constants, then record the compiled decision for every
-	// StandOff step of the folded tree (function bodies included).
+	// (3) The single expression pass: fold constants and compile the step
+	// program of every path, function bodies and globals included.
 	for _, fd := range m.Functions {
-		fd.Body = fold(fd.Body)
-		p.analyze(fd.Body)
+		fd.Body = p.pass(fd.Body)
 	}
 	for _, vd := range m.Variables {
-		vd.Value = fold(vd.Value)
-		p.analyze(vd.Value)
+		vd.Value = p.pass(vd.Value)
 	}
-	m.Body = fold(m.Body)
-	p.analyze(m.Body)
+	m.Body = p.pass(m.Body)
 	p.body = m.Body
 	p.globals = m.Variables
 	return p, nil
+}
+
+// pass is the one compile-time traversal: post-order over each expression
+// (children first, through the shared rewriteChildren enumeration), folding
+// constants and compiling path step programs on the way back up. Each
+// expression is walked exactly once per Compile.
+func (p *Plan) pass(e xqast.Expr) xqast.Expr {
+	if e == nil {
+		return nil
+	}
+	rewriteChildren(e, p.pass)
+	switch v := e.(type) {
+	case *xqast.Binary:
+		if folded, ok := foldArith(v); ok {
+			p.folds++
+			return folded
+		}
+		if v.Op == "and" || v.Op == "or" {
+			if folded, ok := p.foldLogical(v); ok {
+				p.folds++
+				return folded
+			}
+		}
+	case *xqast.Unary:
+		if folded, ok := foldUnary(v); ok {
+			p.folds++
+			return folded
+		}
+	case *xqast.IfExpr:
+		if bv, ok := p.litEBV(v.Cond); ok {
+			p.folds++
+			if bv {
+				p.prune(v.Else)
+				return v.Then
+			}
+			p.prune(v.Then)
+			return v.Else
+		}
+	case *xqast.FuncCall:
+		if folded, ok := p.foldConcat(v); ok {
+			p.folds++
+			return folded
+		}
+	case *xqast.Path:
+		p.paths = append(p.paths, v)
+		p.programs[v] = compileProgram(v)
+	}
+	return e
+}
+
+// prune unregisters the step programs of a subtree a fold rule discarded
+// (a dead if-branch, the skipped operand of a decided and/or), so EXPLAIN
+// and NumStandOffSteps only describe steps that can actually execute.
+// Discards are rare, so the extra walk stays off the common path.
+func (p *Plan) prune(e xqast.Expr) xqast.Expr {
+	if e == nil {
+		return nil
+	}
+	rewriteChildren(e, p.prune)
+	if path, ok := e.(*xqast.Path); ok {
+		if _, registered := p.programs[path]; registered {
+			delete(p.programs, path)
+			for i, q := range p.paths {
+				if q == path {
+					p.paths = append(p.paths[:i], p.paths[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return e
 }
 
 // Body returns the compiled query body.
@@ -193,102 +284,35 @@ func (p *Plan) Function(name string, arity int) (*xqast.FunctionDecl, bool) {
 func (p *Plan) NumFunctions() int { return len(p.funcs) }
 
 // NumStandOffSteps returns how many StandOff axis steps were compiled.
-func (p *Plan) NumStandOffSteps() int { return len(p.so) }
-
-// StandOff returns the compiled decision for a StandOff step. Steps that
-// were not part of the compiled module (the evaluator synthesises steps for
-// the function form of the joins) are decided on the fly.
-func (p *Plan) StandOff(step *xqast.Step) SOStep {
-	if so, ok := p.so[step]; ok {
-		return so
+func (p *Plan) NumStandOffSteps() int {
+	n := 0
+	for _, prog := range p.programs {
+		n += prog.NumStandOff()
 	}
-	return Decide(step)
+	return n
 }
 
-// analyze walks an expression recording the compiled form of every StandOff
-// axis step.
-func (p *Plan) analyze(e xqast.Expr) {
-	walk(e, func(x xqast.Expr) {
-		path, ok := x.(*xqast.Path)
-		if !ok {
-			return
-		}
-		for _, step := range path.Steps {
-			if step.Axis.StandOff() {
-				p.so[step] = Decide(step)
-			}
-		}
-	})
+// Folds returns the number of constant-folding rewrites Compile applied.
+func (p *Plan) Folds() int { return p.folds }
+
+// Programs returns every compiled step program in path discovery order
+// (post-order of the compile pass). Used by EXPLAIN and by tests; the
+// evaluator looks programs up per path via Program.
+func (p *Plan) Programs() []Program {
+	out := make([]Program, len(p.paths))
+	for i, path := range p.paths {
+		out[i] = p.programs[path]
+	}
+	return out
 }
 
-// walk calls fn on e and every nested expression, including step and filter
-// predicates and constructor content.
-func walk(e xqast.Expr, fn func(xqast.Expr)) {
-	if e == nil {
-		return
+// Program returns the compiled step program of a path expression. Paths that
+// were not part of the compiled module are compiled on the fly (uncached);
+// today no caller synthesises whole paths at run time, only single steps via
+// CompileStep.
+func (p *Plan) Program(path *xqast.Path) Program {
+	if prog, ok := p.programs[path]; ok {
+		return prog
 	}
-	fn(e)
-	switch v := e.(type) {
-	case *xqast.FLWOR:
-		for _, cl := range v.Clauses {
-			switch c := cl.(type) {
-			case *xqast.ForClause:
-				walk(c.Seq, fn)
-			case *xqast.LetClause:
-				walk(c.Seq, fn)
-			}
-		}
-		walk(v.Where, fn)
-		for _, spec := range v.OrderBy {
-			walk(spec.Key, fn)
-		}
-		walk(v.Return, fn)
-	case *xqast.Quantified:
-		walk(v.Seq, fn)
-		walk(v.Satisfies, fn)
-	case *xqast.IfExpr:
-		walk(v.Cond, fn)
-		walk(v.Then, fn)
-		walk(v.Else, fn)
-	case *xqast.Binary:
-		walk(v.L, fn)
-		walk(v.R, fn)
-	case *xqast.Unary:
-		walk(v.X, fn)
-	case *xqast.Path:
-		walk(v.Start, fn)
-		for _, step := range v.Steps {
-			for _, pred := range step.Predicates {
-				walk(pred, fn)
-			}
-		}
-	case *xqast.Filter:
-		walk(v.Base, fn)
-		for _, pred := range v.Predicates {
-			walk(pred, fn)
-		}
-	case *xqast.FuncCall:
-		for _, a := range v.Args {
-			walk(a, fn)
-		}
-	case *xqast.DirectElem:
-		for _, attr := range v.Attrs {
-			for _, part := range attr.Value {
-				walk(part, fn)
-			}
-		}
-		for _, c := range v.Content {
-			walk(c, fn)
-		}
-	case *xqast.Enclosed:
-		walk(v.X, fn)
-	case *xqast.ComputedElem:
-		walk(v.NameExpr, fn)
-		walk(v.Content, fn)
-	case *xqast.ComputedAttr:
-		walk(v.NameExpr, fn)
-		walk(v.Content, fn)
-	case *xqast.ComputedText:
-		walk(v.Content, fn)
-	}
+	return compileProgram(path)
 }

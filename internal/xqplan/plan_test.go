@@ -170,15 +170,17 @@ func TestStandOffDecisions(t *testing.T) {
 		t.Fatalf("NumStandOffSteps = %d, want 1", p.NumStandOffSteps())
 	}
 	var so SOStep
-	walk(p.Body(), func(e xqast.Expr) {
-		if path, ok := e.(*xqast.Path); ok {
-			for _, s := range path.Steps {
-				if s.Axis.StandOff() {
-					so = p.StandOff(s)
-				}
+	var found bool
+	for _, path := range p.paths {
+		for _, sp := range p.programs[path] {
+			if sp.StandOff {
+				so, found = sp.SO, true
 			}
 		}
-	})
+	}
+	if !found {
+		t.Fatal("no StandOff step in any program")
+	}
 	if so.Op != core.SelectNarrow {
 		t.Fatalf("Op = %v", so.Op)
 	}

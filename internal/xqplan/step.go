@@ -1,0 +1,198 @@
+package xqplan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"soxq/internal/core"
+	"soxq/internal/tree"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+)
+
+// StepPlan is the compiled form of one path step: the axis with the
+// descendant-or-self::node()/child::T fusion already applied, the node test,
+// the predicate list, and — for StandOff axes — the section 3.3 candidate
+// policy plus the join-strategy choice. Everything statically knowable is
+// decided here, once, at compile time; the evaluator consumes StepPlans
+// without re-deriving any of it per evaluation.
+//
+// The two memo tables hold the per-document residue that cannot be decided
+// before a plan binds to documents: the node test resolved against a
+// document's dictionary, and the statistics-based Basic vs Loop-Lifted
+// choice per region index. Both are resolved at first use and cached, with
+// the table reset once it outgrows stepMemoLimit — a plan held across many
+// document reload cycles must not pin every dead document tree and index
+// its memo keys reference. A StepPlan is shared by every concurrent
+// execution of its plan; use pointers, never copy one.
+type StepPlan struct {
+	Axis       xpath.Axis
+	Test       xpath.Test
+	Predicates []xqast.Expr
+	// Fused marks a descendant step produced by merging the
+	// descendant-or-self::node()/child::T pair (the // abbreviation) at
+	// compile time.
+	Fused bool
+	// StandOff reports whether Axis is one of the four StandOff steps; SO
+	// is only meaningful when it is.
+	StandOff bool
+	SO       SOStep
+
+	tests       sync.Map // *tree.Doc -> xpath.Compiled
+	nTests      atomic.Int32
+	strategies  sync.Map // strategyKey -> core.Strategy
+	nStrategies atomic.Int32
+}
+
+// stepMemoLimit bounds each StepPlan memo table. The memos are pure caches
+// keyed by document / index pointers; resetting one merely costs a
+// recompute, while letting it grow would keep every document a long-lived
+// plan ever bound to reachable.
+const stepMemoLimit = 128
+
+// memoStore inserts into a memo table, resetting the table when it outgrows
+// stepMemoLimit. A concurrent reset may drop a freshly stored entry — that
+// only means one extra recompute later.
+func memoStore(m *sync.Map, n *atomic.Int32, k, v any) {
+	if n.Add(1) > stepMemoLimit {
+		n.Store(0)
+		m.Range(func(key, _ any) bool {
+			m.Delete(key)
+			return true
+		})
+	}
+	m.Store(k, v)
+}
+
+// strategyKey memoizes the cost-model choice per (region index, pushdown
+// setting) pair: the candidate estimate differs when the name test is pushed
+// down versus post-filtered.
+type strategyKey struct {
+	ix       *core.RegionIndex
+	pushdown bool
+}
+
+// Program is the compiled step sequence of one path expression, with the //
+// fusion applied (a Program can be shorter than the source step list).
+type Program []*StepPlan
+
+// NumStandOff returns how many StandOff steps the program contains.
+func (pr Program) NumStandOff() int {
+	n := 0
+	for _, sp := range pr {
+		if sp.StandOff {
+			n++
+		}
+	}
+	return n
+}
+
+// CompileStep compiles a single step. Compile uses it for every step of the
+// module; the evaluator uses it for steps synthesised at run time (the
+// so:select-narrow(...) function form).
+func CompileStep(step *xqast.Step) *StepPlan {
+	sp := &StepPlan{Axis: step.Axis, Test: step.Test, Predicates: step.Predicates}
+	if step.Axis.StandOff() {
+		sp.StandOff = true
+		sp.SO = Decide(step)
+	}
+	return sp
+}
+
+// compileProgram compiles a path's step list, fusing each
+// descendant-or-self::node()/child::T pair (both predicate-free) into a
+// single descendant::T step so the subtree is never materialised node by
+// node. This decision was previously re-made by the evaluator on every
+// evaluation of the path.
+func compileProgram(v *xqast.Path) Program {
+	prog := make(Program, 0, len(v.Steps))
+	for si := 0; si < len(v.Steps); si++ {
+		step := v.Steps[si]
+		if step.Axis == xpath.AxisDescendantOrSelf && step.Test.Kind == xpath.TestAnyNode &&
+			len(step.Predicates) == 0 && si+1 < len(v.Steps) {
+			next := v.Steps[si+1]
+			if next.Axis == xpath.AxisChild && len(next.Predicates) == 0 {
+				sp := CompileStep(&xqast.Step{Axis: xpath.AxisDescendant, Test: next.Test})
+				sp.Fused = true
+				prog = append(prog, sp)
+				si++
+				continue
+			}
+		}
+		prog = append(prog, CompileStep(step))
+	}
+	return prog
+}
+
+// CompiledTest returns the step's node test resolved against d's dictionary,
+// memoized per document so repeated executions of a cached plan skip the
+// string lookup entirely.
+func (sp *StepPlan) CompiledTest(d *tree.Doc) xpath.Compiled {
+	if c, ok := sp.tests.Load(d); ok {
+		return c.(xpath.Compiled)
+	}
+	c := xpath.Compile(d, sp.Test)
+	memoStore(&sp.tests, &sp.nTests, d, c)
+	return c
+}
+
+// basicCandidateCutoff is the cost-model threshold: with at most this many
+// candidate areas, the Basic StandOff MergeJoin's per-iteration rescan is
+// cheaper than the Loop-Lifted variant's cross-iteration machinery
+// (pseudo-key bookkeeping, counting sort and dedup over all iterations at
+// once). Beyond it, rescanning per iteration is what makes XMark Q2 DNF in
+// the paper's Figure 6, and Loop-Lifted wins.
+const basicCandidateCutoff = 64
+
+// StrategyFor resolves the Basic vs Loop-Lifted choice for this step against
+// one region index, memoized per (index, pushdown) pair: plans can bind to
+// documents loaded after Prepare, so the statistics-based choice happens at
+// first execution rather than at compile time. Tree-axis steps never call
+// this.
+func (sp *StepPlan) StrategyFor(ix *core.RegionIndex, pushdown bool) core.Strategy {
+	k := strategyKey{ix: ix, pushdown: pushdown}
+	if v, ok := sp.strategies.Load(k); ok {
+		return v.(core.Strategy)
+	}
+	s := chooseStrategy(sp.SO.Policy(pushdown), sp.SO.Name, ix)
+	memoStore(&sp.strategies, &sp.nStrategies, k, s)
+	return s
+}
+
+// chooseStrategy is the cost model: estimate the candidate cardinality of
+// the step from the index statistics and pick the join variant. With a
+// pushed-down name test the estimate is the per-tag element cardinality from
+// the tree dictionary (an upper bound on the candidate areas); otherwise it
+// is the full area count.
+func chooseStrategy(policy CandPolicy, name string, ix *core.RegionIndex) core.Strategy {
+	st := ix.Stats()
+	est := st.Areas
+	if policy == CandByName {
+		if card := st.Card(name); card < est {
+			est = card
+		}
+	}
+	if est <= basicCandidateCutoff {
+		return core.StrategyBasic
+	}
+	return core.StrategyLoopLifted
+}
+
+// ResolvedStrategies returns the distinct strategies the cost model has
+// chosen for this step so far (empty before the first auto-mode execution,
+// or when every execution forced a strategy). Sorted ascending for
+// deterministic EXPLAIN output.
+func (sp *StepPlan) ResolvedStrategies() []core.Strategy {
+	seen := map[core.Strategy]bool{}
+	sp.strategies.Range(func(_, v any) bool {
+		seen[v.(core.Strategy)] = true
+		return true
+	})
+	var out []core.Strategy
+	for _, s := range []core.Strategy{core.StrategyNaive, core.StrategyBasic, core.StrategyLoopLifted} {
+		if seen[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

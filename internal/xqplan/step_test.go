@@ -1,0 +1,194 @@
+package xqplan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"soxq/internal/core"
+	"soxq/internal/xmlparse"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+)
+
+// program returns the step program of the n-th path (discovery order) of a
+// compiled query.
+func program(t *testing.T, p *Plan, n int) Program {
+	t.Helper()
+	if n >= len(p.paths) {
+		t.Fatalf("plan has %d paths, want index %d", len(p.paths), n)
+	}
+	return p.programs[p.paths[n]]
+}
+
+func TestFusionCompiled(t *testing.T) {
+	// doc("d.xml")//music: descendant-or-self::node()/child::music fuses
+	// into one descendant::music step at compile time.
+	p := compile(t, `doc("d.xml")//music`)
+	prog := program(t, p, 0)
+	if len(prog) != 1 {
+		t.Fatalf("program length = %d, want 1 (fused)", len(prog))
+	}
+	sp := prog[0]
+	if sp.Axis != xpath.AxisDescendant || !sp.Fused || sp.Test.Name != "music" {
+		t.Fatalf("fused step = %v::%v fused=%v", sp.Axis, sp.Test, sp.Fused)
+	}
+}
+
+func TestNoFusionWithPredicates(t *testing.T) {
+	// A predicate on the child step blocks the fusion: positional
+	// predicates count per parent, and descendant flattening would break
+	// that.
+	p := compile(t, `doc("d.xml")//music[1]`)
+	prog := program(t, p, 0)
+	if len(prog) != 2 {
+		t.Fatalf("program length = %d, want 2 (unfused)", len(prog))
+	}
+	if prog[0].Axis != xpath.AxisDescendantOrSelf || prog[1].Axis != xpath.AxisChild {
+		t.Fatalf("axes = %v, %v", prog[0].Axis, prog[1].Axis)
+	}
+	if len(prog[1].Predicates) != 1 {
+		t.Fatalf("child step predicates = %d, want 1", len(prog[1].Predicates))
+	}
+}
+
+func TestStandOffStepCompiled(t *testing.T) {
+	p := compile(t, `doc("d.xml")//music/select-narrow::shot`)
+	prog := program(t, p, 0)
+	if len(prog) != 2 {
+		t.Fatalf("program length = %d, want 2", len(prog))
+	}
+	so := prog[1]
+	if !so.StandOff || so.SO.Op != core.SelectNarrow || so.SO.Name != "shot" {
+		t.Fatalf("standoff step = %+v", so.SO)
+	}
+}
+
+// indexWith builds a region index over a generated document holding `dense`
+// areas named dense and `rare` areas named rare.
+func indexWith(t *testing.T, dense, rare int) *core.RegionIndex {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < dense; i++ {
+		fmt.Fprintf(&sb, `<dense start="%d" end="%d"/>`, i*10, i*10+9)
+	}
+	for i := 0; i < rare; i++ {
+		fmt.Fprintf(&sb, `<rare start="%d" end="%d"/>`, i*100, i*100+50)
+	}
+	sb.WriteString("</doc>")
+	d, err := xmlparse.Parse("d.xml", []byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildIndex(d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestStrategySelection pins the cost model: skewed region-index statistics
+// flip a step between Basic (tiny candidate set, per-iteration rescan is
+// cheap) and Loop-Lifted (large candidate set, one shared pass).
+func TestStrategySelection(t *testing.T) {
+	step := func(name string) *StepPlan {
+		test := xpath.Test{Kind: xpath.TestAnyNode}
+		if name != "" {
+			test = xpath.NameTest(name)
+		}
+		return CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: test})
+	}
+	for _, tc := range []struct {
+		name        string
+		dense, rare int
+		test        string // element name test; "" = node()
+		pushdown    bool
+		want        core.Strategy
+	}{
+		{"tiny layer, no name test", 10, 0, "", true, core.StrategyBasic},
+		{"huge layer, no name test", 500, 0, "", true, core.StrategyLoopLifted},
+		{"cutoff boundary", basicCandidateCutoff, 0, "", true, core.StrategyBasic},
+		{"just past cutoff", basicCandidateCutoff + 1, 0, "", true, core.StrategyLoopLifted},
+		{"rare tag in huge layer, pushdown", 500, 3, "rare", true, core.StrategyBasic},
+		{"dense tag in huge layer, pushdown", 500, 3, "dense", true, core.StrategyLoopLifted},
+		// Without pushdown the name test is post-filtered, so the
+		// candidate set is the whole layer: the same rare-tag step flips
+		// back to Loop-Lifted.
+		{"rare tag, no pushdown", 500, 3, "rare", false, core.StrategyLoopLifted},
+		{"absent tag, pushdown", 500, 0, "ghost", true, core.StrategyBasic},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := indexWith(t, tc.dense, tc.rare)
+			sp := step(tc.test)
+			if got := sp.StrategyFor(ix, tc.pushdown); got != tc.want {
+				t.Fatalf("StrategyFor = %v, want %v (areas=%d)", got, tc.want, ix.Stats().Areas)
+			}
+			// Memoized: the second call answers from the step's cache.
+			if got := sp.StrategyFor(ix, tc.pushdown); got != tc.want {
+				t.Fatalf("memoized StrategyFor = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStrategyPerIndex pins that one step resolves independently per region
+// index: the same plan bound to a tiny and a huge layer uses Basic for one
+// and Loop-Lifted for the other.
+func TestStrategyPerIndex(t *testing.T) {
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectWide, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	tiny := indexWith(t, 3, 0)
+	huge := indexWith(t, 300, 0)
+	if got := sp.StrategyFor(tiny, true); got != core.StrategyBasic {
+		t.Fatalf("tiny index: %v", got)
+	}
+	if got := sp.StrategyFor(huge, true); got != core.StrategyLoopLifted {
+		t.Fatalf("huge index: %v", got)
+	}
+	resolved := sp.ResolvedStrategies()
+	if len(resolved) != 2 || resolved[0] != core.StrategyBasic || resolved[1] != core.StrategyLoopLifted {
+		t.Fatalf("ResolvedStrategies = %v", resolved)
+	}
+}
+
+func TestResolvedStrategiesEmptyBeforeUse(t *testing.T) {
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	if got := sp.ResolvedStrategies(); len(got) != 0 {
+		t.Fatalf("ResolvedStrategies = %v, want empty", got)
+	}
+}
+
+// TestStepMemoBounded: the per-step memo tables reset past stepMemoLimit so
+// a long-lived plan cannot pin every document it ever bound to.
+func TestStepMemoBounded(t *testing.T) {
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisChild, Test: xpath.NameTest("a")})
+	for i := 0; i < 3*stepMemoLimit; i++ {
+		d, err := xmlparse.Parse(fmt.Sprintf("d%d.xml", i), []byte(`<doc><a/></doc>`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.CompiledTest(d)
+	}
+	n := 0
+	sp.tests.Range(func(_, _ any) bool { n++; return true })
+	if n > stepMemoLimit {
+		t.Fatalf("memo holds %d entries, limit %d", n, stepMemoLimit)
+	}
+}
+
+func TestCompiledTestMemoized(t *testing.T) {
+	d, err := xmlparse.Parse("d.xml", []byte(`<doc><a/><b/></doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisChild, Test: xpath.NameTest("a")})
+	c1 := sp.CompiledTest(d)
+	c2 := sp.CompiledTest(d)
+	if c1 != c2 {
+		t.Fatalf("CompiledTest not stable: %+v vs %+v", c1, c2)
+	}
+	// pre 0 is the document node, 1 <doc>, 2 <a>, 3 <b>.
+	if !c1.Matches(d, 2) || c1.Matches(d, 3) {
+		t.Fatal("compiled test matches wrong nodes")
+	}
+}

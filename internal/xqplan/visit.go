@@ -1,0 +1,85 @@
+package xqplan
+
+import "soxq/internal/xqast"
+
+// rewriteChildren applies f to every direct child expression of e, storing
+// the (possibly rewritten) result back in place. It is the single canonical
+// child enumeration of the compiler: constant folding and step-program
+// construction both ride Plan.pass, which recurses through this function, so
+// a new AST node needs exactly one case here to be seen by every compile
+// analysis. (PR 1 kept two divergent traversals — walk for StandOff analysis
+// and fold for rewriting — that had to be updated in lockstep and walked
+// every expression twice.)
+func rewriteChildren(e xqast.Expr, f func(xqast.Expr) xqast.Expr) {
+	switch v := e.(type) {
+	case *xqast.FLWOR:
+		for _, cl := range v.Clauses {
+			switch c := cl.(type) {
+			case *xqast.ForClause:
+				c.Seq = f(c.Seq)
+			case *xqast.LetClause:
+				c.Seq = f(c.Seq)
+			}
+		}
+		if v.Where != nil {
+			v.Where = f(v.Where)
+		}
+		for i := range v.OrderBy {
+			v.OrderBy[i].Key = f(v.OrderBy[i].Key)
+		}
+		v.Return = f(v.Return)
+	case *xqast.Quantified:
+		v.Seq = f(v.Seq)
+		v.Satisfies = f(v.Satisfies)
+	case *xqast.IfExpr:
+		v.Cond = f(v.Cond)
+		v.Then = f(v.Then)
+		v.Else = f(v.Else)
+	case *xqast.Binary:
+		v.L = f(v.L)
+		v.R = f(v.R)
+	case *xqast.Unary:
+		v.X = f(v.X)
+	case *xqast.Path:
+		if v.Start != nil {
+			v.Start = f(v.Start)
+		}
+		for _, step := range v.Steps {
+			for i := range step.Predicates {
+				step.Predicates[i] = f(step.Predicates[i])
+			}
+		}
+	case *xqast.Filter:
+		v.Base = f(v.Base)
+		for i := range v.Predicates {
+			v.Predicates[i] = f(v.Predicates[i])
+		}
+	case *xqast.FuncCall:
+		for i := range v.Args {
+			v.Args[i] = f(v.Args[i])
+		}
+	case *xqast.DirectElem:
+		for ai := range v.Attrs {
+			for i := range v.Attrs[ai].Value {
+				v.Attrs[ai].Value[i] = f(v.Attrs[ai].Value[i])
+			}
+		}
+		for i := range v.Content {
+			v.Content[i] = f(v.Content[i])
+		}
+	case *xqast.Enclosed:
+		v.X = f(v.X)
+	case *xqast.ComputedElem:
+		if v.NameExpr != nil {
+			v.NameExpr = f(v.NameExpr)
+		}
+		v.Content = f(v.Content)
+	case *xqast.ComputedAttr:
+		if v.NameExpr != nil {
+			v.NameExpr = f(v.NameExpr)
+		}
+		v.Content = f(v.Content)
+	case *xqast.ComputedText:
+		v.Content = f(v.Content)
+	}
+}

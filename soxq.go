@@ -44,15 +44,23 @@ import (
 	"soxq/internal/xqplan"
 )
 
-// Mode selects how StandOff steps are executed, mirroring the three variants
-// of the paper's section 4.6 experiment.
+// Mode selects how StandOff steps are executed. The default, ModeAuto, lets
+// the planner's cost model choose Basic vs Loop-Lifted per step from the
+// region index statistics; the three named modes force one algorithm for
+// every step, mirroring the variants of the paper's section 4.6 experiment.
 type Mode int
 
 const (
-	// ModeLoopLifted runs the Loop-Lifted StandOff MergeJoin (the paper's
-	// contribution and the default).
-	ModeLoopLifted Mode = iota
-	// ModeBasic runs the Basic StandOff MergeJoin once per loop iteration.
+	// ModeAuto (the default) resolves the join algorithm per step: the
+	// cost model compares the step's estimated candidate cardinality
+	// against the index statistics, so a query mixing tiny and huge
+	// annotation layers gets the right variant for each.
+	ModeAuto Mode = iota
+	// ModeLoopLifted forces the Loop-Lifted StandOff MergeJoin (the
+	// paper's contribution) on every step.
+	ModeLoopLifted
+	// ModeBasic forces the Basic StandOff MergeJoin, re-run once per loop
+	// iteration.
 	ModeBasic
 	// ModeUDF evaluates StandOff steps as quadratic nested loops — the
 	// cost model of the paper's "XQuery Function" baselines.
@@ -61,6 +69,8 @@ const (
 
 func (m Mode) String() string {
 	switch m {
+	case ModeAuto:
+		return "auto"
 	case ModeLoopLifted:
 		return "looplifted"
 	case ModeBasic:
@@ -72,12 +82,14 @@ func (m Mode) String() string {
 
 func (m Mode) strategy() core.Strategy {
 	switch m {
+	case ModeLoopLifted:
+		return core.StrategyLoopLifted
 	case ModeBasic:
 		return core.StrategyBasic
 	case ModeUDF:
 		return core.StrategyNaive
 	default:
-		return core.StrategyLoopLifted
+		return core.StrategyAuto
 	}
 }
 
@@ -325,17 +337,17 @@ func (e *Engine) QueryWith(q string, cfg Config) (*Result, error) {
 // preparedCached returns a Prepared for q, consulting the plan cache. The
 // options snapshot taken here keys the cache AND seeds the compile, so a
 // concurrent Declare can never associate a plan with the wrong key.
+// Concurrent misses on the same key are collapsed: one compile serves every
+// waiter (the cache's singleflight).
 func (e *Engine) preparedCached(q string) (*Prepared, error) {
 	opts := e.currentOptions()
 	key := planKey{query: q, opts: opts}
-	if plan, ok := e.plans.Get(key); ok {
-		return &Prepared{eng: e, plan: plan}, nil
-	}
-	plan, err := compile(q, opts)
+	plan, err := e.plans.GetOrCompute(key, func() (*xqplan.Plan, error) {
+		return compile(q, opts)
+	})
 	if err != nil {
 		return nil, err
 	}
-	e.plans.Put(key, plan)
 	return &Prepared{eng: e, plan: plan}, nil
 }
 

@@ -307,8 +307,12 @@ func TestConcurrentQueries(t *testing.T) {
 }
 
 func TestModeStrings(t *testing.T) {
-	if ModeLoopLifted.String() != "looplifted" || ModeBasic.String() != "basic" || ModeUDF.String() != "udf" {
+	if ModeAuto.String() != "auto" || ModeLoopLifted.String() != "looplifted" ||
+		ModeBasic.String() != "basic" || ModeUDF.String() != "udf" {
 		t.Fatal("mode names wrong")
+	}
+	if ModeAuto != 0 {
+		t.Fatal("ModeAuto must be the zero value: Config{} means statistics-driven execution")
 	}
 }
 
