@@ -15,6 +15,7 @@ package soxq
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -463,6 +464,97 @@ func BenchmarkPrepare(b *testing.B) {
 		if _, err := data.eng.Prepare(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- E11: the streaming execution subsystem ----------------------------
+
+// BenchmarkStreamExec compares the materialising Exec against draining the
+// same query through the Stream cursor pipeline. The queries produce large
+// results relative to their inputs — the shape the cursor subsystem exists
+// for — so the streamed run allocates materially less: the range generator
+// never materialises the binding sequence, chunk scratch is reused, and the
+// final result sequence is never accumulated.
+func BenchmarkStreamExec(b *testing.B) {
+	data := dataFor(b, 0.05)
+	queries := []struct {
+		name string
+		q    string
+	}{
+		{"range-loop", `for $i in 1 to 200000 return $i * 3`},
+		{"xmark-bidders", `for $b in doc("so.xml")//bidder return $b/select-narrow::increase`},
+	}
+	for _, tc := range queries {
+		prep, err := data.eng.Prepare(tc.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"/exec", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := prep.Exec(Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+		b.Run(tc.name+"/stream", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cur, err := prep.Stream(Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for cur.Next() {
+					n++
+				}
+				if err := cur.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty stream")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExec measures the FLWOR partitioner on a loop whose
+// per-tuple work is independent (subtree string values plus node
+// construction — work that cannot be amortised across iterations, unlike
+// the loop-lifted joins, which is exactly when partitioning pays).
+func BenchmarkParallelExec(b *testing.B) {
+	data := dataFor(b, 0.05)
+	if err := data.eng.LoadXML("plain.xml", mustSerialize(b, data.plain)); err != nil {
+		b.Fatal(err)
+	}
+	prep, err := data.eng.Prepare(
+		`for $a in doc("plain.xml")//open_auction
+		 return <r id="{$a/@id}">{string($a/annotation)}</r>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := []int{1, runtime.GOMAXPROCS(0)}
+	if ps[1] == 1 {
+		ps = ps[:1] // single-core runner: the p=N cell would measure nothing
+	}
+	for _, p := range ps {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := Config{Parallelism: p}
+			for i := 0; i < b.N; i++ {
+				res, err := prep.Exec(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
 	}
 }
 

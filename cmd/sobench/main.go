@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -39,7 +40,7 @@ var paperScaleNames = map[string]string{
 func main() {
 	scales := flag.String("scales", "0.1,0.5,1", "comma-separated XMark scale factors")
 	queries := flag.String("queries", "1,2,6,7", "comma-separated XMark query numbers")
-	variants := flag.String("variants", "udf,basic,looplifted", "comma-separated variants (udf,udf-nocand,basic,looplifted,auto)")
+	variants := flag.String("variants", "udf,basic,looplifted", "comma-separated variants (udf,udf-nocand,basic,looplifted,auto,stream,parallel)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-cell budget before declaring DNF (paper: 1h)")
 	dir := flag.String("dir", "soxq-bench-data", "directory for generated data files")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -133,6 +134,10 @@ func variantLabel(v string) string {
 		return "Loop-Lifted StandOff MergeJoin"
 	case "auto":
 		return "Per-Step Cost Model (auto)"
+	case "stream":
+		return "Streamed Cursor Pipeline"
+	case "parallel":
+		return "Parallel Partitioned FLWOR"
 	}
 	return v
 }
@@ -232,6 +237,7 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 // matching the pre-pipeline measurements.
 func runCell(soPath string, q int, variant string, prepare bool) {
 	cfg := soxq.Config{}
+	streamed := false
 	switch variant {
 	case "auto":
 		cfg.Mode = soxq.ModeAuto
@@ -244,6 +250,14 @@ func runCell(soPath string, q int, variant string, prepare bool) {
 		cfg.Mode = soxq.ModeBasic
 	case "looplifted":
 		cfg.Mode = soxq.ModeLoopLifted
+	case "stream":
+		// Drain the query through the cursor pipeline: same auto-mode
+		// joins, bounded-memory execution.
+		streamed = true
+	case "parallel":
+		// Auto-mode joins with large FLWOR loops partitioned across all
+		// cores (order-preserving merge).
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	default:
 		fatal("unknown variant %q", variant)
 	}
@@ -255,26 +269,44 @@ func runCell(soPath string, q int, variant string, prepare bool) {
 		fatal("%v", err)
 	}
 	query := xmark.StandOffQuery(q, "doc.xml")
-	var res *soxq.Result
-	var err error
-	var start time.Time
-	if prepare {
-		var prep *soxq.Prepared
-		prep, err = eng.Prepare(query)
+	run := func(prep *soxq.Prepared) (int, error) {
+		if streamed {
+			cur, err := prep.Stream(cfg)
+			if err != nil {
+				return 0, err
+			}
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			return n, cur.Close()
+		}
+		res, err := prep.Exec(cfg)
 		if err != nil {
+			return 0, err
+		}
+		return res.Len(), nil
+	}
+	// With -prepare the clock starts after parse+compile (the paper-figure
+	// mode, measuring the join strategy alone); without it the cell pays
+	// the whole pipeline, matching the pre-pipeline measurements.
+	var prep *soxq.Prepared
+	var err error
+	start := time.Now()
+	if prepare {
+		if prep, err = eng.Prepare(query); err != nil {
 			fatal("Q%d (%s): %v", q, variant, err)
 		}
 		start = time.Now()
-		res, err = prep.Exec(cfg)
-	} else {
-		start = time.Now()
-		res, err = eng.QueryWith(query, cfg)
+	} else if prep, err = eng.Prepare(query); err != nil {
+		fatal("Q%d (%s): %v", q, variant, err)
 	}
+	items, err := run(prep)
 	if err != nil {
 		fatal("Q%d (%s): %v", q, variant, err)
 	}
 	secs := time.Since(start).Seconds()
-	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, res.Len(), secs)
+	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, items, secs)
 	fmt.Printf("seconds=%.6f\n", secs)
 }
 

@@ -14,10 +14,17 @@
 // statistics) or one of the paper's forced variants (looplifted, basic,
 // udf). -explain executes the query and prints the compiled plan — per step
 // the axis, node test, // fusion, candidate policy and the join strategy the
-// cost model actually chose — instead of the query results.
+// cost model actually chose, plus which pipeline operators stream — instead
+// of the query results.
+//
+// -stream serialises results through the cursor pipeline as they are
+// produced instead of materialising the full sequence first (constant
+// memory for arbitrarily large results); -parallel N partitions large
+// FLWOR loops across N workers.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +52,8 @@ func main() {
 	heap := flag.Bool("heap", false, "use the heap-based active set (paper section 5)")
 	timing := flag.Bool("time", false, "print load and evaluation timing to stderr")
 	explain := flag.Bool("explain", false, "print the compiled plan (with resolved join strategies) instead of results")
+	stream := flag.Bool("stream", false, "stream results through the cursor pipeline instead of materialising them")
+	parallel := flag.Int("parallel", 0, "partition large FLWOR loops across N workers (0 = single-threaded)")
 	flag.Parse()
 
 	if (*query == "") == (*queryFile == "") {
@@ -56,7 +65,7 @@ func main() {
 		fatalIf(err)
 		q = string(data)
 	}
-	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap}
+	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap, Parallelism: *parallel}
 	switch *mode {
 	case "auto":
 		cfg.Mode = soxq.ModeAuto
@@ -109,6 +118,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compile: %v\n", time.Since(compileStart))
 	}
 	evalStart := time.Now()
+	if *stream && !*explain {
+		// Streamed execution: items are serialised as the pipeline
+		// produces them, so memory stays bounded by the chunk size no
+		// matter the result cardinality.
+		cur, err := prep.Stream(cfg)
+		fatalIf(err)
+		w := bufio.NewWriter(os.Stdout)
+		for cur.Next() {
+			w.WriteString(cur.Value().XML())
+			w.WriteByte('\n')
+		}
+		fatalIf(cur.Close())
+		fatalIf(w.Flush())
+		if *timing {
+			fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
+		}
+		return
+	}
 	res, err := prep.Exec(cfg)
 	fatalIf(err)
 	if *timing {

@@ -59,6 +59,39 @@ func ExampleEngine_QueryWith() {
 	// Output: id="Outro"
 }
 
+func ExamplePrepared_Stream() {
+	eng := soxq.New()
+	if err := eng.Declare("standoff-type", "so:timecode"); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.LoadXML("sample.xml", []byte(sampleXML)); err != nil {
+		log.Fatal(err)
+	}
+	prep, err := eng.Prepare(`
+	    for $m in doc("sample.xml")//music
+	    return string-join(for $s in $m/select-wide::shot return string($s/@id), " ")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stream pulls results through a bounded-memory cursor pipeline; the
+	// full sequence is never materialised. Parallelism would partition a
+	// large loop across workers without changing the item order.
+	cur, err := prep.Stream(soxq.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+		fmt.Println(cur.Value().String())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// Intro Interview
+	// Interview Outro
+}
+
 func ExampleEngine_LoadStandOff() {
 	eng := soxq.New()
 	// Annotations carry [start,end] byte regions into the BLOB; the

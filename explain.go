@@ -3,6 +3,8 @@ package soxq
 import (
 	"fmt"
 	"strings"
+
+	"soxq/internal/xqexec"
 )
 
 // PlanExplain is the structured description of a prepared query's compiled
@@ -18,6 +20,32 @@ type PlanExplain struct {
 	Folds int
 	// Paths holds one step program per path expression.
 	Paths []PathExplain
+	// Stream is the pipeline shape a Stream (or Exec, which drains the
+	// same pipeline) would execute: per top-level operator, whether it is
+	// pipelined or materialised and why.
+	Stream *StreamExplain
+}
+
+// StreamExplain describes one operator of the streaming pipeline.
+type StreamExplain struct {
+	// Op names the operator: "flwor", "path", "seq", "range",
+	// "materialise".
+	Op string
+	// Pipelined reports whether the operator streams its output; a false
+	// value means the operator materialises and Detail says why.
+	Pipelined bool
+	// Detail explains the decision.
+	Detail string
+	// Children are the operator's streamed inputs.
+	Children []*StreamExplain
+}
+
+func streamExplain(op *xqexec.OpExplain) *StreamExplain {
+	out := &StreamExplain{Op: op.Kind, Pipelined: op.Pipelined, Detail: op.Detail}
+	for _, ch := range op.Children {
+		out.Children = append(out.Children, streamExplain(ch))
+	}
+	return out
 }
 
 // PathExplain is one path expression's compiled step program.
@@ -79,6 +107,7 @@ func (p *Prepared) Explain() *PlanExplain {
 		}
 		out.Paths = append(out.Paths, path)
 	}
+	out.Stream = streamExplain(xqexec.Describe(p.plan))
 	return out
 }
 
@@ -96,6 +125,9 @@ func policyString(policy, name string) string {
 //	path 1:
 //	  step 1: descendant::music (fused //)
 //	  step 2: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)}
+//	stream:
+//	  flwor [pipelined] for $s tuples stream in chunks; ...
+//	    path [materialised] final StandOff step select-narrow materialises via its merge join
 func (x *PlanExplain) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "options: %s\n", x.Options)
@@ -119,5 +151,20 @@ func (x *PlanExplain) String() string {
 			sb.WriteByte('\n')
 		}
 	}
+	if x.Stream != nil {
+		sb.WriteString("stream:\n")
+		x.Stream.render(&sb, 1)
+	}
 	return sb.String()
+}
+
+func (s *StreamExplain) render(sb *strings.Builder, depth int) {
+	mode := "materialised"
+	if s.Pipelined {
+		mode = "pipelined"
+	}
+	fmt.Fprintf(sb, "%s%s [%s] %s\n", strings.Repeat("  ", depth), s.Op, mode, s.Detail)
+	for _, ch := range s.Children {
+		ch.render(sb, depth+1)
+	}
 }

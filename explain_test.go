@@ -45,6 +45,9 @@ path 2:
   step 3: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto}
 path 3:
   step 1: attribute::id
+stream:
+  flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
+    path [materialised] final StandOff step select-narrow materialises via its merge join
 `
 	if got := prep.Explain().String(); got != wantBefore {
 		t.Fatalf("explain before exec:\n%s\nwant:\n%s", got, wantBefore)
@@ -103,6 +106,9 @@ path 8:
   step 1: self::shot
 path 9:
   step 1: attribute::id
+stream:
+  flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
+    path [pipelined] final step self::shot streams per context node when context subtrees are disjoint
 `
 	if got := prep.Explain().String(); got != want {
 		t.Fatalf("explain:\n%s\nwant:\n%s", got, want)

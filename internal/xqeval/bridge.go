@@ -1,0 +1,175 @@
+package xqeval
+
+// This file is the evaluator's bridge to internal/xqexec, the streaming
+// execution subsystem. The cursor pipeline drives the same loop-lifted
+// machinery the materialising Run path uses — chunk by chunk instead of all
+// iterations at once — so both paths share one engine and one set of
+// semantics. Everything here operates on *root-shaped* frames: frames with
+// exactly one iteration (the top level of a query), which is the only place
+// the executor builds pipelines.
+
+import (
+	"soxq/internal/xqast"
+	"soxq/internal/xqplan"
+)
+
+// Frame is the exported handle to a loop-lifted evaluation frame. The
+// executor treats it as opaque: it obtains one from NewRootFrame, derives
+// chunk frames with BindChunk/BindSeq, and passes it back into EvalExpr,
+// FLWORTail and the path helpers.
+type Frame = frame
+
+// NewRootFrame builds the top-level frame of an execution: one iteration,
+// with the plan's global variables evaluated and bound in declaration order.
+// Run uses it internally; the executor calls it once per pipeline.
+func (ev *Evaluator) NewRootFrame() (*Frame, error) {
+	if ev.MaxRecursion == 0 {
+		ev.MaxRecursion = 512
+	}
+	f := newFrame(1)
+	for _, vd := range ev.Plan.Globals() {
+		val, err := ev.eval(vd.Value, f)
+		if err != nil {
+			return nil, err
+		}
+		f = f.bind(vd.Name, newBinding(val))
+	}
+	return f, nil
+}
+
+// EvalExpr evaluates an expression under f with the full materialising
+// evaluator; the result has one group per frame iteration.
+func (ev *Evaluator) EvalExpr(e xqast.Expr, f *Frame) (LLSeq, error) {
+	return ev.eval(e, f)
+}
+
+// Iterations returns the frame's iteration count.
+func (f *Frame) Iterations() int { return f.n }
+
+// BindSeq returns a copy of f with name bound to seq (which must have one
+// group per frame iteration).
+func (f *Frame) BindSeq(name string, seq LLSeq) *Frame {
+	return f.bind(name, newBinding(seq))
+}
+
+// BindChunk expands a single-iteration frame into len(items) tuple
+// iterations — one per item, all descending from the root iteration — with
+// varName bound to the tuple's item and posName (when non-empty, the
+// for-clause's `at` variable) to its 1-based position offset by basePos.
+// This is how the executor turns a chunk of a for-clause's binding stream
+// into the frame the loop-lifted machinery evaluates the loop body over.
+// items is aliased, not copied: the caller must not mutate it while the
+// returned frame (or any sequence produced under it) is still in use.
+func (f *Frame) BindChunk(varName, posName string, items []Item, basePos int64) *Frame {
+	n := len(items)
+	outerOf := make([]int32, n) // all tuples descend from root iteration 0
+	nf := f.expand(outerOf)
+	seq := LLSeq{Off: make([]int32, n+1), Items: items}
+	for i := 0; i < n; i++ {
+		seq.Off[i+1] = int32(i + 1)
+	}
+	nf = nf.bind(varName, newBinding(seq))
+	if posName != "" {
+		ps := LLSeq{Off: make([]int32, n+1), Items: make([]Item, n)}
+		for i := 0; i < n; i++ {
+			ps.Items[i] = Int(basePos + int64(i) + 1)
+			ps.Off[i+1] = int32(i + 1)
+		}
+		nf = nf.bind(posName, newBinding(ps))
+	}
+	return nf
+}
+
+// FLWORTail evaluates the remainder of a FLWOR over the tuples of f: the
+// clauses after the streamed for clause, the where filter, and the return
+// expression. The result is grouped by the final tuple frame; because tuple
+// expansion and where-restriction both preserve iteration order, the flat
+// Items slice is already in result order — the executor streams it directly
+// without the per-iteration regroup the materialising path performs.
+// FLWORTail does not handle order by; the executor falls back to the
+// materialising evaluator for FLWORs that sort.
+func (ev *Evaluator) FLWORTail(clauses []xqast.Clause, where, ret xqast.Expr, f *Frame) (LLSeq, error) {
+	cur, rootOf, err := ev.flworClauses(clauses, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	if where != nil {
+		cur, _, err = ev.flworWhere(where, cur, rootOf)
+		if err != nil {
+			return LLSeq{}, err
+		}
+	}
+	return ev.eval(ret, cur)
+}
+
+// PathPrefix evaluates a path's starting context and every compiled step but
+// the last, returning the context sequence the final step would consume plus
+// that final step's plan. A nil StepPlan means the program is empty and the
+// returned sequence is already the path's result.
+func (ev *Evaluator) PathPrefix(p *xqast.Path, f *Frame) (LLSeq, *xqplan.StepPlan, error) {
+	cur, err := ev.pathStart(p, f)
+	if err != nil {
+		return LLSeq{}, nil, err
+	}
+	prog := ev.Plan.Program(p)
+	if len(prog) == 0 {
+		return cur, nil, nil
+	}
+	for _, sp := range prog[:len(prog)-1] {
+		cur, err = ev.evalStep(sp, cur, f)
+		if err != nil {
+			return LLSeq{}, nil, err
+		}
+	}
+	return cur, prog[len(prog)-1], nil
+}
+
+// EvalStepBulk applies one compiled step to a context sequence with the
+// materialising machinery (the executor's fallback when a final step is not
+// order-safe to stream).
+func (ev *Evaluator) EvalStepBulk(sp *xqplan.StepPlan, ctx LLSeq, f *Frame) (LLSeq, error) {
+	return ev.evalStep(sp, ctx, f)
+}
+
+// TreeStepItems applies a tree-axis step to a single context node, returning
+// the step's matches for that node in document order. Used by the pipelined
+// final-step cursor, which has already established that per-node streaming
+// is order-safe (disjoint context subtrees, forward axis, no predicates).
+func (ev *Evaluator) TreeStepItems(sp *xqplan.StepPlan, it Item) ([]Item, error) {
+	if !it.IsNode() {
+		return nil, errf(codeType, "axis step applied to an atomic value")
+	}
+	res, err := ev.treeStep(sp, []stepRow{{item: it}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SingletonInt coerces a 0/1-item group to an integer, with ok=false on an
+// empty group — the `to` range-bound coercion, exported for the executor's
+// pipelined range cursor.
+func SingletonInt(items []Item) (int64, bool, error) {
+	return singletonInt(items)
+}
+
+// RangeLimit caps the size of a `to` range. The materialising evaluator
+// enforces it because it builds the whole range at once; the pipelined range
+// cursor enforces the same limit so streaming and materialised executions
+// fail identically.
+const RangeLimit = 1 << 24
+
+// ErrRangeTooLarge is the error both executions raise at the RangeLimit.
+func ErrRangeTooLarge(lo, hi int64) error {
+	return errf(codeType, "range %d to %d is too large", lo, hi)
+}
+
+// Fork returns a copy of the evaluator for use by a worker goroutine: all
+// configuration and the shared immutable plan carry over, the per-run
+// recursion depth starts fresh. The parallel FLWOR partitioner forks one
+// evaluator per chunk.
+func (ev *Evaluator) Fork() *Evaluator {
+	nev := *ev
+	nev.depth = 0
+	return &nev
+}

@@ -49,16 +49,9 @@ type Evaluator struct {
 
 // Run executes the compiled plan and returns the result sequence.
 func (ev *Evaluator) Run() ([]Item, error) {
-	if ev.MaxRecursion == 0 {
-		ev.MaxRecursion = 512
-	}
-	f := newFrame(1)
-	for _, vd := range ev.Plan.Globals() {
-		val, err := ev.eval(vd.Value, f)
-		if err != nil {
-			return nil, err
-		}
-		f = f.bind(vd.Name, newBinding(val))
+	f, err := ev.NewRootFrame()
+	if err != nil {
+		return nil, err
 	}
 	out, err := ev.eval(ev.Plan.Body(), f)
 	if err != nil {
@@ -206,8 +199,8 @@ func (ev *Evaluator) evalRange(v *xqast.Binary, f *frame) (LLSeq, error) {
 			b.add()
 			continue
 		}
-		if hi-lo >= 1<<24 {
-			return LLSeq{}, errf(codeType, "range %d to %d is too large", lo, hi)
+		if hi-lo >= RangeLimit {
+			return LLSeq{}, ErrRangeTooLarge(lo, hi)
 		}
 		items := make([]Item, 0, hi-lo+1)
 		for x := lo; x <= hi; x++ {
@@ -474,7 +467,10 @@ func expandFor(seq LLSeq) (inner int, outerOf []int32, varB *binding) {
 	return inner, outerOf, newBinding(varSeq)
 }
 
-func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
+// flworClauses applies a FLWOR's for/let clauses to f, returning the expanded
+// tuple frame and the mapping from tuples back to f's iterations. The mapping
+// is always non-decreasing: tuples expand in iteration order.
+func (ev *Evaluator) flworClauses(clauses []xqast.Clause, f *frame) (*frame, []int32, error) {
 	cur := f
 	// rootOf maps the current tuple space back to f's iterations.
 	rootOf := make([]int32, f.n)
@@ -482,12 +478,12 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 		rootOf[i] = int32(i)
 	}
 	// Positional vars are bound as the tuples expand.
-	for _, cl := range v.Clauses {
+	for _, cl := range clauses {
 		switch c := cl.(type) {
 		case *xqast.ForClause:
 			seq, err := ev.eval(c.Seq, cur)
 			if err != nil {
-				return LLSeq{}, err
+				return nil, nil, err
 			}
 			inner, outerOf, varB := expandFor(seq)
 			nf := cur.expand(outerOf).bind(c.Var, varB)
@@ -511,29 +507,45 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 		case *xqast.LetClause:
 			seq, err := ev.eval(c.Seq, cur)
 			if err != nil {
-				return LLSeq{}, err
+				return nil, nil, err
 			}
 			cur = cur.bind(c.Var, newBinding(seq))
 		}
 	}
+	return cur, rootOf, nil
+}
+
+// flworWhere filters the tuple frame by the where condition, composing the
+// root mapping accordingly.
+func (ev *Evaluator) flworWhere(where xqast.Expr, cur *frame, rootOf []int32) (*frame, []int32, error) {
+	cond, err := ev.eval(where, cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keep []int32
+	for i := 0; i < cur.n; i++ {
+		bv, err := ebv(cond.Group(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if bv {
+			keep = append(keep, int32(i))
+		}
+	}
+	return cur.restrict(keep), composeMap(rootOf, keep), nil
+}
+
+func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
+	cur, rootOf, err := ev.flworClauses(v.Clauses, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
 	// where: filter tuples.
 	if v.Where != nil {
-		cond, err := ev.eval(v.Where, cur)
+		cur, rootOf, err = ev.flworWhere(v.Where, cur, rootOf)
 		if err != nil {
 			return LLSeq{}, err
 		}
-		var keep []int32
-		for i := 0; i < cur.n; i++ {
-			bv, err := ebv(cond.Group(i))
-			if err != nil {
-				return LLSeq{}, err
-			}
-			if bv {
-				keep = append(keep, int32(i))
-			}
-		}
-		cur = cur.restrict(keep)
-		rootOf = composeMap(rootOf, keep)
 	}
 	// order by: stable sort of tuples within each root iteration.
 	if len(v.OrderBy) > 0 {

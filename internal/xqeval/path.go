@@ -15,6 +15,23 @@ import (
 // fusion, name tests and stand-off decisions were all made at compile time;
 // this function only executes them.
 func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
+	cur, err := ev.pathStart(p, f)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	for _, sp := range ev.Plan.Program(p) {
+		cur, err = ev.evalStep(sp, cur, f)
+		if err != nil {
+			return LLSeq{}, err
+		}
+	}
+	return cur, nil
+}
+
+// pathStart establishes the starting context of a path: the start expression
+// (or the frame's context item), hoisted to the document root for absolute
+// paths.
+func (ev *Evaluator) pathStart(p *xqast.Path, f *frame) (LLSeq, error) {
 	var cur LLSeq
 	if p.Start != nil {
 		s, err := ev.eval(p.Start, f)
@@ -42,13 +59,6 @@ func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
 			b.add(sortDedupNodes(items)...)
 		}
 		cur = b.done()
-	}
-	for _, sp := range ev.Plan.Program(p) {
-		var err error
-		cur, err = ev.evalStep(sp, cur, f)
-		if err != nil {
-			return LLSeq{}, err
-		}
 	}
 	return cur, nil
 }

@@ -1,0 +1,127 @@
+package xqexec
+
+import (
+	"fmt"
+
+	"soxq/internal/xqast"
+	"soxq/internal/xqplan"
+)
+
+// OpExplain describes one operator of the pipeline a plan would stream
+// through: whether it is pipelined or materialised, and why. It mirrors the
+// decisions build makes, without executing anything — the one decision only
+// the run time can make (is the final path context disjoint?) is reported as
+// the condition it is.
+type OpExplain struct {
+	// Kind names the operator: "flwor", "path", "seq", "range",
+	// "materialise".
+	Kind string
+	// Pipelined reports whether the operator streams its output.
+	Pipelined bool
+	// Detail explains the decision (what streams, or why it cannot).
+	Detail string
+	// Children are the operator's streamed inputs (a flwor's binding
+	// stream, a seq's operands).
+	Children []*OpExplain
+}
+
+// Describe returns the pipeline shape Build would construct for the plan:
+// the operator tree of the top-level expression with each operator's
+// pipelined/materialised decision.
+func Describe(plan *xqplan.Plan) *OpExplain {
+	return describeExpr(plan, plan.Body())
+}
+
+func describeExpr(plan *xqplan.Plan, e xqast.Expr) *OpExplain {
+	switch v := e.(type) {
+	case *xqast.FLWOR:
+		if !streamableFLWOR(v) {
+			reason := "no for clause to stream over"
+			if len(v.OrderBy) > 0 {
+				reason = "order by needs every tuple before the first result"
+			}
+			return &OpExplain{Kind: "flwor", Detail: reason}
+		}
+		var first *xqast.ForClause
+		for _, cl := range v.Clauses {
+			if fc, ok := cl.(*xqast.ForClause); ok {
+				first = fc
+				break
+			}
+		}
+		return &OpExplain{
+			Kind:      "flwor",
+			Pipelined: true,
+			Detail: fmt.Sprintf("for $%s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible",
+				first.Var),
+			Children: []*OpExplain{describeExpr(plan, first.Seq)},
+		}
+	case *xqast.Path:
+		return describePath(plan, v)
+	case *xqast.Binary:
+		switch v.Op {
+		case ",":
+			op := &OpExplain{Kind: "seq", Pipelined: true,
+				Detail: "operands stream one after another"}
+			for _, part := range flattenSeq(v) {
+				op.Children = append(op.Children, describeExpr(plan, part))
+			}
+			return op
+		case "to":
+			return &OpExplain{Kind: "range", Pipelined: true,
+				Detail: "integers generated on demand"}
+		}
+	case *xqast.Enclosed:
+		return describeExpr(plan, v.X)
+	}
+	return &OpExplain{Kind: "materialise", Detail: exprName(e) + " evaluates in full"}
+}
+
+func describePath(plan *xqplan.Plan, p *xqast.Path) *OpExplain {
+	prog := plan.Program(p)
+	if len(prog) == 0 {
+		return &OpExplain{Kind: "path", Detail: "no steps"}
+	}
+	last := prog[len(prog)-1]
+	if streamableStep(last) {
+		return &OpExplain{Kind: "path", Pipelined: true,
+			Detail: fmt.Sprintf("final step %s::%s streams per context node when context subtrees are disjoint",
+				last.Axis, last.Test)}
+	}
+	reason := "final step materialises"
+	switch {
+	case last.StandOff:
+		reason = fmt.Sprintf("final StandOff step %s materialises via its merge join", last.SO.Op)
+	case len(last.Predicates) > 0:
+		reason = "predicates on the final step re-rank positions per context group"
+	default:
+		reason = fmt.Sprintf("final axis %s is not order-safe to stream", last.Axis)
+	}
+	return &OpExplain{Kind: "path", Detail: reason}
+}
+
+// exprName gives a friendly name for a non-pipelined expression form.
+func exprName(e xqast.Expr) string {
+	switch e.(type) {
+	case *xqast.FuncCall:
+		return "function call"
+	case *xqast.IfExpr:
+		return "conditional"
+	case *xqast.Quantified:
+		return "quantified expression"
+	case *xqast.Filter:
+		return "filter expression"
+	case *xqast.DirectElem, *xqast.ComputedElem, *xqast.ComputedAttr, *xqast.ComputedText:
+		return "node constructor"
+	case *xqast.Binary, *xqast.Unary:
+		return "operator expression"
+	case *xqast.VarRef, *xqast.ContextItem:
+		return "variable/context reference"
+	case *xqast.StringLit, *xqast.IntLit, *xqast.FloatLit, *xqast.EmptySeq:
+		return "literal"
+	case *xqast.FLWOR:
+		return "flwor"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

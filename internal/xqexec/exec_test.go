@@ -1,0 +1,387 @@
+package xqexec
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"soxq/internal/core"
+	"soxq/internal/tree"
+	"soxq/internal/xmlparse"
+	"soxq/internal/xqeval"
+	"soxq/internal/xqparse"
+	"soxq/internal/xqplan"
+)
+
+// testDoc mixes plain structure with stand-off annotations: scenes and hits
+// carry regions, speech nests under scenes, and a second document exercises
+// cross-document contexts.
+const testDoc = `<doc>
+  <meta><title>corpus</title><title>alt</title></meta>
+  <scene id="s1" start="0" end="99"><speech who="a">first</speech><speech who="b">second</speech></scene>
+  <scene id="s2" start="100" end="199"><speech who="a">third</speech></scene>
+  <scene id="s3" start="200" end="299"/>
+  <hit id="h1" start="10" end="20"/>
+  <hit id="h2" start="110" end="120"/>
+  <hit id="h3" start="150" end="260"/>
+  <hit id="h4" start="500" end="600"/>
+</doc>`
+
+const otherDoc = `<lib><book id="b1"><au>x</au></book><book id="b2"><au>y</au><au>z</au></book></lib>`
+
+// corpus is the query corpus every execution style must agree on. It covers
+// the pipelined operators (FLWOR with for/let/where/at, paths with
+// streamable and non-streamable final steps, sequences, ranges) and the
+// fallback forms (order by, aggregates, constructors, quantifieds,
+// conditionals), plus StandOff steps inside and outside loops.
+var corpus = []string{
+	// Pipelined FLWOR shapes.
+	`for $s in doc("t.xml")//scene return $s`,
+	`for $s in doc("t.xml")//scene return string($s/@id)`,
+	`for $s in doc("t.xml")//scene where $s/@start > 50 return $s/@id`,
+	`for $s at $p in doc("t.xml")//scene return $p * 10`,
+	`for $s in doc("t.xml")//scene for $w in $s/speech return string($w/@who)`,
+	`for $s in doc("t.xml")//scene let $n := count($s/speech) where $n > 0 return $n`,
+	`let $d := doc("t.xml") for $h in $d//hit return string($h/@id)`,
+	`for $i in 1 to 37 return $i * $i`,
+	`for $i at $p in 3 to 40 return $p - $i`,
+	`for $i in 1 to 10 for $j in 1 to $i return $j`,
+	`for $i in 1 to 5 return <n v="{$i}">{$i + 1}</n>`,
+	`for $s in doc("t.xml")//scene return <scene>{$s/speech}</scene>`,
+	// StandOff steps inside loops (the paper's workload).
+	`for $s in doc("t.xml")//scene return $s/select-narrow::hit`,
+	`for $s in doc("t.xml")//scene return count($s/select-wide::hit)`,
+	`for $s in doc("t.xml")//scene return $s/reject-narrow::hit`,
+	`for $h in doc("t.xml")//hit return $h/reject-wide::scene/@id`,
+	// Paths: streamable final steps, nested contexts, attributes.
+	`doc("t.xml")//speech`,
+	`doc("t.xml")//scene/speech`,
+	`doc("t.xml")/doc/meta/title`,
+	`doc("t.xml")//scene/@id`,
+	`doc("t.xml")//scene/descendant-or-self::node()`,
+	`doc("t.xml")//speech/ancestor::scene`,
+	`doc("t.xml")//scene[speech]/speech[2]`,
+	`doc("t.xml")//scene/select-wide::hit`,
+	`(doc("t.xml")//scene, doc("o.xml")//book)/child::*`,
+	// Sequences, ranges, fallbacks.
+	`(1, 2, doc("t.xml")//hit/@id, "x")`,
+	`(doc("t.xml")//scene, doc("t.xml")//hit)`,
+	`1 to 20`,
+	`(5 to 4)`,
+	`count(doc("t.xml")//hit)`,
+	`sum(for $i in 1 to 100 return $i)`,
+	`for $s in doc("t.xml")//scene order by $s/@id descending return $s/@id`,
+	`some $h in doc("t.xml")//hit satisfies $h/@start > 400`,
+	`if (count(doc("t.xml")//hit) > 2) then "many" else "few"`,
+	`declare variable $g := doc("t.xml")//scene;
+	 for $s in $g return count($s/select-narrow::hit)`,
+	`declare function local:f($x) { $x + 1 };
+	 for $i in 1 to 30 return local:f($i)`,
+	// Empty results and errors.
+	`for $s in doc("t.xml")//nosuch return $s`,
+	`doc("t.xml")//scene/nosuch`,
+	`for $i in 1 to 5 return $i div 0`,
+	`doc("missing.xml")//x`,
+}
+
+type testEnv struct {
+	docs    map[string]*tree.Doc
+	mu      sync.Mutex
+	indexes map[*tree.Doc]*core.RegionIndex
+}
+
+func newTestEnv(t testing.TB) *testEnv {
+	t.Helper()
+	env := &testEnv{docs: map[string]*tree.Doc{}, indexes: map[*tree.Doc]*core.RegionIndex{}}
+	for name, data := range map[string]string{"t.xml": testDoc, "o.xml": otherDoc} {
+		d, err := xmlparse.Parse(name, []byte(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.docs[name] = d
+	}
+	return env
+}
+
+func (env *testEnv) resolve(uri string) (*tree.Doc, error) {
+	d, ok := env.docs[uri]
+	if !ok {
+		return nil, fmt.Errorf("document %q is not loaded", uri)
+	}
+	return d, nil
+}
+
+func (env *testEnv) indexFor(d *tree.Doc) (*core.RegionIndex, error) {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	if ix, ok := env.indexes[d]; ok {
+		return ix, nil
+	}
+	ix, err := core.BuildIndex(d, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	env.indexes[d] = ix
+	return ix, nil
+}
+
+func (env *testEnv) evaluator(t testing.TB, q string) *xqeval.Evaluator {
+	t.Helper()
+	m, err := xqparse.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	plan, err := xqplan.Compile(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile %q: %v", q, err)
+	}
+	return &xqeval.Evaluator{
+		Plan:     plan,
+		Resolver: env.resolve,
+		IndexFor: env.indexFor,
+		Strategy: core.StrategyAuto,
+		Pushdown: true,
+	}
+}
+
+// render flattens an outcome for comparison: the error string, or every item
+// rendered on its own line.
+func render(items []xqeval.Item, err error) string {
+	if err != nil {
+		return "ERROR: " + err.Error()
+	}
+	var sb strings.Builder
+	for _, it := range items {
+		sb.WriteString(it.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestPipelineEquivalence is the central property test of the subsystem:
+// for every corpus query, the cursor pipeline — across chunk sizes from
+// degenerate (1) to unbounded, and under parallel partitioning — drains to
+// exactly the sequence the materialising evaluator produces, or fails with
+// exactly the same error.
+func TestPipelineEquivalence(t *testing.T) {
+	env := newTestEnv(t)
+	configs := []Config{
+		{ChunkSize: 0},
+		{ChunkSize: 1},
+		{ChunkSize: 2},
+		{ChunkSize: 7},
+		{ChunkSize: DefaultChunkSize},
+		{ChunkSize: 3, Parallelism: 4},
+		{ChunkSize: 0, Parallelism: 3},
+	}
+	for _, q := range corpus {
+		want := render(env.evaluator(t, q).Run())
+		for _, cfg := range configs {
+			got := render(runPipeline(env.evaluator(t, q), cfg))
+			if got != want {
+				t.Errorf("query %q cfg %+v:\n got %q\nwant %q", q, cfg, got, want)
+			}
+		}
+	}
+}
+
+func runPipeline(ev *xqeval.Evaluator, cfg Config) ([]xqeval.Item, error) {
+	cur, err := Build(ev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return DrainAll(cur)
+}
+
+// TestParallelGateEngages pins that a loop beyond the cardinality gate
+// actually takes the worker-pool path (and still agrees with the reference).
+func TestParallelGateEngages(t *testing.T) {
+	env := newTestEnv(t)
+	q := fmt.Sprintf(`for $i in 1 to %d return $i mod 97`, 4*parallelMinTuples)
+	want := render(env.evaluator(t, q).Run())
+	cur, err := Build(env.evaluator(t, q), Config{ChunkSize: 64, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := cur.(*flworCursor)
+	if !ok {
+		t.Fatalf("expected flworCursor, got %T", cur)
+	}
+	if !fl.Next() {
+		t.Fatal("empty stream")
+	}
+	if fl.par == nil {
+		t.Fatal("parallel pool did not engage above the gate")
+	}
+	items := []xqeval.Item{fl.Item()}
+	for fl.Next() {
+		items = append(items, fl.Item())
+	}
+	if err := fl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	if got := render(items, nil); got != want {
+		t.Fatalf("parallel result diverges:\n got %q\nwant %q", got, want)
+	}
+
+	// Below the gate the pool must stay off.
+	small := `for $i in 1 to 10 return $i`
+	cur, err = Build(env.evaluator(t, small), Config{ChunkSize: 64, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl = cur.(*flworCursor)
+	for fl.Next() {
+	}
+	if fl.par != nil {
+		t.Fatal("parallel pool engaged below the gate")
+	}
+	fl.Close()
+}
+
+// TestEarlyClose verifies that abandoning a stream mid-way — sequential and
+// parallel — releases the pipeline without deadlock and that Close is
+// idempotent.
+func TestEarlyClose(t *testing.T) {
+	env := newTestEnv(t)
+	q := fmt.Sprintf(`for $i in 1 to %d return $i`, 8*parallelMinTuples)
+	for _, cfg := range []Config{{ChunkSize: 16}, {ChunkSize: 16, Parallelism: 4}} {
+		cur, err := Build(env.evaluator(t, q), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if !cur.Next() {
+				t.Fatalf("cfg %+v: stream ended after %d items", cfg, i)
+			}
+		}
+		cur.Close()
+		cur.Close() // idempotent
+		if cur.Next() {
+			t.Fatalf("cfg %+v: Next after Close", cfg)
+		}
+	}
+}
+
+// TestCloseBeforeNext: Close on a never-started cursor must terminate it —
+// a later Next must not run init, spawn the worker pool, or re-evaluate a
+// path (the database/sql.Rows contract).
+func TestCloseBeforeNext(t *testing.T) {
+	env := newTestEnv(t)
+	for _, tc := range []struct {
+		q   string
+		cfg Config
+	}{
+		{`for $i in 1 to 100000 return $i`, Config{ChunkSize: 16, Parallelism: 4}},
+		{`for $i in 1 to 100000 return $i`, Config{ChunkSize: 16}},
+		{`doc("t.xml")//speech`, Config{ChunkSize: 16}},
+		{`count(doc("t.xml")//hit)`, Config{}},
+	} {
+		before := runtime.NumGoroutine()
+		cur, err := Build(env.evaluator(t, tc.q), tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur.Close()
+		if cur.Next() {
+			t.Errorf("%q cfg %+v: Next after pre-drain Close returned true", tc.q, tc.cfg)
+		}
+		if cur.Err() != nil {
+			t.Errorf("%q: Err after Close = %v", tc.q, cur.Err())
+		}
+		// Give any wrongly spawned goroutines a moment, then compare.
+		time.Sleep(10 * time.Millisecond)
+		if after := runtime.NumGoroutine(); after > before {
+			t.Errorf("%q cfg %+v: %d goroutines leaked by Next-after-Close", tc.q, tc.cfg, after-before)
+		}
+	}
+}
+
+// TestGatePathRespectsChunkSize: a loop below the parallel gate must still
+// evaluate in ChunkSize slices — the memory bound is not conditional on the
+// pool engaging.
+func TestGatePathRespectsChunkSize(t *testing.T) {
+	env := newTestEnv(t)
+	q := fmt.Sprintf(`for $i in 1 to %d return $i`, parallelMinTuples-10)
+	cur, err := Build(env.evaluator(t, q), Config{ChunkSize: 8, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := cur.(*flworCursor)
+	n := 0
+	for fl.Next() {
+		n++
+		if len(fl.chunk) > 8 {
+			t.Fatalf("gate path evaluated a %d-tuple chunk, ChunkSize 8", len(fl.chunk))
+		}
+	}
+	if err := fl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fl.par != nil {
+		t.Fatal("pool engaged below the gate")
+	}
+	if n != parallelMinTuples-10 {
+		t.Fatalf("drained %d items, want %d", n, parallelMinTuples-10)
+	}
+	fl.Close()
+}
+
+// TestPathStreamingModes pins which final steps stream: a disjoint-context
+// forward step streams, a nested context falls back, and both agree with the
+// reference.
+func TestPathStreamingModes(t *testing.T) {
+	env := newTestEnv(t)
+	stream := `doc("t.xml")//scene/speech` // disjoint scene subtrees
+	nested := `doc("t.xml")//scene/descendant-or-self::node()/self::node()`
+	for _, q := range []string{stream, nested} {
+		want := render(env.evaluator(t, q).Run())
+		got := render(runPipeline(env.evaluator(t, q), Config{ChunkSize: 4}))
+		if got != want {
+			t.Errorf("query %q:\n got %q\nwant %q", q, got, want)
+		}
+	}
+	cur, err := Build(env.evaluator(t, stream), Config{ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := cur.(*pathCursor)
+	if !pc.Next() {
+		t.Fatal("no results")
+	}
+	if pc.last == nil {
+		t.Fatal("disjoint forward final step did not stream")
+	}
+	pc.Close()
+}
+
+// TestDescribeShapes sanity-checks the static pipeline description against
+// the operator forms.
+func TestDescribeShapes(t *testing.T) {
+	env := newTestEnv(t)
+	cases := []struct {
+		q         string
+		kind      string
+		pipelined bool
+	}{
+		{`for $s in doc("t.xml")//scene return $s`, "flwor", true},
+		{`for $s in doc("t.xml")//scene order by $s/@id return $s`, "flwor", false},
+		{`doc("t.xml")//speech`, "path", true},
+		{`doc("t.xml")//scene/select-narrow::hit`, "path", false},
+		{`(1, 2)`, "seq", true},
+		{`1 to 9`, "range", true},
+		{`count(doc("t.xml")//hit)`, "materialise", false},
+	}
+	for _, c := range cases {
+		ev := env.evaluator(t, c.q)
+		op := Describe(ev.Plan)
+		if op.Kind != c.kind || op.Pipelined != c.pipelined {
+			t.Errorf("Describe(%q) = %s/pipelined=%v, want %s/pipelined=%v (%s)",
+				c.q, op.Kind, op.Pipelined, c.kind, c.pipelined, op.Detail)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package xqexec
+
+import (
+	"soxq/internal/xqast"
+	"soxq/internal/xqeval"
+)
+
+// The FLWOR cursor streams a for loop chunk by chunk: the first for clause's
+// binding sequence runs as its own cursor, tuples are pulled from it in
+// chunks, and the rest of the FLWOR (remaining clauses, where, return) is
+// evaluated loop-lifted over each chunk — so a StandOff step in the loop
+// body still runs one join per chunk of iterations, not one per iteration,
+// while only a chunk of tuples and its results are ever live.
+//
+// Order-correctness needs no merge: tuples expand in order and where keeps
+// order, so the chunk results concatenate into exactly the sequence the
+// materialising path produces.
+
+const (
+	// parallelChunkSize is the partition granularity of the worker pool.
+	// The chunk must be large enough that a loop-lifted join over it
+	// amortises, small enough that a few hundred tuples still split
+	// across workers.
+	parallelChunkSize = 128
+	// parallelMinTuples gates the worker pool: a binding stream that ends
+	// before this many tuples runs single-threaded. It plays the same role
+	// for parallelism that the PR 2 statistics cutoff plays for the
+	// Basic-vs-Loop-Lifted choice — the observed cardinality has to
+	// amortise the machinery.
+	parallelMinTuples = 2 * parallelChunkSize
+)
+
+// flworCursor is the single-threaded chunked FLWOR pipeline.
+type flworCursor struct {
+	x *executor
+	v *xqast.FLWOR
+
+	f     *xqeval.Frame // root frame, leading lets bound at init
+	first *xqast.ForClause
+	rest  []xqast.Clause
+	bind  Cursor // stream of the first for clause's binding sequence
+	// pending holds binding tuples the parallel gate buffered before
+	// deciding to stay sequential; nextChunk consumes it ahead of bind,
+	// in ChunkSize slices like any other input.
+	pending []xqeval.Item
+
+	par *parallelFLWOR // non-nil once the worker pool engages
+
+	started bool
+	done    bool
+	chunk   []xqeval.Item // reused binding scratch (sequential mode only)
+	basePos int64
+	out     []xqeval.Item
+	i       int
+	cur     xqeval.Item
+	err     error
+}
+
+func newFLWORCursor(x *executor, v *xqast.FLWOR, f *xqeval.Frame) *flworCursor {
+	return &flworCursor{x: x, v: v, f: f}
+}
+
+// init evaluates the let clauses preceding the first for clause (they see
+// only the root scope), splits the clause list there, and opens the binding
+// stream.
+func (c *flworCursor) init() {
+	c.started = true
+	f := c.f
+	for i, cl := range c.v.Clauses {
+		switch cl := cl.(type) {
+		case *xqast.LetClause:
+			seq, err := c.x.ev.EvalExpr(cl.Seq, f)
+			if err != nil {
+				c.err = err
+				return
+			}
+			f = f.BindSeq(cl.Var, seq)
+		case *xqast.ForClause:
+			c.f = f
+			c.first = cl
+			c.rest = c.v.Clauses[i+1:]
+			c.bind = c.x.build(cl.Seq, f)
+			if c.x.cfg.Parallelism > 1 {
+				c.par = startParallel(c)
+			}
+			return
+		}
+	}
+	// Unreachable: streamableFLWOR guaranteed a for clause.
+	c.done = true
+}
+
+// nextChunk pulls up to one chunk of binding tuples and evaluates the FLWOR
+// tail over them. The scratch buffer is reused: by the time the next chunk
+// is pulled, every item of the previous chunk's output has been copied out
+// by value through Item().
+func (c *flworCursor) nextChunk() {
+	limit := c.x.chunkSize()
+	c.chunk = c.chunk[:0]
+	if n := min(limit, len(c.pending)); n > 0 {
+		c.chunk = append(c.chunk, c.pending[:n]...)
+		c.pending = c.pending[n:]
+	}
+	for len(c.chunk) < limit && c.bind.Next() {
+		c.chunk = append(c.chunk, c.bind.Item())
+	}
+	if err := c.bind.Err(); err != nil {
+		c.err = err
+		return
+	}
+	if len(c.chunk) == 0 {
+		c.done = true
+		return
+	}
+	out, err := evalFLWORChunk(c.x.ev, c, c.chunk, c.basePos)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.basePos += int64(len(c.chunk))
+	c.out, c.i = out, 0
+}
+
+// evalFLWORChunk runs the FLWOR tail over one chunk of binding tuples.
+func evalFLWORChunk(ev *xqeval.Evaluator, c *flworCursor, tuples []xqeval.Item, basePos int64) ([]xqeval.Item, error) {
+	nf := c.f.BindChunk(c.first.Var, c.first.Pos, tuples, basePos)
+	ret, err := ev.FLWORTail(c.rest, c.v.Where, c.v.Return, nf)
+	if err != nil {
+		return nil, err
+	}
+	return ret.Items, nil
+}
+
+func (c *flworCursor) Next() bool {
+	if !c.started {
+		c.init()
+	}
+	if c.par != nil {
+		return c.par.next(c)
+	}
+	for c.err == nil {
+		if c.i < len(c.out) {
+			c.cur = c.out[c.i]
+			c.i++
+			return true
+		}
+		if c.done {
+			return false
+		}
+		c.nextChunk()
+	}
+	return false
+}
+
+func (c *flworCursor) Item() xqeval.Item { return c.cur }
+func (c *flworCursor) Err() error        { return c.err }
+
+func (c *flworCursor) Close() {
+	// Mark the cursor started as well as done: a Next after an early
+	// Close must not resurrect the pipeline by running init.
+	c.started, c.done = true, true
+	c.out, c.i, c.pending = nil, 0, nil
+	if c.par != nil {
+		// The producer goroutine owns (and closes) the binding cursor.
+		c.par.close()
+		c.par = nil
+		c.bind = nil
+		return
+	}
+	if c.bind != nil {
+		c.bind.Close()
+		c.bind = nil
+	}
+}
+
+// parallelFLWOR partitions the binding stream across a worker pool with an
+// order-preserving merge: a producer goroutine slices the stream into
+// chunks, workers evaluate the FLWOR tail per chunk over forked evaluators
+// (the plan is immutable and race-safe to share), and the consumer hands
+// chunks out strictly in stream order. The orderq capacity bounds the number
+// of chunks in flight, so memory stays proportional to
+// Parallelism x chunk result, not to the loop size.
+type parallelFLWOR struct {
+	orderq chan chan chunkResult
+	jobs   chan chunkJob
+	donech chan struct{}
+	closed bool
+
+	out []xqeval.Item
+	i   int
+}
+
+type chunkJob struct {
+	tuples  []xqeval.Item
+	basePos int64
+	res     chan chunkResult
+}
+
+type chunkResult struct {
+	items []xqeval.Item
+	err   error
+}
+
+// startParallel decides the partition size, applies the small-loop gate, and
+// spins up the producer and workers. It returns nil when the binding stream
+// ends below the gate — the caller then runs the buffered tuples through the
+// ordinary sequential chunk path.
+func startParallel(c *flworCursor) *parallelFLWOR {
+	pchunk := parallelChunkSize
+	if s := c.x.cfg.ChunkSize; s > 0 && s < pchunk {
+		pchunk = s
+	}
+	// Gate on the observed cardinality of the binding stream.
+	prefix := make([]xqeval.Item, 0, parallelMinTuples+1)
+	for len(prefix) <= parallelMinTuples && c.bind.Next() {
+		prefix = append(prefix, c.bind.Item())
+	}
+	if err := c.bind.Err(); err != nil {
+		c.err = err
+		return nil
+	}
+	if len(prefix) <= parallelMinTuples {
+		// Small loop: hand the buffered tuples to the ordinary sequential
+		// chunk path, which evaluates them in ChunkSize slices — the
+		// memory bound holds whether or not the pool engages.
+		c.pending = prefix
+		return nil
+	}
+
+	workers := c.x.cfg.Parallelism
+	p := &parallelFLWOR{
+		orderq: make(chan chan chunkResult, workers),
+		jobs:   make(chan chunkJob, workers),
+		donech: make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker(c)
+	}
+	go p.produce(c, c.bind, prefix, pchunk)
+	return p
+}
+
+// produce slices the binding stream into jobs. It owns the binding cursor
+// exclusively — no other goroutine touches it once the pool starts.
+func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Item, pchunk int) {
+	defer bind.Close()
+	defer close(p.jobs)
+	defer close(p.orderq)
+	var basePos int64
+	emit := func(tuples []xqeval.Item) bool {
+		job := chunkJob{tuples: tuples, basePos: basePos, res: make(chan chunkResult, 1)}
+		basePos += int64(len(tuples))
+		select {
+		case p.orderq <- job.res:
+		case <-p.donech:
+			return false
+		}
+		select {
+		case p.jobs <- job:
+		case <-p.donech:
+			return false
+		}
+		return true
+	}
+	for len(prefix) > 0 {
+		n := min(pchunk, len(prefix))
+		if !emit(prefix[:n:n]) {
+			return
+		}
+		prefix = prefix[n:]
+	}
+	for {
+		tuples := make([]xqeval.Item, 0, pchunk)
+		for len(tuples) < pchunk && bind.Next() {
+			tuples = append(tuples, bind.Item())
+		}
+		if err := bind.Err(); err != nil {
+			res := make(chan chunkResult, 1)
+			res <- chunkResult{err: err}
+			select {
+			case p.orderq <- res:
+			case <-p.donech:
+			}
+			return
+		}
+		if len(tuples) == 0 {
+			return
+		}
+		if !emit(tuples) {
+			return
+		}
+	}
+}
+
+func (p *parallelFLWOR) worker(c *flworCursor) {
+	for {
+		select {
+		case job, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			ev := c.x.ev.Fork()
+			items, err := evalFLWORChunk(ev, c, job.tuples, job.basePos)
+			job.res <- chunkResult{items: items, err: err}
+		case <-p.donech:
+			return
+		}
+	}
+}
+
+// next is the order-preserving merge: chunk results are consumed strictly in
+// the order the producer emitted them, so the parallel stream is
+// item-for-item the sequential stream.
+func (p *parallelFLWOR) next(c *flworCursor) bool {
+	for c.err == nil {
+		if p.i < len(p.out) {
+			c.cur = p.out[p.i]
+			p.i++
+			return true
+		}
+		res, ok := <-p.orderq
+		if !ok {
+			return false
+		}
+		r := <-res
+		if r.err != nil {
+			c.err = r.err
+			return false
+		}
+		p.out, p.i = r.items, 0
+	}
+	return false
+}
+
+func (p *parallelFLWOR) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.donech)
+	// Drain the order queue so the producer and workers observe donech or
+	// queue space and exit; pending results are discarded.
+	for range p.orderq {
+	}
+}

@@ -1,0 +1,154 @@
+package xqexec
+
+import (
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+	"soxq/internal/xqeval"
+	"soxq/internal/xqplan"
+)
+
+// pathCursor pipelines the final step of a path expression. The prefix —
+// starting context and all steps but the last — evaluates in bulk exactly as
+// the materialising path does (StandOff steps need the bulk context for
+// their loop-lifted joins), but when the final step is an order-safe tree
+// step, its results stream one context node at a time and the path's full
+// result sequence is never buffered. `//a/b`-style scans over a large
+// document emit b-nodes as the cursor walks the a-contexts.
+//
+// Order safety is decided against the actual context at run time: if the
+// context nodes are strictly ascending in document order and their subtrees
+// are disjoint, the per-node results of a forward axis are confined to
+// disjoint ascending pre ranges, so their concatenation is exactly the
+// sorted, duplicate-free sequence the bulk step would produce. Nested
+// contexts (or reverse axes, predicates, StandOff joins) fall back to the
+// bulk step.
+type pathCursor struct {
+	x *executor
+	p *xqast.Path
+	f *xqeval.Frame
+
+	started bool
+	err     error
+
+	// Streaming mode: remaining context nodes and the current node's
+	// matches.
+	last *xqplan.StepPlan
+	ctx  []xqeval.Item
+	buf  []xqeval.Item
+
+	// Fallback mode: the fully evaluated result.
+	items []xqeval.Item
+
+	cur xqeval.Item
+}
+
+func (c *pathCursor) init() {
+	c.started = true
+	ctxSeq, last, err := c.x.ev.PathPrefix(c.p, c.f)
+	if err != nil {
+		c.err = err
+		return
+	}
+	g := ctxSeq.Group(0)
+	if last == nil {
+		c.items = g
+		return
+	}
+	if streamableStep(last) && disjointContext(g) {
+		c.last = last
+		c.ctx = g
+		return
+	}
+	out, err := c.x.ev.EvalStepBulk(last, ctxSeq, c.f)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.items = out.Group(0)
+}
+
+// streamableStep reports whether a final step may stream per context node: a
+// forward tree axis whose results stay inside the context node's subtree,
+// with no predicates (predicates re-rank positions per context group, which
+// the bulk path handles).
+func streamableStep(sp *xqplan.StepPlan) bool {
+	if sp.StandOff || len(sp.Predicates) > 0 {
+		return false
+	}
+	switch sp.Axis {
+	case xpath.AxisChild, xpath.AxisDescendant, xpath.AxisDescendantOrSelf,
+		xpath.AxisSelf, xpath.AxisAttribute:
+		return true
+	default:
+		return false
+	}
+}
+
+// disjointContext reports whether the context nodes are strictly ascending
+// in document order with pairwise-disjoint subtrees (and are all element- or
+// document-kind nodes — attribute contexts take the bulk path).
+func disjointContext(ctx []xqeval.Item) bool {
+	for i, it := range ctx {
+		if it.Kind != xqeval.KNode {
+			return false
+		}
+		if i == 0 {
+			continue
+		}
+		prev := ctx[i-1]
+		if prev.D == it.D {
+			if it.Pre <= prev.Pre+prev.D.Size(prev.Pre) {
+				return false // nested, duplicate, or out of order
+			}
+		} else if xqeval.CompareDocOrder(prev, it) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *pathCursor) Next() bool {
+	if !c.started {
+		c.init()
+	}
+	if c.err != nil {
+		return false
+	}
+	if c.last == nil { // fallback: iterate the materialised result
+		if len(c.items) == 0 {
+			return false
+		}
+		c.cur = c.items[0]
+		c.items = c.items[1:]
+		return true
+	}
+	for {
+		if len(c.buf) > 0 {
+			c.cur = c.buf[0]
+			c.buf = c.buf[1:]
+			return true
+		}
+		if len(c.ctx) == 0 {
+			return false
+		}
+		buf, err := c.x.ev.TreeStepItems(c.last, c.ctx[0])
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.ctx = c.ctx[1:]
+		c.buf = buf
+	}
+}
+
+func (c *pathCursor) Item() xqeval.Item { return c.cur }
+func (c *pathCursor) Err() error        { return c.err }
+
+// Close terminates the cursor: started is set so a later Next cannot
+// re-evaluate the path, and last is cleared so the drained fallback branch
+// (empty items) answers it.
+func (c *pathCursor) Close() {
+	c.started = true
+	c.last = nil
+	c.ctx, c.buf, c.items = nil, nil, nil
+}

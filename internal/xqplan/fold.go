@@ -160,8 +160,13 @@ func (p *Plan) boolExpr(v bool) (xqast.Expr, bool) {
 }
 
 // booleanCall wraps e in fn:boolean so a half-folded logical expression
-// (true() and E) keeps returning a boolean, not E's value.
+// (true() and E) keeps returning a boolean, not E's value. When E already
+// yields a single boolean the wrapper would be redundant (the rewrite
+// foldBooleanWrap undoes), so none is added.
 func (p *Plan) booleanCall(e xqast.Expr) (xqast.Expr, bool) {
+	if p.staticBoolean(e) {
+		return e, true
+	}
 	if p.shadowed("boolean", 1) {
 		return nil, false
 	}
@@ -202,6 +207,120 @@ func (p *Plan) foldLogical(v *xqast.Binary) (xqast.Expr, bool) {
 		return p.booleanCall(v.L)
 	}
 	return nil, false
+}
+
+// compFoldOps maps the foldable comparison operators to their general-
+// comparison form (value comparisons on singleton literals behave
+// identically — a literal operand is never empty and never a sequence).
+var compFoldOps = map[string]string{
+	"=": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+	"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+
+// foldComparison folds a general or value comparison over two literals when
+// both are numeric (numeric comparison, as the evaluator would) or both are
+// string literals (codepoint string comparison). Mixed literal kinds are
+// left to the runtime: their semantics route through string-value rendering,
+// which folding must not re-implement.
+func (p *Plan) foldComparison(v *xqast.Binary) (xqast.Expr, bool) {
+	op, foldable := compFoldOps[v.Op]
+	if !foldable {
+		return nil, false
+	}
+	_, lf, _, lNum := numLit(v.L)
+	_, rf, _, rNum := numLit(v.R)
+	var res bool
+	switch {
+	case lNum && rNum:
+		res = numCompareFold(op, lf, rf)
+	default:
+		ls, lok := v.L.(*xqast.StringLit)
+		rs, rok := v.R.(*xqast.StringLit)
+		if !lok || !rok {
+			return nil, false
+		}
+		res = cmpResultFold(op, strings.Compare(ls.V, rs.V))
+	}
+	return p.boolExpr(res)
+}
+
+func numCompareFold(op string, x, y float64) bool {
+	switch op {
+	case "=":
+		return x == y
+	case "!=":
+		return x != y
+	case "<":
+		return x < y
+	case "<=":
+		return x <= y
+	case ">":
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+func cmpResultFold(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// staticBoolean reports whether an expression statically yields exactly one
+// xs:boolean per iteration, making a boolean() wrapper around it redundant.
+// Value comparisons are excluded: an empty operand makes them empty, which
+// boolean() would turn into false.
+func (p *Plan) staticBoolean(e xqast.Expr) bool {
+	switch v := e.(type) {
+	case *xqast.Binary:
+		switch v.Op {
+		case "and", "or", "=", "!=", "<", "<=", ">", ">=":
+			return true
+		}
+	case *xqast.Quantified:
+		return true
+	case *xqast.FuncCall:
+		if p.shadowed(v.Name, len(v.Args)) {
+			return false
+		}
+		switch localName(v.Name) {
+		case "true", "false":
+			return len(v.Args) == 0
+		case "not", "boolean", "empty", "exists":
+			return len(v.Args) == 1
+		}
+	}
+	return false
+}
+
+// foldBooleanWrap drops a redundant fn:boolean wrapper: boolean(E) == E
+// whenever E already yields a single boolean. The half-folded logical
+// rewrites (true and E -> boolean(E)) produce exactly these wrappers, so
+// this fold cleans up after foldLogical when E is itself a predicate-shaped
+// expression.
+func (p *Plan) foldBooleanWrap(v *xqast.FuncCall) (xqast.Expr, bool) {
+	if localName(v.Name) != "boolean" || len(v.Args) != 1 || p.shadowed(v.Name, 1) {
+		return nil, false
+	}
+	if bv, ok := p.litEBV(v.Args[0]); ok { // boolean(literal) folds outright
+		return p.boolExpr(bv)
+	}
+	if !p.staticBoolean(v.Args[0]) {
+		return nil, false
+	}
+	return v.Args[0], true
 }
 
 // foldConcat folds fn:concat over all-literal string arguments.

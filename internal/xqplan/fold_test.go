@@ -123,6 +123,87 @@ func TestFoldPrunesDeadPrograms(t *testing.T) {
 	}
 }
 
+func TestFoldComparison(t *testing.T) {
+	for _, tc := range []struct {
+		q    string
+		want bool
+	}{
+		{`1 = 1`, true},
+		{`1 != 1`, false},
+		{`2 > 1`, true},
+		{`1.5 <= 1`, false},
+		{`2 >= 2.0`, true},
+		{`"a" != "b"`, true},
+		{`"a" < "b"`, true},
+		{`"x" = "x"`, true},
+		// Value comparisons on literals behave identically.
+		{`1 eq 1`, true},
+		{`"a" lt "b"`, true},
+		{`3 ge 4`, false},
+	} {
+		p := compile(t, tc.q)
+		boolCall(t, p.Body(), tc.want)
+		if p.Folds() != 1 {
+			t.Errorf("%s: Folds = %d, want 1", tc.q, p.Folds())
+		}
+	}
+	// Mixed literal kinds and non-literal operands stay unfolded.
+	for _, q := range []string{`"1" = 1`, `doc("d.xml")//a = 1`, `1 = doc("d.xml")//a`} {
+		p := compile(t, q)
+		if _, ok := p.Body().(*xqast.Binary); !ok {
+			t.Errorf("%s: body = %#v, want unfolded Binary", q, p.Body())
+		}
+	}
+}
+
+// TestFoldComparisonCascades: a folded comparison becomes a boolean literal
+// that feeds the logical and conditional folds — `1 = 1 and E` reduces all
+// the way to boolean(E), and to E itself when E is predicate-shaped.
+func TestFoldComparisonCascades(t *testing.T) {
+	p := compile(t, `if (1 = 1) then "y" else doc("d.xml")//a`)
+	if got, ok := p.Body().(*xqast.StringLit); !ok || got.V != "y" {
+		t.Fatalf("body = %#v, want StringLit y", p.Body())
+	}
+	p = compile(t, `1 = 1 and doc("d.xml")//a`)
+	fc, ok := p.Body().(*xqast.FuncCall)
+	if !ok || fc.Name != "boolean" {
+		t.Fatalf("body = %#v, want boolean(path)", p.Body())
+	}
+}
+
+func TestFoldBooleanWrap(t *testing.T) {
+	// boolean() around a general comparison is redundant: the wrapper
+	// drops, leaving the comparison itself.
+	p := compile(t, `boolean(doc("d.xml")//a = 1)`)
+	if b, ok := p.Body().(*xqast.Binary); !ok || b.Op != "=" {
+		t.Fatalf("body = %#v, want bare comparison", p.Body())
+	}
+	// Likewise around not(), exists() and a half-folded logical.
+	p = compile(t, `boolean(not(doc("d.xml")//a))`)
+	if fc, ok := p.Body().(*xqast.FuncCall); !ok || fc.Name != "not" {
+		t.Fatalf("body = %#v, want not(...)", p.Body())
+	}
+	p = compile(t, `1 = 1 and (doc("d.xml")//a > 2)`)
+	if b, ok := p.Body().(*xqast.Binary); !ok || b.Op != ">" {
+		t.Fatalf("body = %#v, want bare > comparison (boolean() dropped)", p.Body())
+	}
+	// boolean(literal) folds outright.
+	p = compile(t, `boolean("nonempty")`)
+	boolCall(t, p.Body(), true)
+	p = compile(t, `boolean(())`)
+	boolCall(t, p.Body(), false)
+	// A value comparison can be empty, so its wrapper must stay.
+	p = compile(t, `boolean(doc("d.xml")//a/@x eq 1)`)
+	if fc, ok := p.Body().(*xqast.FuncCall); !ok || fc.Name != "boolean" {
+		t.Fatalf("body = %#v, want boolean(...) kept around value comparison", p.Body())
+	}
+	// A shadowed boolean() must not be touched.
+	p = compile(t, `declare function boolean($x) { 0 }; boolean(1 = 1)`)
+	if fc, ok := p.Body().(*xqast.FuncCall); !ok || fc.Name != "boolean" {
+		t.Fatalf("body = %#v, want shadowed boolean call kept", p.Body())
+	}
+}
+
 func TestFoldCountsCascade(t *testing.T) {
 	// Folds cascade bottom-up in the single pass: 1+1 folds, making the
 	// if-condition literal, which folds the if, leaving the then branch.

@@ -208,6 +208,10 @@ func (p *Plan) pass(e xqast.Expr) xqast.Expr {
 			p.folds++
 			return folded
 		}
+		if folded, ok := p.foldComparison(v); ok {
+			p.folds++
+			return folded
+		}
 		if v.Op == "and" || v.Op == "or" {
 			if folded, ok := p.foldLogical(v); ok {
 				p.folds++
@@ -231,6 +235,10 @@ func (p *Plan) pass(e xqast.Expr) xqast.Expr {
 		}
 	case *xqast.FuncCall:
 		if folded, ok := p.foldConcat(v); ok {
+			p.folds++
+			return folded
+		}
+		if folded, ok := p.foldBooleanWrap(v); ok {
 			p.folds++
 			return folded
 		}

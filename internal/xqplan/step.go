@@ -20,11 +20,12 @@ import (
 // The two memo tables hold the per-document residue that cannot be decided
 // before a plan binds to documents: the node test resolved against a
 // document's dictionary, and the statistics-based Basic vs Loop-Lifted
-// choice per region index. Both are resolved at first use and cached, with
-// the table reset once it outgrows stepMemoLimit — a plan held across many
-// document reload cycles must not pin every dead document tree and index
-// its memo keys reference. A StepPlan is shared by every concurrent
-// execution of its plan; use pointers, never copy one.
+// choice per index generation (the document/options token, so a rebuilt
+// index for the same document stays warm). Both are resolved at first use
+// and cached, with the table reset once it outgrows stepMemoLimit — a plan
+// held across many document reload cycles must not pin every dead document
+// tree its test-memo keys reference. A StepPlan is shared by every
+// concurrent execution of its plan; use pointers, never copy one.
 type StepPlan struct {
 	Axis       xpath.Axis
 	Test       xpath.Test
@@ -64,11 +65,14 @@ func memoStore(m *sync.Map, n *atomic.Int32, k, v any) {
 	m.Store(k, v)
 }
 
-// strategyKey memoizes the cost-model choice per (region index, pushdown
+// strategyKey memoizes the cost-model choice per (index generation, pushdown
 // setting) pair: the candidate estimate differs when the name test is pushed
-// down versus post-filtered.
+// down versus post-filtered. Keying on the generation token rather than the
+// *RegionIndex identity means a rebuilt index for the same document under
+// the same options hits the warm memo — the statistics are identical by
+// construction — and the memo pins neither the document nor the index.
 type strategyKey struct {
-	ix       *core.RegionIndex
+	gen      core.IndexGen
 	pushdown bool
 }
 
@@ -150,7 +154,7 @@ const basicCandidateCutoff = 64
 // first execution rather than at compile time. Tree-axis steps never call
 // this.
 func (sp *StepPlan) StrategyFor(ix *core.RegionIndex, pushdown bool) core.Strategy {
-	k := strategyKey{ix: ix, pushdown: pushdown}
+	k := strategyKey{gen: ix.Gen(), pushdown: pushdown}
 	if v, ok := sp.strategies.Load(k); ok {
 		return v.(core.Strategy)
 	}

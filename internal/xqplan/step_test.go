@@ -151,6 +151,49 @@ func TestStrategyPerIndex(t *testing.T) {
 	}
 }
 
+// TestStrategyMemoSurvivesIndexRebuild pins the generation-token keying: a
+// fresh index built over the same document under the same options must hit
+// the warm memo (one entry, not two), while an index over a different
+// document of identical shape resolves its own entry.
+func TestStrategyMemoSurvivesIndexRebuild(t *testing.T) {
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	memoLen := func() int {
+		n := 0
+		sp.strategies.Range(func(_, _ any) bool { n++; return true })
+		return n
+	}
+	d, err := xmlparse.Parse("d.xml", []byte(`<doc><a start="0" end="5"/><a start="6" end="9"/></doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1, err := core.BuildIndex(d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := core.BuildIndex(d, core.DefaultOptions()) // rebuild, same doc+opts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1, s2 := sp.StrategyFor(ix1, true), sp.StrategyFor(ix2, true); s1 != s2 {
+		t.Fatalf("rebuilt index resolved differently: %v vs %v", s1, s2)
+	}
+	if n := memoLen(); n != 1 {
+		t.Fatalf("memo entries after rebuild = %d, want 1 (warm hit)", n)
+	}
+	d2, err := xmlparse.Parse("d2.xml", []byte(`<doc><a start="0" end="5"/><a start="6" end="9"/></doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix3, err := core.BuildIndex(d2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.StrategyFor(ix3, true)
+	if n := memoLen(); n != 2 {
+		t.Fatalf("memo entries after distinct document = %d, want 2", n)
+	}
+}
+
 func TestResolvedStrategiesEmptyBeforeUse(t *testing.T) {
 	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
 	if got := sp.ResolvedStrategies(); len(got) != 0 {

@@ -40,6 +40,7 @@ import (
 	"soxq/internal/xmark"
 	"soxq/internal/xmlparse"
 	"soxq/internal/xqeval"
+	"soxq/internal/xqexec"
 	"soxq/internal/xqparse"
 	"soxq/internal/xqplan"
 )
@@ -104,6 +105,18 @@ type Config struct {
 	// HeapActiveList replaces the paper's sorted active list with the
 	// max-heap suggested in its section 5 (future work).
 	HeapActiveList bool
+	// Parallelism is the number of worker goroutines large FLWOR loops are
+	// partitioned across, with an order-preserving merge; 0 or 1 runs
+	// single-threaded. Loops below the executor's cardinality gate stay
+	// single-threaded regardless, so small queries never pay for the
+	// pool. Applies to both Exec and Stream.
+	Parallelism int
+	// StreamChunk is the number of loop tuples a Stream pipeline evaluates
+	// per chunk (0 means the default, 1024). Larger chunks amortise the
+	// loop-lifted StandOff joins over more iterations; smaller chunks
+	// bound peak memory tighter. Exec ignores it: a full drain
+	// materialises per operator anyway.
+	StreamChunk int
 }
 
 // Engine holds loaded documents, their BLOBs, cached region indexes, and a
@@ -294,13 +307,30 @@ func compile(q string, opts core.Options) (*xqplan.Plan, error) {
 	return xqplan.Compile(m, opts)
 }
 
-// Exec runs the compiled query under the given configuration. It is safe to
-// call concurrently: each call builds a fresh per-run evaluator over the
-// shared immutable plan.
+// Exec runs the compiled query under the given configuration and returns the
+// materialised result. It is a thin drain of the same cursor pipeline Stream
+// exposes — built with unbounded chunks, since a full drain materialises per
+// operator anyway — so the streaming and materialising paths share one
+// engine. It is safe to call concurrently: each call builds a fresh pipeline
+// over the shared immutable plan.
 func (p *Prepared) Exec(cfg Config) (*Result, error) {
+	cur, err := p.pipeline(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	items, err := xqexec.DrainAll(cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{items: items}, nil
+}
+
+// evaluator builds the per-run evaluator state for one execution of the
+// plan.
+func (p *Prepared) evaluator(cfg Config) *xqeval.Evaluator {
 	opts := p.plan.Options()
 	e := p.eng
-	ev := &xqeval.Evaluator{
+	return &xqeval.Evaluator{
 		Plan:     p.plan,
 		Resolver: e.resolve,
 		IndexFor: func(d *tree.Doc) (*core.RegionIndex, error) { return e.indexFor(d, opts) },
@@ -309,11 +339,6 @@ func (p *Prepared) Exec(cfg Config) (*Result, error) {
 		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
 		Pushdown: !cfg.NoPushdown,
 	}
-	items, err := ev.Run()
-	if err != nil {
-		return nil, err
-	}
-	return &Result{items: items}, nil
 }
 
 // Query runs an XQuery with the default configuration, reusing a cached

@@ -1,0 +1,101 @@
+package soxq
+
+import (
+	"bufio"
+	"io"
+
+	"soxq/internal/xqexec"
+)
+
+// Cursor is a streamed query result: items are produced on demand through a
+// bounded-memory pipeline instead of materialised into a Result, so a query
+// whose result is millions of items holds only a chunk of them at a time.
+// Iterate in the database/sql.Rows style:
+//
+//	cur, err := prep.Stream(soxq.Config{})
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		fmt.Println(cur.Value().XML())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// A Cursor is single-consumer; open one cursor per goroutine. Any number of
+// cursors over the same Prepared may run concurrently.
+type Cursor struct {
+	cur xqexec.Cursor
+}
+
+// Next advances to the next result item, returning false at the end of the
+// stream or on error (check Err afterwards).
+func (c *Cursor) Next() bool { return c.cur.Next() }
+
+// Value returns the current item; it is valid after a Next that returned
+// true.
+func (c *Cursor) Value() Value { return Value{it: c.cur.Item()} }
+
+// Err returns the first error the pipeline encountered, or nil.
+func (c *Cursor) Err() error { return c.cur.Err() }
+
+// Close releases the pipeline's resources (chunk buffers, parallel workers).
+// It is idempotent and safe to call before the stream is drained; it returns
+// the pipeline error, if any, so `defer cur.Close()` plus an Err check at
+// the end covers every exit path.
+func (c *Cursor) Close() error {
+	c.cur.Close()
+	return c.cur.Err()
+}
+
+// WriteXML serialises the remaining items of the stream to w — nodes as XML
+// markup, atomic values as their string values, items separated by single
+// spaces (the streamed equivalent of Result.String). Serialisation is itself
+// a pipeline sink: each item is written as it is produced.
+func (c *Cursor) WriteXML(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	for c.Next() {
+		if !first {
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := bw.WriteString(c.Value().XML()); err != nil {
+			return err
+		}
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Stream executes the compiled query as a pull-based cursor pipeline:
+// FLWOR tuples are evaluated in bounded chunks (Config.StreamChunk), large
+// loops optionally partition across Config.Parallelism workers, and
+// expression forms that cannot stream fall back to materialised evaluation
+// behind the same interface. The drained stream is always item-for-item
+// identical to Exec's result. Like Exec, Stream is safe to call from any
+// number of goroutines: each call builds an independent pipeline over the
+// shared immutable plan.
+func (p *Prepared) Stream(cfg Config) (*Cursor, error) {
+	chunk := cfg.StreamChunk
+	if chunk <= 0 {
+		chunk = xqexec.DefaultChunkSize
+	}
+	cur, err := p.pipeline(cfg, chunk)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{cur: cur}, nil
+}
+
+// pipeline builds the cursor pipeline Exec and Stream share; chunk <= 0
+// means unbounded chunks (materialise per operator), which is what a full
+// drain wants.
+func (p *Prepared) pipeline(cfg Config, chunk int) (xqexec.Cursor, error) {
+	return xqexec.Build(p.evaluator(cfg), xqexec.Config{
+		ChunkSize:   chunk,
+		Parallelism: cfg.Parallelism,
+	})
+}

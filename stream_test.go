@@ -1,0 +1,236 @@
+package soxq
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"soxq/internal/xmark"
+)
+
+// streamCorpus is the public-API query corpus for the Stream/Exec
+// equivalence property. It reuses the stand-off sample documents and covers
+// the pipelined operator forms plus the materialising fallbacks.
+var streamCorpus = []string{
+	`doc("stable.xml")//scene`,
+	`doc("stable.xml")//scene/@id`,
+	`doc("stable.xml")//scene/select-narrow::hit`,
+	`for $s in doc("stable.xml")//scene return $s/select-narrow::hit/@id`,
+	`for $s in doc("stable.xml")//scene where $s/@start > 50 return string($s/@id)`,
+	`for $s at $p in doc("stable.xml")//scene return $p`,
+	`for $s in doc("stable.xml")//scene for $h in $s/select-wide::hit return <m s="{$s/@id}">{$h/@id}</m>`,
+	`for $s in doc("stable.xml")//scene order by $s/@id descending return $s/@id`,
+	`for $i in 1 to 500 return $i * 3`,
+	`(doc("stable.xml")//scene, doc("stable.xml")//hit, 1 to 5)`,
+	`count(doc("stable.xml")//hit)`,
+	`sum(for $i in 1 to 100 return $i)`,
+	`let $scenes := doc("stable.xml")//scene return count($scenes)`,
+	`some $h in doc("stable.xml")//hit satisfies $h/@start > 400`,
+	`for $h in doc("stable.xml")//hit return $h/reject-narrow::scene`,
+	`doc("missing.xml")//x`,
+}
+
+func streamEngine(t testing.TB) *Engine {
+	t.Helper()
+	eng := New()
+	if err := eng.LoadXML("stable.xml", []byte(concurrentDoc)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// drainStream collects a cursor's items as Result.String would render them,
+// or the error.
+func drainStream(cur *Cursor) (string, error) {
+	var sb strings.Builder
+	first := true
+	for cur.Next() {
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		sb.WriteString(cur.Value().XML())
+	}
+	if err := cur.Err(); err != nil {
+		return "", err
+	}
+	return sb.String(), cur.Close()
+}
+
+// TestStreamExecEquivalence is the public equivalence property: for every
+// corpus query and configuration, Stream drains to byte-identical output as
+// Exec's materialised Result (or fails with the identical error). The
+// configurations cross chunk sizes — including a degenerate chunk of 1 —
+// with parallel partitioning.
+func TestStreamExecEquivalence(t *testing.T) {
+	eng := streamEngine(t)
+	cfgs := []Config{
+		{},
+		{StreamChunk: 1},
+		{StreamChunk: 3},
+		{StreamChunk: 3, Parallelism: 4},
+		{Parallelism: 2},
+		{Mode: ModeBasic},
+		{NoPushdown: true},
+	}
+	for _, q := range streamCorpus {
+		prep, err := eng.Prepare(q)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", q, err)
+		}
+		for _, cfg := range cfgs {
+			var want, got string
+			res, execErr := prep.Exec(cfg)
+			if execErr == nil {
+				want = res.String()
+			}
+			cur, streamErr := prep.Stream(cfg)
+			if streamErr == nil {
+				got, streamErr = drainStream(cur)
+			}
+			switch {
+			case execErr != nil || streamErr != nil:
+				if fmt.Sprint(execErr) != fmt.Sprint(streamErr) {
+					t.Errorf("%q cfg %+v: exec err %v, stream err %v", q, cfg, execErr, streamErr)
+				}
+			case got != want:
+				t.Errorf("%q cfg %+v:\nstream %q\nexec   %q", q, cfg, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamLargeLoopParallel pins the equivalence on a loop big enough to
+// engage the parallel partitioner, streaming and draining from several
+// goroutines at once over one shared Prepared — the -race test of the
+// concurrency contract.
+func TestStreamLargeLoopParallel(t *testing.T) {
+	eng := streamEngine(t)
+	const q = `for $i in 1 to 2000 return $i * ($i mod 7)`
+	prep, err := eng.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prep.Exec(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.String()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		cfg := Config{StreamChunk: 64, Parallelism: 1 + g%4}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur, err := prep.Stream(cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := drainStream(cur)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != want {
+				errs <- fmt.Errorf("cfg %+v diverged", cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStreamEarlyClose: abandoning a parallel stream after a few items must
+// not leak or deadlock, and Err stays nil.
+func TestStreamEarlyClose(t *testing.T) {
+	eng := streamEngine(t)
+	prep, err := eng.Prepare(`for $i in 1 to 100000 return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{{StreamChunk: 16}, {StreamChunk: 16, Parallelism: 4}} {
+		cur, err := prep.Stream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10 && cur.Next(); i++ {
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("cfg %+v: Close = %v", cfg, err)
+		}
+		if cur.Next() {
+			t.Fatalf("cfg %+v: Next after Close", cfg)
+		}
+	}
+}
+
+// TestStreamWriteXML: the streaming serialiser matches Result.String.
+func TestStreamWriteXML(t *testing.T) {
+	eng := streamEngine(t)
+	prep, err := eng.Prepare(`for $s in doc("stable.xml")//scene return <s>{$s/@id}</s>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prep.Exec(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := prep.Stream(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cur.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != res.String() {
+		t.Fatalf("WriteXML = %q, Result.String = %q", sb.String(), res.String())
+	}
+}
+
+// TestStreamXMarkEquivalence runs the paper's stand-off XMark queries
+// through both execution styles on a generated document — the corpus the
+// acceptance criterion names.
+func TestStreamXMarkEquivalence(t *testing.T) {
+	data, err := xmark.GenerateBytes(xmark.Config{Scale: 0.004, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New()
+	if err := eng.LoadXML("xmark.xml", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ConvertToStandOff("xmark.xml", "xmark-so.xml", true, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, qn := range []int{1, 2, 6, 7} {
+		prep, err := eng.Prepare(xmark.StandOffQuery(qn, "xmark-so.xml"))
+		if err != nil {
+			t.Fatalf("Q%d: %v", qn, err)
+		}
+		res, err := prep.Exec(Config{})
+		if err != nil {
+			t.Fatalf("Q%d exec: %v", qn, err)
+		}
+		for _, cfg := range []Config{{}, {StreamChunk: 8}, {StreamChunk: 8, Parallelism: 4}} {
+			cur, err := prep.Stream(cfg)
+			if err != nil {
+				t.Fatalf("Q%d stream: %v", qn, err)
+			}
+			got, err := drainStream(cur)
+			if err != nil {
+				t.Fatalf("Q%d drain: %v", qn, err)
+			}
+			if got != res.String() {
+				t.Fatalf("Q%d cfg %+v: stream diverges from exec", qn, cfg)
+			}
+		}
+	}
+}
