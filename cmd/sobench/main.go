@@ -24,6 +24,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +48,10 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	prepare := flag.Bool("prepare", false,
 		"prepare each query before timing so cells measure pure execution (excludes parse+compile)")
+	analyze := flag.Bool("analyze", false,
+		"print per-step estimated vs observed cardinalities (EXPLAIN ANALYZE, auto mode) instead of the timing grid")
+	calibrate := flag.Bool("calibrate", false,
+		"measure the Basic vs Loop-Lifted crossover on synthetic layers and report the implied cost-model overhead")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -58,10 +63,22 @@ func main() {
 		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare)
 		return
 	}
+	if *calibrate {
+		runCalibrate()
+		return
+	}
 
 	scaleList := splitFloats(*scales)
 	queryList := splitInts(*queries)
 	variantList := strings.Split(*variants, ",")
+
+	if *analyze {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal("%v", err)
+		}
+		runAnalyze(*dir, scaleList, queryList, *seed)
+		return
+	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal("%v", err)
@@ -308,6 +325,140 @@ func runCell(soPath string, q int, variant string, prepare bool) {
 	secs := time.Since(start).Seconds()
 	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, items, secs)
 	fmt.Printf("seconds=%.6f\n", secs)
+}
+
+// runAnalyze prints the EXPLAIN ANALYZE cardinality table: one row per
+// StandOff step of each query, with the cost model's candidate estimate and
+// the chosen strategy next to the observed candidates, context rows and
+// output rows of an auto-mode run — the estimated-vs-observed comparison
+// that keeps the cost model honest.
+func runAnalyze(dir string, scales []float64, queries []int, seed uint64) {
+	for _, scale := range scales {
+		soPath, err := ensureData(dir, scale, seed)
+		if err != nil {
+			fatal("generating scale %g: %v", scale, err)
+		}
+		eng := soxq.New()
+		if err := eng.LoadXMLFile("doc.xml", soPath); err != nil {
+			fatal("%v", err)
+		}
+		if err := eng.BuildIndex("doc.xml"); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("\nEXPLAIN ANALYZE cardinalities, scale %g (%s)\n", scale, sizeName(scale))
+		fmt.Printf("%-6s %-34s %-12s %10s %10s %10s %10s\n",
+			"query", "step", "strategy", "est.cand", "obs.cand", "ctx.rows", "rows.out")
+		for _, q := range queries {
+			prep, err := eng.Prepare(xmark.StandOffQuery(q, "doc.xml"))
+			if err != nil {
+				fatal("Q%d: %v", q, err)
+			}
+			_, pe, err := prep.Analyze(soxq.Config{})
+			if err != nil {
+				fatal("Q%d: %v", q, err)
+			}
+			for _, row := range standOffRows(pe.Plan) {
+				fmt.Printf("%-6s %-34s %-12s %10d %10d %10d %10d\n",
+					fmt.Sprintf("Q%d", q), row.step, row.strategy,
+					row.estCand, row.obsCand, row.ctxRows, row.rowsOut)
+			}
+		}
+	}
+}
+
+// analyzeRow is one StandOff step's estimated-vs-observed summary.
+type analyzeRow struct {
+	step, strategy   string
+	estCand, ctxRows int
+	obsCand, rowsOut int64
+}
+
+// standOffRows walks an analyzed plan tree and collects its StandOff steps.
+func standOffRows(nodes []*soxq.OpNode) []analyzeRow {
+	var out []analyzeRow
+	for _, n := range nodes {
+		if n.Step != nil && n.Step.StandOff {
+			row := analyzeRow{
+				step:     n.Step.Axis + "::" + n.Step.Test,
+				strategy: n.Step.Strategy,
+			}
+			if n.Est != nil {
+				row.estCand = n.Est.Candidates
+				row.ctxRows = n.Est.CtxRows
+				row.strategy = n.Est.Strategy
+			}
+			if n.Obs != nil {
+				row.obsCand = n.Obs.Candidates
+				row.rowsOut = n.Obs.RowsOut
+			}
+			out = append(out, row)
+		}
+		out = append(out, standOffRows(n.Children)...)
+	}
+	return out
+}
+
+// runCalibrate measures the real Basic vs Loop-Lifted crossover the cost
+// model approximates: for a grid of candidate-layer sizes, it doubles the
+// context cardinality until the forced Loop-Lifted run beats the forced
+// Basic run, and reports (ctx-1)·cand at that point — the observed value of
+// the model's llSetupRows overhead term (internal/xqplan/cost.go). Run it
+// after changing the join inner loops and update the constant if the
+// reported range moves materially.
+func runCalibrate() {
+	fmt.Println("cost-model calibration: smallest context cardinality where forced Loop-Lifted beats forced Basic")
+	fmt.Printf("%10s %10s %14s %14s %16s\n", "candidates", "ctx.rows", "basic", "looplifted", "(ctx-1)*cand")
+	for _, cand := range []int{16, 64, 256, 1024} {
+		for ctx := 2; ctx <= 4096; ctx *= 2 {
+			tb := timeCalibrationCell(ctx, cand, soxq.ModeBasic)
+			tl := timeCalibrationCell(ctx, cand, soxq.ModeLoopLifted)
+			if tl < tb || ctx == 4096 {
+				fmt.Printf("%10d %10d %14s %14s %16d\n",
+					cand, ctx, tb.Round(time.Microsecond), tl.Round(time.Microsecond), (ctx-1)*cand)
+				break
+			}
+		}
+	}
+}
+
+// timeCalibrationCell times one forced-mode run of a select-wide join over a
+// synthetic document with ctx context areas and cand candidate areas
+// (median of five runs, index prebuilt, query prepared).
+func timeCalibrationCell(ctx, cand int, mode soxq.Mode) time.Duration {
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < ctx; i++ {
+		fmt.Fprintf(&sb, `<c start="%d" end="%d"/>`, i*97, i*97+96)
+	}
+	for i := 0; i < cand; i++ {
+		fmt.Fprintf(&sb, `<w start="%d" end="%d"/>`, i*13, i*13+12)
+	}
+	sb.WriteString("</doc>")
+	eng := soxq.New()
+	if err := eng.LoadXML("d.xml", []byte(sb.String())); err != nil {
+		fatal("%v", err)
+	}
+	if err := eng.BuildIndex("d.xml"); err != nil {
+		fatal("%v", err)
+	}
+	prep, err := eng.Prepare(`doc("d.xml")//c/select-wide::w`)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg := soxq.Config{Mode: mode}
+	if _, err := prep.Exec(cfg); err != nil { // warm the strategy memo and caches
+		fatal("%v", err)
+	}
+	times := make([]time.Duration, 5)
+	for i := range times {
+		start := time.Now()
+		if _, err := prep.Exec(cfg); err != nil {
+			fatal("%v", err)
+		}
+		times[i] = time.Since(start)
+	}
+	slices.Sort(times)
+	return times[len(times)/2]
 }
 
 func splitFloats(s string) []float64 {

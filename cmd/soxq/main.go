@@ -12,10 +12,14 @@
 // them with fn:doc. -mode selects the execution strategy: auto (the default;
 // the planner picks Basic vs Loop-Lifted per step from the region index
 // statistics) or one of the paper's forced variants (looplifted, basic,
-// udf). -explain executes the query and prints the compiled plan — per step
-// the axis, node test, // fusion, candidate policy and the join strategy the
-// cost model actually chose, plus which pipeline operators stream — instead
-// of the query results.
+// udf). -explain executes the query and prints the compiled plan — the
+// operator tree (FLWOR, filter and path structure) with per-step candidate
+// policies, cost estimates and the join strategy the cost model actually
+// chose, plus which pipeline operators stream — instead of the query
+// results. -analyze is EXPLAIN ANALYZE: the same tree annotated with the
+// observed per-operator counters of the run (rows in/out, candidates
+// scanned, join algorithm, FLWOR tuples and chunks). See docs/EXPLAIN.md
+// for the output reference.
 //
 // -stream serialises results through the cursor pipeline as they are
 // produced instead of materialising the full sequence first (constant
@@ -52,6 +56,7 @@ func main() {
 	heap := flag.Bool("heap", false, "use the heap-based active set (paper section 5)")
 	timing := flag.Bool("time", false, "print load and evaluation timing to stderr")
 	explain := flag.Bool("explain", false, "print the compiled plan (with resolved join strategies) instead of results")
+	analyze := flag.Bool("analyze", false, "run the query and print the plan annotated with observed per-operator counters (EXPLAIN ANALYZE)")
 	stream := flag.Bool("stream", false, "stream results through the cursor pipeline instead of materialising them")
 	parallel := flag.Int("parallel", 0, "partition large FLWOR loops across N workers (0 = single-threaded)")
 	flag.Parse()
@@ -118,6 +123,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compile: %v\n", time.Since(compileStart))
 	}
 	evalStart := time.Now()
+	if *analyze {
+		// EXPLAIN ANALYZE: execute, then print the plan annotated with the
+		// run's observed per-operator counters next to the estimates.
+		_, pe, err := prep.Analyze(cfg)
+		fatalIf(err)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
+		}
+		fmt.Print(pe.String())
+		return
+	}
 	if *stream && !*explain {
 		// Streamed execution: items are serialised as the pipeline
 		// produces them, so memory stays bounded by the chunk size no

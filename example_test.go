@@ -92,6 +92,40 @@ func ExamplePrepared_Stream() {
 	// Interview Outro
 }
 
+func ExamplePrepared_Explain() {
+	eng := soxq.New()
+	if err := eng.LoadXML("d.xml", []byte(`<doc>
+	  <music artist="U2" start="0" end="31"/>
+	  <music artist="Bach" start="52" end="94"/>
+	  <shot id="Intro" start="0" end="8"/>
+	  <shot id="Interview" start="8" end="64"/>
+	  <shot id="Outro" start="64" end="94"/>
+	</doc>`)); err != nil {
+		log.Fatal(err)
+	}
+	prep, err := eng.Prepare(`doc("d.xml")//music/select-narrow::shot`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Execute first: the cost model resolves per (index, context
+	// cardinality) at execution time, so the explain taken afterwards shows
+	// the strategy actually chosen and the estimate behind it. For observed
+	// row counts as well, use Analyze instead.
+	if _, err := prep.Exec(soxq.Config{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(prep.Explain().String())
+	// Output:
+	// options: type=xs:integer start=@start end=@end
+	// folds: 0
+	// plan:
+	//   path doc("d.xml")
+	//     step descendant::music (fused //)
+	//     step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=2 basic=8 ll=37}
+	// stream:
+	//   path [materialised] final StandOff step select-narrow materialises via its merge join
+}
+
 func ExampleEngine_LoadStandOff() {
 	eng := soxq.New()
 	// Annotations carry [start,end] byte regions into the BLOB; the

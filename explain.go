@@ -5,25 +5,104 @@ import (
 	"strings"
 
 	"soxq/internal/xqexec"
+	"soxq/internal/xqplan"
 )
 
 // PlanExplain is the structured description of a prepared query's compiled
-// form: the effective stand-off options, how many constant subexpressions
-// the compiler folded away, and one entry per path expression with its
-// compiled step program. Paths appear in compile discovery order (a
-// predicate's path precedes the path of the step it filters).
+// form and — after Analyze — of one execution's observed behaviour. It holds
+// the effective stand-off options, the constant-fold count, the operator
+// tree of the whole query (FLWOR, filter and conditional structure, with
+// every path's compiled step program nested inside), the flat per-path step
+// list, and the streaming pipeline shape. See docs/EXPLAIN.md for the full
+// output reference.
+//
+// Two modes produce it:
+//
+//   - Prepared.Explain: EXPLAIN — compile-time structure plus whatever cost
+//     estimates and strategy choices previous executions have resolved.
+//   - Prepared.Analyze: EXPLAIN ANALYZE — the same tree annotated with the
+//     observed per-operator counters of the run Analyze performed (rows in
+//     and out, candidates scanned, join algorithms, FLWOR tuples/chunks).
 type PlanExplain struct {
 	// Options renders the effective stand-off options the plan was
 	// compiled under.
 	Options string
 	// Folds is the number of constant-folding rewrites applied.
 	Folds int
-	// Paths holds one step program per path expression.
+	// Analyzed reports whether observed counters are attached (the
+	// explain came from Analyze).
+	Analyzed bool
+	// Plan is the operator tree of the query: function declarations first,
+	// then the body.
+	Plan []*OpNode
+	// Paths holds one step program per path expression, in compile
+	// discovery order (a predicate's path precedes the path of the step it
+	// filters).
 	Paths []PathExplain
 	// Stream is the pipeline shape a Stream (or Exec, which drains the
 	// same pipeline) would execute: per top-level operator, whether it is
 	// pipelined or materialised and why.
 	Stream *StreamExplain
+}
+
+// OpNode is one operator of the plan tree. Label is the fully rendered line
+// (standoff{...}, est{...} and observed (...) annotations included); the
+// structured fields expose the same data programmatically.
+type OpNode struct {
+	// Kind classifies the operator: "flwor", "for", "let", "where",
+	// "order by", "return", "path", "step", "predicate", "filter", "if",
+	// "then", "else", "quantified", "satisfies", "function",
+	// "constructor", "op", "seq", "declare", "expr".
+	Kind string
+	// Label is the rendered plan line.
+	Label string
+	// Step is set for Kind "step": the compiled step description.
+	Step *StepExplain
+	// Est is set for StandOff steps once the cost model has resolved: the
+	// estimated candidate cardinality, the observed context cardinality
+	// the decision used, the modelled costs and the chosen strategy.
+	Est *CostExplain
+	// Obs is set when Analyzed and the operator executed: the observed
+	// counters.
+	Obs *ObsExplain
+	// Children are the operator's structural inputs in evaluation order.
+	Children []*OpNode
+}
+
+// CostExplain is one cost-model (v2) decision record.
+type CostExplain struct {
+	// Candidates is the estimated candidate-area cardinality from the
+	// region index statistics.
+	Candidates int
+	// CtxRows is the observed context cardinality (iterations × context
+	// nodes) the decision was made for.
+	CtxRows int
+	// Basic and LoopLifted are the modelled costs in scanned-row
+	// equivalents.
+	Basic      float64
+	LoopLifted float64
+	// Strategy is the chosen algorithm ("basic" or "looplifted").
+	Strategy string
+}
+
+// ObsExplain carries one operator's observed counters from an Analyze run.
+type ObsExplain struct {
+	// Invocations is how many times the operator evaluated.
+	Invocations int64
+	// RowsIn and RowsOut are operator-specific row totals: context rows
+	// in / result rows out for steps, tuples in / items out for FLWORs,
+	// input/kept rows for filters.
+	RowsIn  int64
+	RowsOut int64
+	// Candidates is the total candidate cardinality StandOff joins
+	// scanned (steps only).
+	Candidates int64
+	// Chunks is how many pipeline chunks a streamed FLWOR evaluated
+	// (zero for materialised evaluation).
+	Chunks int64
+	// Joins renders the join algorithms actually run, e.g. "basic:1" or
+	// "looplifted:3" (steps only; empty for tree axes).
+	Joins string
 }
 
 // StreamExplain describes one operator of the streaming pipeline.
@@ -77,85 +156,133 @@ type StepExplain struct {
 	// Strategy reports the join-strategy choice: "auto" before the step
 	// has executed against an index, and "auto(basic)" /
 	// "auto(looplifted)" afterwards, listing every distinct choice the
-	// cost model made (one per region index the plan has bound to). An
-	// execution that forces a mode (ModeBasic, ...) bypasses the cost
-	// model and leaves this unresolved.
+	// cost model made (one per region index and context-cardinality band
+	// the plan has executed in). An execution that forces a mode
+	// (ModeBasic, ...) bypasses the cost model and leaves this
+	// unresolved.
 	Strategy string
 }
 
-// Explain returns the structured description of the compiled plan. Call it
-// after an Exec in auto mode to see the join strategies the cost model
-// actually selected; before any execution the strategy of each StandOff
-// step reads "auto".
+// Explain returns the EXPLAIN description of the compiled plan: operator
+// structure, compiled step programs, candidate policies and the pipeline
+// shape. Call it after an Exec in auto mode to see the join strategies and
+// cost estimates the cost model actually resolved; before any execution the
+// strategy of each StandOff step reads "auto" and no estimates are shown
+// (estimates need the region index statistics, which bind at execution).
 func (p *Prepared) Explain() *PlanExplain {
-	ix := p.plan.Explain()
-	out := &PlanExplain{Options: ix.Options.String(), Folds: ix.Folds}
+	return p.explainWith(nil)
+}
+
+// explainWith builds the public explain from the plan description, with the
+// observed counters of one execution attached when st is non-nil.
+func (p *Prepared) explainWith(st *xqplan.ExecStats) *PlanExplain {
+	ix := p.plan.ExplainWith(st)
+	out := &PlanExplain{Options: ix.Options.String(), Folds: ix.Folds, Analyzed: ix.Analyzed}
 	for _, pe := range ix.Paths {
 		var path PathExplain
 		for _, se := range pe.Steps {
-			path.Steps = append(path.Steps, StepExplain{
-				Axis:         se.Axis,
-				Test:         se.Test,
-				Fused:        se.Fused,
-				Predicates:   se.Predicates,
-				StandOff:     se.StandOff,
-				Op:           se.Op,
-				PushPolicy:   policyString(se.PushPolicy, se.Name),
-				NoPushPolicy: policyString(se.NoPushPolicy, se.Name),
-				Strategy:     se.Strategy(),
-			})
+			path.Steps = append(path.Steps, publicStep(se))
 		}
 		out.Paths = append(out.Paths, path)
+	}
+	for _, ch := range ix.Root.Children {
+		out.Plan = append(out.Plan, publicNode(ch))
 	}
 	out.Stream = streamExplain(xqexec.Describe(p.plan))
 	return out
 }
 
-func policyString(policy, name string) string {
-	if policy == "by-name" {
-		return "by-name(" + name + ")"
+func publicStep(se xqplan.StepExplain) StepExplain {
+	return StepExplain{
+		Axis:         se.Axis,
+		Test:         se.Test,
+		Fused:        se.Fused,
+		Predicates:   se.Predicates,
+		StandOff:     se.StandOff,
+		Op:           se.Op,
+		PushPolicy:   xqplan.PolicyString(se.PushPolicy, se.Name),
+		NoPushPolicy: xqplan.PolicyString(se.NoPushPolicy, se.Name),
+		Strategy:     se.Strategy(),
 	}
-	return policy
 }
 
-// String renders the plan description, one line per step:
+func publicNode(n *xqplan.Node) *OpNode {
+	out := &OpNode{Kind: n.Kind, Label: n.Label}
+	if n.Step != nil {
+		s := publicStep(*n.Step)
+		out.Step = &s
+	}
+	if n.Est != nil {
+		out.Est = &CostExplain{
+			Candidates: n.Est.Candidates,
+			CtxRows:    n.Est.CtxRows,
+			Basic:      n.Est.Basic,
+			LoopLifted: n.Est.LoopLifted,
+			Strategy:   n.Est.Strategy.String(),
+		}
+	}
+	switch {
+	case n.StepObs != nil:
+		out.Obs = &ObsExplain{
+			Invocations: n.StepObs.Invocations,
+			RowsIn:      n.StepObs.RowsIn,
+			RowsOut:     n.StepObs.RowsOut,
+			Candidates:  n.StepObs.Candidates,
+			Joins:       n.StepObs.JoinsString(),
+		}
+	case n.OpObs != nil:
+		out.Obs = &ObsExplain{
+			Invocations: n.OpObs.Invocations,
+			RowsIn:      n.OpObs.RowsIn,
+			RowsOut:     n.OpObs.RowsOut,
+			Chunks:      n.OpObs.Chunks,
+		}
+	}
+	for _, ch := range n.Children {
+		out.Children = append(out.Children, publicNode(ch))
+	}
+	return out
+}
+
+// String renders the plan description: the options and fold count, the
+// operator tree (one line per operator, annotated with standoff decisions,
+// cost estimates and — after Analyze — observed counters), and the
+// streaming pipeline shape:
 //
 //	options: type=xs:integer start=@start end=@end
-//	folds: 1
-//	path 1:
-//	  step 1: descendant::music (fused //)
-//	  step 2: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)}
+//	folds: 0
+//	plan:
+//	  flwor (tuples=1 out=1 chunks=1)
+//	    for $s in
+//	      path doc("d.xml") (out=1)
+//	        step descendant-or-self::node() (in=1 out=1)
+//	        step child::music[@artist = "U2"] (in=1 out=1)
+//	        step select-narrow::shot standoff{op=select-narrow push=by-name(shot)
+//	          nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=1 basic=4 ll=260}
+//	          (in=1 out=1 cand=3 joins=basic:1)
+//	    return string($s/@id)
 //	stream:
 //	  flwor [pipelined] for $s tuples stream in chunks; ...
-//	    path [materialised] final StandOff step select-narrow materialises via its merge join
 func (x *PlanExplain) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "options: %s\n", x.Options)
 	fmt.Fprintf(&sb, "folds: %d\n", x.Folds)
-	for pi, p := range x.Paths {
-		fmt.Fprintf(&sb, "path %d:\n", pi+1)
-		for si, s := range p.Steps {
-			fmt.Fprintf(&sb, "  step %d: %s::%s", si+1, s.Axis, s.Test)
-			if s.Predicates == 1 {
-				sb.WriteString(" [1 predicate]")
-			} else if s.Predicates > 1 {
-				fmt.Fprintf(&sb, " [%d predicates]", s.Predicates)
-			}
-			if s.Fused {
-				sb.WriteString(" (fused //)")
-			}
-			if s.StandOff {
-				fmt.Fprintf(&sb, " standoff{op=%s push=%s nopush=%s strategy=%s}",
-					s.Op, s.PushPolicy, s.NoPushPolicy, s.Strategy)
-			}
-			sb.WriteByte('\n')
-		}
+	sb.WriteString("plan:\n")
+	for _, n := range x.Plan {
+		n.render(&sb, 1)
 	}
 	if x.Stream != nil {
 		sb.WriteString("stream:\n")
 		x.Stream.render(&sb, 1)
 	}
 	return sb.String()
+}
+
+func (n *OpNode) render(sb *strings.Builder, depth int) {
+	fmt.Fprintf(sb, "%s%s\n", strings.Repeat("  ", depth), n.Label)
+	for _, ch := range n.Children {
+		ch.render(sb, depth+1)
+	}
 }
 
 func (s *StreamExplain) render(sb *strings.Builder, depth int) {

@@ -4,7 +4,29 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"soxq/internal/xmark"
 )
+
+// xmarkEngine generates a small stand-off XMark corpus (the benchmark
+// documents of the paper's Figure 6) and loads it as "xmark-so.xml".
+func xmarkEngine(t *testing.T, scale float64) *Engine {
+	t.Helper()
+	data, err := xmark.GenerateBytes(xmark.Config{Scale: scale, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New()
+	if err := eng.LoadXML("xmark.xml", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ConvertToStandOff("xmark.xml", "xmark-so.xml", true, 5); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func xmarkStandOffQuery(q int) string { return xmark.StandOffQuery(q, "xmark-so.xml") }
 
 // figure2Doc is the sample document of the paper's Figure 1/2 walkthrough.
 const figure2Doc = `<doc>
@@ -26,8 +48,9 @@ func figure2Engine(t *testing.T) *Engine {
 
 // TestExplainGoldenAxisQuery pins the rendered plan of the Figure 2 example
 // in its axis form, before and after execution: the stand-off step reads
-// strategy=auto until an auto-mode Exec resolves it against the document's
-// region index (five areas — far below the cutoff, so Basic).
+// strategy=auto with no estimate until an auto-mode Exec resolves it against
+// the document's region index (one context row — nothing to loop-lift, so
+// Basic — with the cost-model record rendered beside the decision).
 func TestExplainGoldenAxisQuery(t *testing.T) {
 	eng := figure2Engine(t)
 	prep, err := eng.Prepare(`for $s in doc("d.xml")//music[@artist = "U2"]/select-narrow::shot
@@ -37,14 +60,14 @@ func TestExplainGoldenAxisQuery(t *testing.T) {
 	}
 	wantBefore := `options: type=xs:integer start=@start end=@end
 folds: 0
-path 1:
-  step 1: attribute::artist
-path 2:
-  step 1: descendant-or-self::node()
-  step 2: child::music [1 predicate]
-  step 3: select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto}
-path 3:
-  step 1: attribute::id
+plan:
+  flwor
+    for $s in
+      path doc("d.xml")
+        step descendant-or-self::node()
+        step child::music[@artist = "U2"]
+        step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto}
+    return string($s/@id)
 stream:
   flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
     path [materialised] final StandOff step select-narrow materialises via its merge join
@@ -59,15 +82,84 @@ stream:
 	if got := res.String(); got != "Intro" {
 		t.Fatalf("result = %q, want Intro", got)
 	}
-	wantAfter := strings.Replace(wantBefore, "strategy=auto}", "strategy=auto(basic)}", 1)
+	wantAfter := strings.Replace(wantBefore, "strategy=auto}",
+		"strategy=auto(basic)} est{cand=3 ctx=1 basic=4 ll=36}", 1)
 	if got := prep.Explain().String(); got != wantAfter {
 		t.Fatalf("explain after exec:\n%s\nwant:\n%s", got, wantAfter)
 	}
 }
 
+// TestExplainAnalyzeGolden pins the EXPLAIN ANALYZE rendering: the same tree
+// annotated with the observed per-operator counters of the run Analyze
+// performed — estimated and observed cardinalities side by side.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`for $s in doc("d.xml")//music[@artist = "U2"]/select-narrow::shot
+	         return string($s/@id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pe, err := prep.Analyze(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != "Intro" {
+		t.Fatalf("result = %q, want Intro", got)
+	}
+	if !pe.Analyzed {
+		t.Fatal("Analyzed = false on an Analyze explain")
+	}
+	want := `options: type=xs:integer start=@start end=@end
+folds: 0
+plan:
+  flwor (tuples=1 out=1 chunks=1)
+    for $s in
+      path doc("d.xml") (out=1)
+        step descendant-or-self::node() (in=1 out=13)
+        step child::music[@artist = "U2"] (in=13 out=1)
+        step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=1 basic=4 ll=36} (in=1 out=1 cand=3 joins=basic:1)
+    return string($s/@id)
+stream:
+  flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
+    path [materialised] final StandOff step select-narrow materialises via its merge join
+`
+	if got := pe.String(); got != want {
+		t.Fatalf("analyze:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAnalyzeChunkedCountsChunks: an Analyze run with a stream chunk size
+// reports the chunked execution (the streaming path's counters), and the
+// observed totals match the unchunked run.
+func TestAnalyzeChunkedCountsChunks(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`for $i in 1 to 100 return $i * 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pe, err := prep.Analyze(Config{StreamChunk: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 100 {
+		t.Fatalf("result len = %d, want 100", res.Len())
+	}
+	flwor := pe.Plan[0]
+	if flwor.Kind != "flwor" || flwor.Obs == nil {
+		t.Fatalf("top operator = %+v, want analyzed flwor", flwor)
+	}
+	if flwor.Obs.Chunks != 7 { // ceil(100/16)
+		t.Fatalf("chunks = %d, want 7", flwor.Obs.Chunks)
+	}
+	if flwor.Obs.RowsIn != 100 || flwor.Obs.RowsOut != 100 {
+		t.Fatalf("tuples=%d out=%d, want 100/100", flwor.Obs.RowsIn, flwor.Obs.RowsOut)
+	}
+}
+
 // TestExplainGoldenUDFQuery pins the plan of the Figure 2 library-function
-// form: no stand-off steps, and both // abbreviations compiled into fused
-// descendant steps.
+// form: the function declaration rendered above the body, both //
+// abbreviations compiled into fused descendant steps, and the FLWOR/filter
+// structure visible inside the function body.
 func TestExplainGoldenUDFQuery(t *testing.T) {
 	eng := figure2Engine(t)
 	prep, err := eng.Prepare(`
@@ -88,30 +180,68 @@ return string($s/@id)`)
 	}
 	want := `options: type=xs:integer start=@start end=@end
 folds: 0
-path 1:
-  step 1: descendant::* (fused //)
-path 2:
-  step 1: attribute::start
-path 3:
-  step 1: attribute::start
-path 4:
-  step 1: attribute::end
-path 5:
-  step 1: attribute::end
-path 6:
-  step 1: self::node()
-path 7:
-  step 1: descendant::music (fused //)
-path 8:
-  step 1: self::shot
-path 9:
-  step 1: attribute::id
+plan:
+  declare function local:select-narrow#1
+    path
+      flwor
+        for $q in $input
+        for $p in
+          path root($q)
+            step descendant::* (fused //)
+        where $p/@start >= $q/@start and $p/@end <= $q/@end
+        return $p
+      step self::node()
+  flwor
+    for $s in
+      path
+        function local:select-narrow#1
+          path doc("d.xml")
+            step descendant::music (fused //)
+        step self::shot
+    return string($s/@id)
 stream:
   flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
     path [pipelined] final step self::shot streams per context node when context subtrees are disjoint
 `
 	if got := prep.Explain().String(); got != want {
 		t.Fatalf("explain:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainGlobalVariableDeclaration: a StandOff step inside a global
+// variable initializer stays visible in the plan tree (declarations render
+// before the body), with its strategy resolved after execution.
+func TestExplainGlobalVariableDeclaration(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(
+		`declare variable $shots := doc("d.xml")//music/select-narrow::shot; count($shots)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	got := prep.Explain().String()
+	if !strings.Contains(got, "declare variable $shots :=") {
+		t.Fatalf("explain lacks the variable declaration:\n%s", got)
+	}
+	if !strings.Contains(got, "select-narrow::shot standoff{") ||
+		!strings.Contains(got, "strategy=auto(basic)") {
+		t.Fatalf("explain lacks the initializer's resolved StandOff step:\n%s", got)
+	}
+}
+
+// TestExplainAbsoluteAttributePath: /@id must render as /@id, not //@id (a
+// semantically different XPath).
+func TestExplainAbsoluteAttributePath(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`for $s in doc("d.xml")//shot return /@id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prep.Explain().String()
+	if !strings.Contains(got, "return /@id") || strings.Contains(got, "//@id") {
+		t.Fatalf("absolute attribute path rendered wrong:\n%s", got)
 	}
 }
 
@@ -128,7 +258,7 @@ func TestExplainFoldCount(t *testing.T) {
 }
 
 // bigStandoffEngine loads a document whose dense layer exceeds the cost
-// model's cutoff while the sparse layer stays below it.
+// model's crossover while the sparse layer stays below it.
 func bigStandoffEngine(t *testing.T, dense, sparse int) *Engine {
 	t.Helper()
 	var sb strings.Builder
@@ -147,44 +277,89 @@ func bigStandoffEngine(t *testing.T, dense, sparse int) *Engine {
 	return eng
 }
 
-// soStrategy extracts the strategy string of the single stand-off step.
-func soStrategy(t *testing.T, prep *Prepared) string {
-	t.Helper()
+// soStrategies collects the strategy strings of the plan's stand-off steps
+// in discovery order.
+func soStrategies(prep *Prepared) []string {
+	var out []string
 	for _, p := range prep.Explain().Paths {
 		for _, s := range p.Steps {
 			if s.StandOff {
-				return s.Strategy
+				out = append(out, s.Strategy)
 			}
 		}
 	}
-	t.Fatal("no stand-off step in plan")
-	return ""
+	return out
+}
+
+// soStrategy extracts the strategy string of the single stand-off step.
+func soStrategy(t *testing.T, prep *Prepared) string {
+	t.Helper()
+	ss := soStrategies(prep)
+	if len(ss) != 1 {
+		t.Fatalf("plan has %d stand-off steps, want 1", len(ss))
+	}
+	return ss[0]
 }
 
 // TestStrategyFlipsPerLayer: the same query shape resolves to different
 // join strategies depending on which annotation layer it targets — the
-// per-step decision a single per-query knob cannot make.
+// per-step decision a single per-query knob cannot make. The sparse case
+// pins the context side of cost model v2: one context row means there is no
+// loop to lift, so the huge candidate layer still runs Basic.
 func TestStrategyFlipsPerLayer(t *testing.T) {
 	eng := bigStandoffEngine(t, 500, 5)
 	dense, err := eng.Prepare(`doc("d.xml")//chapter/select-narrow::word`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sparse, err := eng.Prepare(`doc("d.xml")//word/select-wide::chapter`)
+	single, err := eng.Prepare(`doc("d.xml")//chapter[1]/select-narrow::word`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := dense.Exec(Config{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sparse.Exec(Config{}); err != nil {
+	if _, err := single.Exec(Config{}); err != nil {
 		t.Fatal(err)
 	}
+	// Five chapters feed the dense-layer join: 5 iterations × 500
+	// candidates amortise the loop-lifted machinery.
 	if got := soStrategy(t, dense); got != "auto(looplifted)" {
 		t.Fatalf("dense-layer step strategy = %q, want auto(looplifted)", got)
 	}
-	if got := soStrategy(t, sparse); got != "auto(basic)" {
-		t.Fatalf("sparse-layer step strategy = %q, want auto(basic)", got)
+	// One chapter feeds the same join: a single-iteration Basic merge beats
+	// the loop-lifted bookkeeping no matter how many candidates there are
+	// (the v1 fixed-64 threshold would have picked Loop-Lifted here).
+	if got := soStrategy(t, single); got != "auto(basic)" {
+		t.Fatalf("single-context step strategy = %q, want auto(basic)", got)
+	}
+}
+
+// TestStrategyFlipsWithContextCardinality is the cost-model-v2 acceptance
+// case end to end: two queries against the SAME five-candidate layer — so
+// the v1 threshold (5 <= 64: Basic) would answer Basic for both — flip
+// between Basic and Loop-Lifted purely on observed context cardinality.
+func TestStrategyFlipsWithContextCardinality(t *testing.T) {
+	eng := bigStandoffEngine(t, 500, 5)
+	small, err := eng.Prepare(`doc("d.xml")//word[1]/select-wide::chapter`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := eng.Prepare(`doc("d.xml")//word/select-wide::chapter`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Exec(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := soStrategy(t, small); got != "auto(basic)" {
+		t.Fatalf("1 context row: strategy = %q, want auto(basic)", got)
+	}
+	if got := soStrategy(t, big); got != "auto(looplifted)" {
+		t.Fatalf("500 context rows: strategy = %q, want auto(looplifted)", got)
 	}
 }
 
@@ -212,6 +387,41 @@ func TestModeOverrideWins(t *testing.T) {
 	}
 }
 
+// TestAnalyzeReportsForcedJoins: Analyze under a forced mode records the
+// algorithm that actually ran, even though the memoized auto choice stays
+// untouched — observed truth versus planned estimate.
+func TestAnalyzeReportsForcedJoins(t *testing.T) {
+	eng := bigStandoffEngine(t, 100, 4)
+	prep, err := eng.Prepare(`doc("d.xml")//chapter/select-narrow::word`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pe, err := prep.Analyze(Config{Mode: ModeBasic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step *OpNode
+	var walk func(ns []*OpNode)
+	walk = func(ns []*OpNode) {
+		for _, n := range ns {
+			if n.Step != nil && n.Step.StandOff {
+				step = n
+			}
+			walk(n.Children)
+		}
+	}
+	walk(pe.Plan)
+	if step == nil || step.Obs == nil {
+		t.Fatalf("no analyzed stand-off step in plan:\n%s", pe.String())
+	}
+	if step.Obs.Joins != "basic:1" {
+		t.Fatalf("observed joins = %q, want basic:1", step.Obs.Joins)
+	}
+	if step.Step.Strategy != "auto" {
+		t.Fatalf("memoized strategy = %q, want auto (forced run must not resolve it)", step.Step.Strategy)
+	}
+}
+
 // TestAutoMatchesForcedModes: whatever the cost model picks, the answer is
 // identical to every forced mode.
 func TestAutoMatchesForcedModes(t *testing.T) {
@@ -229,5 +439,52 @@ func TestAutoMatchesForcedModes(t *testing.T) {
 		if res.String() != ref.String() {
 			t.Fatalf("mode %v: %q != auto %q", mode, res.String(), ref.String())
 		}
+	}
+}
+
+// TestCostModelDivergesFromFixedThreshold runs a StandOff XMark benchmark
+// query and pins that cost model v2 chooses a different strategy than the
+// old fixed 64-candidate threshold would: Q6's per-site select-narrow::item
+// step scans hundreds of item candidates (v1: Loop-Lifted) from a single
+// regions context row (v2: Basic — there is no loop to lift).
+func TestCostModelDivergesFromFixedThreshold(t *testing.T) {
+	eng := xmarkEngine(t, 0.004)
+	prep, err := eng.Prepare(xmarkStandOffQuery(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pe, err := prep.Analyze(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var itemStep *OpNode
+	var walk func(ns []*OpNode)
+	walk = func(ns []*OpNode) {
+		for _, n := range ns {
+			if n.Step != nil && n.Step.StandOff && n.Step.Test == "item" {
+				itemStep = n
+			}
+			walk(n.Children)
+		}
+	}
+	walk(pe.Plan)
+	if itemStep == nil {
+		t.Fatalf("no select-narrow::item step in plan:\n%s", pe.String())
+	}
+	if itemStep.Est == nil {
+		t.Fatalf("item step has no cost estimate:\n%s", itemStep.Label)
+	}
+	// The divergence needs candidates past the old threshold; the 0.004
+	// scale generates a few hundred items.
+	if itemStep.Est.Candidates <= 64 {
+		t.Fatalf("item candidates = %d, want > 64 (old threshold) for the divergence case",
+			itemStep.Est.Candidates)
+	}
+	if itemStep.Est.Strategy != "basic" {
+		t.Fatalf("item step strategy = %q, want basic (ctx=%d, old threshold would say looplifted)",
+			itemStep.Est.Strategy, itemStep.Est.CtxRows)
+	}
+	if itemStep.Obs == nil || itemStep.Obs.Joins != "basic:1" {
+		t.Fatalf("observed joins = %+v, want basic:1", itemStep.Obs)
 	}
 }

@@ -93,14 +93,30 @@ func TestAutoStrategyResolution(t *testing.T) {
 		t.Fatalf("forced run resolved %v, want nothing", got)
 	}
 
-	// Auto run: select-narrow::t has a tiny candidate layer, so the cost
-	// model picks Basic.
+	// Auto run: select-narrow::t has a tiny candidate layer, but 300 s
+	// context rows feed the join — cost model v2 lifts the loop (Basic
+	// would rescan the candidates 300 times).
 	if _, err := h.newEvaluator(plan, core.StrategyAuto).Run(); err != nil {
 		t.Fatal(err)
 	}
 	got := soStep.ResolvedStrategies()
+	if len(got) != 1 || got[0] != core.StrategyLoopLifted {
+		t.Fatalf("auto run resolved %v, want [looplifted]", got)
+	}
+
+	// The converse: a single context row over the huge s layer. The v1
+	// threshold (300 candidates > 64) would force Loop-Lifted; v2 sees
+	// nothing to lift and keeps the one-shot Basic merge.
+	plan2, err := h.compile(`doc("d.xml")/doc/select-narrow::s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.newEvaluator(plan2, core.StrategyAuto).Run(); err != nil {
+		t.Fatal(err)
+	}
+	got = standOffStepOf(t, plan2).ResolvedStrategies()
 	if len(got) != 1 || got[0] != core.StrategyBasic {
-		t.Fatalf("auto run resolved %v, want [basic]", got)
+		t.Fatalf("single-context auto run resolved %v, want [basic]", got)
 	}
 }
 

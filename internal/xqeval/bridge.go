@@ -143,6 +143,7 @@ func (ev *Evaluator) TreeStepItems(sp *xqplan.StepPlan, it Item) ([]Item, error)
 	if err != nil {
 		return nil, err
 	}
+	ev.Stats.RecordStep(sp, 1, int64(len(res[0])))
 	return res[0], nil
 }
 

@@ -41,6 +41,11 @@ type Evaluator struct {
 	// Pushdown enables candidate-sequence pushdown of element name tests
 	// into StandOff steps (section 3.3 (iii)); disabled it post-filters.
 	Pushdown bool
+	// Stats, when non-nil, collects the per-operator runtime counters
+	// behind EXPLAIN ANALYZE (rows in/out, candidates scanned, join
+	// algorithm run, FLWOR tuples). Nil disables collection; every record
+	// call is nil-safe, so the hot paths pay one pointer check.
+	Stats *xqplan.ExecStats
 	// MaxRecursion bounds user-defined function recursion.
 	MaxRecursion int
 
@@ -540,6 +545,7 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
+	tuples := int64(cur.n)
 	// where: filter tuples.
 	if v.Where != nil {
 		cur, rootOf, err = ev.flworWhere(v.Where, cur, rootOf)
@@ -617,7 +623,9 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 		}
 		b.add(items...)
 	}
-	return b.done(), nil
+	out := b.done()
+	ev.Stats.RecordOp(v, tuples, int64(out.Total()))
+	return out, nil
 }
 
 // composeMap composes two iteration mappings: result[j] = outer[inner[j]].

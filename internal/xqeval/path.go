@@ -25,6 +25,7 @@ func (ev *Evaluator) evalPath(p *xqast.Path, f *frame) (LLSeq, error) {
 			return LLSeq{}, err
 		}
 	}
+	ev.Stats.RecordOp(p, 0, int64(cur.Total()))
 	return cur, nil
 }
 
@@ -69,12 +70,14 @@ func (ev *Evaluator) evalFilter(v *xqast.Filter, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
+	rowsIn := int64(cur.Total())
 	for _, pred := range v.Predicates {
 		cur, err = ev.applyPredicate(cur, pred, f, false)
 		if err != nil {
 			return LLSeq{}, err
 		}
 	}
+	ev.Stats.RecordOp(v, rowsIn, int64(cur.Total()))
 	return cur, nil
 }
 
@@ -148,17 +151,21 @@ func (ev *Evaluator) evalStep(sp *xqplan.StepPlan, ctx LLSeq, f *frame) (LLSeq, 
 		}
 		b.add(sortDedupNodes(items)...)
 	}
-	return b.done(), nil
+	out := b.done()
+	ev.Stats.RecordStep(sp, int64(ctx.Total()), int64(out.Total()))
+	return out, nil
 }
 
 // strategyFor resolves the join strategy of one StandOff step against one
-// region index: a forced engine strategy (the benchmarking modes) always
-// wins; StrategyAuto defers to the step's memoized cost-model choice.
-func (ev *Evaluator) strategyFor(sp *xqplan.StepPlan, ix *core.RegionIndex) core.Strategy {
+// region index and the context cardinality this execution observed
+// (iterations × context nodes — the second input of cost model v2): a
+// forced engine strategy (the benchmarking modes) always wins; StrategyAuto
+// defers to the step's memoized cost-model choice.
+func (ev *Evaluator) strategyFor(sp *xqplan.StepPlan, ix *core.RegionIndex, ctxRows int) core.Strategy {
 	if ev.Strategy != core.StrategyAuto {
 		return ev.Strategy
 	}
-	return sp.StrategyFor(ix, ev.Pushdown)
+	return sp.StrategyFor(ix, ev.Pushdown, ctxRows)
 }
 
 // treeStep evaluates a standard axis per context node, using the step's
@@ -275,7 +282,12 @@ func (ev *Evaluator) standOffStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item
 		if cand == nil {
 			continue // the test can never match an area-annotation
 		}
-		pairs := core.Join(ix, op, ev.strategyFor(sp, ix), byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
+		// ctxRows for the cost model is the iteration count the join runs
+		// over — the Basic variant re-scans the candidate sequence once per
+		// iteration, empty iterations included.
+		strat := ev.strategyFor(sp, ix, len(rows))
+		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat)
+		pairs := core.Join(ix, op, strat, byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
 		var test xpath.Compiled
 		if postFilter {
 			test = sp.CompiledTest(d)
@@ -330,7 +342,9 @@ func (ev *Evaluator) standOffRejectStep(sp *xqplan.StepPlan, ctx LLSeq) ([][]Ite
 		if cand == nil {
 			continue
 		}
-		pairs := core.Join(ix, op, ev.strategyFor(sp, ix), byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
+		strat := ev.strategyFor(sp, ix, ctx.N())
+		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat)
+		pairs := core.Join(ix, op, strat, byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
 		var test xpath.Compiled
 		if postFilter {
 			test = sp.CompiledTest(d)

@@ -13,9 +13,17 @@
 // across a worker pool (Config.Parallelism): chunks of tuples are evaluated
 // concurrently over the shared immutable plan and merged back in order.
 // Small loops — below the cardinality cutoff the gate observes on the
-// binding stream — stay single-threaded, for the same reason the PR 2 cost
-// model keeps small candidate sets on the Basic join: parallel machinery
+// binding stream — stay single-threaded, for the same reason the cost
+// model keeps single-iteration joins on the Basic merge: parallel machinery
 // only pays off once the work amortises it.
+//
+// The pipeline participates in EXPLAIN twice over. Describe reports the
+// shape Build would construct — which operators pipeline and which
+// materialise, and why — without executing anything. And when the driving
+// evaluator carries an xqplan.ExecStats collector (Prepared.Analyze), the
+// cursors record the streaming-path counters the materialising evaluator
+// cannot see: chunks and tuples per FLWOR, and the per-context-node rows of
+// a pipelined final path step.
 package xqexec
 
 import (

@@ -62,9 +62,11 @@ func newFLWORCursor(x *executor, v *xqast.FLWOR, f *xqeval.Frame) *flworCursor {
 
 // init evaluates the let clauses preceding the first for clause (they see
 // only the root scope), splits the clause list there, and opens the binding
-// stream.
+// stream. The one ANALYZE invocation record happens here — the per-chunk
+// counters (RecordChunk) accumulate rows and chunks on top of it.
 func (c *flworCursor) init() {
 	c.started = true
+	c.x.ev.Stats.RecordOp(c.v, 0, 0)
 	f := c.f
 	for i, cl := range c.v.Clauses {
 		switch cl := cl.(type) {
@@ -128,6 +130,7 @@ func evalFLWORChunk(ev *xqeval.Evaluator, c *flworCursor, tuples []xqeval.Item, 
 	if err != nil {
 		return nil, err
 	}
+	ev.Stats.RecordChunk(c.v, int64(len(tuples)), int64(len(ret.Items)))
 	return ret.Items, nil
 }
 

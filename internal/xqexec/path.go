@@ -39,6 +39,13 @@ type pathCursor struct {
 	// Fallback mode: the fully evaluated result.
 	items []xqeval.Item
 
+	// produced counts emitted items for the ANALYZE path counter,
+	// recorded once when the stream ends (or at Close for a partial
+	// drain). The streaming mode never sees its full result at once, so
+	// the counter accumulates here instead of in the evaluator.
+	produced int64
+	recorded bool
+
 	cur xqeval.Item
 }
 
@@ -116,19 +123,23 @@ func (c *pathCursor) Next() bool {
 	}
 	if c.last == nil { // fallback: iterate the materialised result
 		if len(c.items) == 0 {
+			c.record()
 			return false
 		}
 		c.cur = c.items[0]
 		c.items = c.items[1:]
+		c.produced++
 		return true
 	}
 	for {
 		if len(c.buf) > 0 {
 			c.cur = c.buf[0]
 			c.buf = c.buf[1:]
+			c.produced++
 			return true
 		}
 		if len(c.ctx) == 0 {
+			c.record()
 			return false
 		}
 		buf, err := c.x.ev.TreeStepItems(c.last, c.ctx[0])
@@ -141,6 +152,16 @@ func (c *pathCursor) Next() bool {
 	}
 }
 
+// record reports the path's emitted item count to the ANALYZE collector,
+// once. A cursor closed before it is drained reports what it produced.
+func (c *pathCursor) record() {
+	if c.recorded {
+		return
+	}
+	c.recorded = true
+	c.x.ev.Stats.RecordOp(c.p, 0, c.produced)
+}
+
 func (c *pathCursor) Item() xqeval.Item { return c.cur }
 func (c *pathCursor) Err() error        { return c.err }
 
@@ -148,6 +169,9 @@ func (c *pathCursor) Err() error        { return c.err }
 // re-evaluate the path, and last is cleared so the drained fallback branch
 // (empty items) answers it.
 func (c *pathCursor) Close() {
+	if c.started && c.err == nil {
+		c.record()
+	}
 	c.started = true
 	c.last = nil
 	c.ctx, c.buf, c.items = nil, nil, nil

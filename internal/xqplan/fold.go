@@ -2,6 +2,7 @@ package xqplan
 
 import (
 	"math"
+	"strconv"
 	"strings"
 
 	"soxq/internal/xqast"
@@ -321,6 +322,63 @@ func (p *Plan) foldBooleanWrap(v *xqast.FuncCall) (xqast.Expr, bool) {
 		return nil, false
 	}
 	return v.Args[0], true
+}
+
+// foldStringNumber folds fn:string and fn:number over a single literal
+// argument, reproducing the evaluator's conversions exactly: integers render
+// via FormatInt, doubles via the XPath float rendering (no trailing ".0",
+// NaN/INF spelled out), and fn:number parses through the same
+// TrimSpace+ParseFloat route the runtime uses, yielding NaN for
+// unparseable strings. The zero-argument context-item forms are left to the
+// runtime.
+func (p *Plan) foldStringNumber(v *xqast.FuncCall) (xqast.Expr, bool) {
+	if len(v.Args) != 1 || p.shadowed(v.Name, 1) {
+		return nil, false
+	}
+	switch localName(v.Name) {
+	case "string":
+		switch a := v.Args[0].(type) {
+		case *xqast.StringLit:
+			return a, true
+		case *xqast.IntLit:
+			return &xqast.StringLit{V: strconv.FormatInt(a.V, 10)}, true
+		case *xqast.FloatLit:
+			return &xqast.StringLit{V: formatFoldedFloat(a.V)}, true
+		}
+	case "number":
+		switch a := v.Args[0].(type) {
+		case *xqast.FloatLit:
+			return a, true
+		case *xqast.IntLit:
+			// fn:number returns xs:double; an integer literal widens.
+			return &xqast.FloatLit{V: float64(a.V)}, true
+		case *xqast.StringLit:
+			f, err := strconv.ParseFloat(strings.TrimSpace(a.V), 64)
+			if err != nil {
+				f = math.NaN()
+			}
+			return &xqast.FloatLit{V: f}, true
+		}
+	}
+	return nil, false
+}
+
+// formatFoldedFloat renders a double the way Item.StringValue does (kept in
+// sync with xqeval's formatFloat): integral values without exponent or
+// trailing ".0", NaN/INF spelled the XPath way.
+func formatFoldedFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "INF"
+	case math.IsInf(f, -1):
+		return "-INF"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'G', -1, 64)
+	}
 }
 
 // foldConcat folds fn:concat over all-literal string arguments.

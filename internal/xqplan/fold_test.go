@@ -1,6 +1,7 @@
 package xqplan
 
 import (
+	"math"
 	"testing"
 
 	"soxq/internal/xqast"
@@ -32,9 +33,74 @@ func TestFoldConcat(t *testing.T) {
 		t.Fatalf("Folds = %d, want 1", p.Folds())
 	}
 	// Non-literal arguments stay a call.
-	p = compile(t, `concat("a", string(1))`)
-	if _, ok := p.Body().(*xqast.FuncCall); !ok {
+	p = compile(t, `concat("a", string(doc("x.xml")))`)
+	if fc, ok := p.Body().(*xqast.FuncCall); !ok || fc.Name != "concat" {
 		t.Fatalf("body = %#v, want unfolded call", p.Body())
+	}
+}
+
+func TestFoldStringNumber(t *testing.T) {
+	for _, tc := range []struct {
+		q    string
+		want string
+	}{
+		{`string(5)`, "5"},
+		{`string(-7)`, "-7"},
+		{`string(1.5)`, "1.5"},
+		// Integral doubles render without a trailing ".0", as at runtime.
+		{`string(2.0)`, "2"},
+		{`string("x")`, "x"},
+	} {
+		p := compile(t, tc.q)
+		s, ok := p.Body().(*xqast.StringLit)
+		if !ok || s.V != tc.want {
+			t.Fatalf("%s: body = %#v, want StringLit %q", tc.q, p.Body(), tc.want)
+		}
+		if p.Folds() < 1 { // string(-7) also counts the unary-minus fold
+			t.Fatalf("%s: Folds = %d, want >= 1", tc.q, p.Folds())
+		}
+	}
+	for _, tc := range []struct {
+		q    string
+		want float64
+	}{
+		{`number("3.5")`, 3.5},
+		{`number(" 2 ")`, 2}, // whitespace trimmed, as at runtime
+		{`number(7)`, 7},
+		{`number(1.5)`, 1.5},
+	} {
+		p := compile(t, tc.q)
+		f, ok := p.Body().(*xqast.FloatLit)
+		if !ok || f.V != tc.want {
+			t.Fatalf("%s: body = %#v, want FloatLit %v", tc.q, p.Body(), tc.want)
+		}
+	}
+	// Unparseable strings fold to NaN, matching fn:number's runtime result.
+	p := compile(t, `number("abc")`)
+	if f, ok := p.Body().(*xqast.FloatLit); !ok || !math.IsNaN(f.V) {
+		t.Fatalf("number(\"abc\") = %#v, want FloatLit NaN", p.Body())
+	}
+	// The folded literal feeds the other folds: string(5) is a literal to
+	// concat, number("2") a literal to arithmetic.
+	p = compile(t, `concat("a", string(5))`)
+	if s, ok := p.Body().(*xqast.StringLit); !ok || s.V != "a5" {
+		t.Fatalf("cascade = %#v, want StringLit a5", p.Body())
+	}
+	p = compile(t, `number("2") + 1`)
+	if f, ok := p.Body().(*xqast.FloatLit); !ok || f.V != 3 {
+		t.Fatalf("cascade = %#v, want FloatLit 3", p.Body())
+	}
+	// Dynamic arguments and the zero-argument context forms stay calls.
+	for _, q := range []string{`string(doc("x.xml"))`, `number(doc("x.xml"))`} {
+		p := compile(t, q)
+		if _, ok := p.Body().(*xqast.FuncCall); !ok {
+			t.Fatalf("%s: body = %#v, want unfolded call", q, p.Body())
+		}
+	}
+	// A user declaration shadows the built-in; folding would be wrong.
+	p = compile(t, `declare function string($x) { 0 }; string(5)`)
+	if fc, ok := p.Body().(*xqast.FuncCall); !ok || fc.Name != "string" {
+		t.Fatalf("shadowed string = %#v, want call kept", p.Body())
 	}
 }
 

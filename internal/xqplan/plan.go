@@ -12,8 +12,19 @@
 // (document, index) residue and no references to documents or indexes, so
 // one Plan can back any number of concurrent executions and can be cached
 // across queries (the engine keys its plan cache on query text + effective
-// options). Plan.Explain describes the compiled form for the EXPLAIN
-// surfaces.
+// options).
+//
+// The package also owns the two observability pieces that close the loop
+// between planning and execution. Cost model v2 (cost.go) prices the Basic
+// vs Loop-Lifted StandOff join per step from the index statistics AND the
+// context cardinality the executing evaluator observes, memoized per (index
+// generation, pushdown, cardinality band) on the step (step.go); the cutoff
+// is calibrated by `sobench -calibrate`, not hard-coded. ExecStats
+// (stats.go) collects one execution's per-operator counters — rows in/out,
+// candidates scanned, join algorithm run, FLWOR tuples and chunks — and
+// Plan.Explain / Plan.ExplainWith (explain.go) render the operator tree
+// with the estimates and, given an ExecStats, the observed counts: the
+// EXPLAIN and EXPLAIN ANALYZE surfaces (docs/EXPLAIN.md).
 package xqplan
 
 import (
@@ -132,13 +143,14 @@ func FuncKey(name string, arity int) string {
 
 // Plan is an immutable compiled query.
 type Plan struct {
-	body     xqast.Expr
-	globals  []*xqast.VarDecl
-	opts     core.Options
-	funcs    map[string]*xqast.FunctionDecl
-	programs map[*xqast.Path]Program
-	paths    []*xqast.Path // discovery order, for deterministic EXPLAIN
-	folds    int           // number of constant-folding rewrites applied
+	body      xqast.Expr
+	globals   []*xqast.VarDecl
+	opts      core.Options
+	funcs     map[string]*xqast.FunctionDecl
+	declOrder []*xqast.FunctionDecl // declaration order, for deterministic EXPLAIN
+	programs  map[*xqast.Path]Program
+	paths     []*xqast.Path // discovery order, for deterministic EXPLAIN
+	folds     int           // number of constant-folding rewrites applied
 }
 
 // Compile builds a Plan from a parsed module. base is the engine-wide option
@@ -178,6 +190,7 @@ func Compile(m *xqast.Module, base core.Options) (*Plan, error) {
 			seen[param] = true
 		}
 		p.funcs[key] = fd
+		p.declOrder = append(p.declOrder, fd)
 	}
 	// (3) The single expression pass: fold constants and compile the step
 	// program of every path, function bodies and globals included.
@@ -239,6 +252,10 @@ func (p *Plan) pass(e xqast.Expr) xqast.Expr {
 			return folded
 		}
 		if folded, ok := p.foldBooleanWrap(v); ok {
+			p.folds++
+			return folded
+		}
+		if folded, ok := p.foldStringNumber(v); ok {
 			p.folds++
 			return folded
 		}

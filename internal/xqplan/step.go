@@ -41,8 +41,9 @@ type StepPlan struct {
 
 	tests       sync.Map // *tree.Doc -> xpath.Compiled
 	nTests      atomic.Int32
-	strategies  sync.Map // strategyKey -> core.Strategy
+	strategies  sync.Map // strategyKey -> *CostEstimate
 	nStrategies atomic.Int32
+	lastCost    atomic.Pointer[CostEstimate]
 }
 
 // stepMemoLimit bounds each StepPlan memo table. The memos are pure caches
@@ -66,14 +67,18 @@ func memoStore(m *sync.Map, n *atomic.Int32, k, v any) {
 }
 
 // strategyKey memoizes the cost-model choice per (index generation, pushdown
-// setting) pair: the candidate estimate differs when the name test is pushed
-// down versus post-filtered. Keying on the generation token rather than the
-// *RegionIndex identity means a rebuilt index for the same document under
-// the same options hits the warm memo — the statistics are identical by
-// construction — and the memo pins neither the document nor the index.
+// setting, context-cardinality band) triple: the candidate estimate differs
+// when the name test is pushed down versus post-filtered, and the
+// Basic-vs-Loop-Lifted crossover moves with the observed context
+// cardinality, so executions in different cardinality bands re-decide.
+// Keying on the generation token rather than the *RegionIndex identity means
+// a rebuilt index for the same document under the same options hits the warm
+// memo — the statistics are identical by construction — and the memo pins
+// neither the document nor the index.
 type strategyKey struct {
 	gen      core.IndexGen
 	pushdown bool
+	band     uint8
 }
 
 // Program is the compiled step sequence of one path expression, with the //
@@ -140,47 +145,36 @@ func (sp *StepPlan) CompiledTest(d *tree.Doc) xpath.Compiled {
 	return c
 }
 
-// basicCandidateCutoff is the cost-model threshold: with at most this many
-// candidate areas, the Basic StandOff MergeJoin's per-iteration rescan is
-// cheaper than the Loop-Lifted variant's cross-iteration machinery
-// (pseudo-key bookkeeping, counting sort and dedup over all iterations at
-// once). Beyond it, rescanning per iteration is what makes XMark Q2 DNF in
-// the paper's Figure 6, and Loop-Lifted wins.
-const basicCandidateCutoff = 64
-
 // StrategyFor resolves the Basic vs Loop-Lifted choice for this step against
-// one region index, memoized per (index, pushdown) pair: plans can bind to
-// documents loaded after Prepare, so the statistics-based choice happens at
-// first execution rather than at compile time. Tree-axis steps never call
-// this.
-func (sp *StepPlan) StrategyFor(ix *core.RegionIndex, pushdown bool) core.Strategy {
-	k := strategyKey{gen: ix.Gen(), pushdown: pushdown}
+// one region index and the context cardinality observed by the calling
+// execution (iterations × context nodes — cost model v2's second input),
+// memoized per (index generation, pushdown, cardinality band): plans can
+// bind to documents loaded after Prepare, so the statistics-based choice
+// happens at first execution rather than at compile time, and each
+// execution's observed cardinality feeds back into the memo. The most
+// recent estimate is retained for EXPLAIN (LastCost). Tree-axis steps never
+// call this.
+func (sp *StepPlan) StrategyFor(ix *core.RegionIndex, pushdown bool, ctxRows int) core.Strategy {
+	k := strategyKey{gen: ix.Gen(), pushdown: pushdown, band: ctxBand(ctxRows)}
 	if v, ok := sp.strategies.Load(k); ok {
-		return v.(core.Strategy)
+		// Refresh the EXPLAIN record on warm hits too, so est{} always
+		// describes the decision of the most recent execution, not of
+		// whichever execution happened to miss the memo last.
+		ce := v.(*CostEstimate)
+		sp.lastCost.Store(ce)
+		return ce.Strategy
 	}
-	s := chooseStrategy(sp.SO.Policy(pushdown), sp.SO.Name, ix)
-	memoStore(&sp.strategies, &sp.nStrategies, k, s)
-	return s
+	ce := EstimateCost(sp.SO.Policy(pushdown), sp.SO.Name, ix, ctxRows)
+	sp.lastCost.Store(&ce)
+	memoStore(&sp.strategies, &sp.nStrategies, k, &ce)
+	return ce.Strategy
 }
 
-// chooseStrategy is the cost model: estimate the candidate cardinality of
-// the step from the index statistics and pick the join variant. With a
-// pushed-down name test the estimate is the per-tag element cardinality from
-// the tree dictionary (an upper bound on the candidate areas); otherwise it
-// is the full area count.
-func chooseStrategy(policy CandPolicy, name string, ix *core.RegionIndex) core.Strategy {
-	st := ix.Stats()
-	est := st.Areas
-	if policy == CandByName {
-		if card := st.Card(name); card < est {
-			est = card
-		}
-	}
-	if est <= basicCandidateCutoff {
-		return core.StrategyBasic
-	}
-	return core.StrategyLoopLifted
-}
+// LastCost returns the most recent cost-model estimate resolved for this
+// step, or nil before the first auto-mode execution. A step that has
+// executed against several indexes (or in several cardinality bands) reports
+// the latest decision; ResolvedStrategies lists every distinct outcome.
+func (sp *StepPlan) LastCost() *CostEstimate { return sp.lastCost.Load() }
 
 // ResolvedStrategies returns the distinct strategies the cost model has
 // chosen for this step so far (empty before the first auto-mode execution,
@@ -189,7 +183,7 @@ func chooseStrategy(policy CandPolicy, name string, ix *core.RegionIndex) core.S
 func (sp *StepPlan) ResolvedStrategies() []core.Strategy {
 	seen := map[core.Strategy]bool{}
 	sp.strategies.Range(func(_, v any) bool {
-		seen[v.(core.Strategy)] = true
+		seen[v.(*CostEstimate).Strategy] = true
 		return true
 	})
 	var out []core.Strategy

@@ -88,9 +88,10 @@ func indexWith(t *testing.T, dense, rare int) *core.RegionIndex {
 	return ix
 }
 
-// TestStrategySelection pins the cost model: skewed region-index statistics
-// flip a step between Basic (tiny candidate set, per-iteration rescan is
-// cheap) and Loop-Lifted (large candidate set, one shared pass).
+// TestStrategySelection pins cost model v2: the Basic vs Loop-Lifted choice
+// moves with BOTH the candidate estimate from the index statistics and the
+// context cardinality observed at execution. Basic wins exactly while
+// (ctxRows-1)·candidates <= llSetupRows.
 func TestStrategySelection(t *testing.T) {
 	step := func(name string) *StepPlan {
 		test := xpath.Test{Kind: xpath.TestAnyNode}
@@ -104,31 +105,65 @@ func TestStrategySelection(t *testing.T) {
 		dense, rare int
 		test        string // element name test; "" = node()
 		pushdown    bool
+		ctxRows     int
 		want        core.Strategy
 	}{
-		{"tiny layer, no name test", 10, 0, "", true, core.StrategyBasic},
-		{"huge layer, no name test", 500, 0, "", true, core.StrategyLoopLifted},
-		{"cutoff boundary", basicCandidateCutoff, 0, "", true, core.StrategyBasic},
-		{"just past cutoff", basicCandidateCutoff + 1, 0, "", true, core.StrategyLoopLifted},
-		{"rare tag in huge layer, pushdown", 500, 3, "rare", true, core.StrategyBasic},
-		{"dense tag in huge layer, pushdown", 500, 3, "dense", true, core.StrategyLoopLifted},
+		// One context row: no loop to lift, Basic regardless of candidates
+		// (v1's fixed threshold would have forced Loop-Lifted here).
+		{"single iteration, huge layer", 500, 0, "", true, 1, core.StrategyBasic},
+		{"tiny layer, tiny loop", 10, 0, "", true, 3, core.StrategyBasic},
+		{"tiny layer, big loop", 10, 0, "", true, 100, core.StrategyLoopLifted},
+		{"huge layer, small loop", 500, 0, "", true, 5, core.StrategyLoopLifted},
+		// Exact crossover: (ctx-1)·cand == llSetupRows chooses Basic, one
+		// more candidate tips over.
+		{"crossover boundary", llSetupRows, 0, "", true, 2, core.StrategyBasic},
+		{"just past crossover", llSetupRows + 1, 0, "", true, 2, core.StrategyLoopLifted},
+		{"rare tag in huge layer, pushdown", 500, 3, "rare", true, 10, core.StrategyBasic},
+		{"dense tag in huge layer, pushdown", 500, 3, "dense", true, 10, core.StrategyLoopLifted},
 		// Without pushdown the name test is post-filtered, so the
 		// candidate set is the whole layer: the same rare-tag step flips
 		// back to Loop-Lifted.
-		{"rare tag, no pushdown", 500, 3, "rare", false, core.StrategyLoopLifted},
-		{"absent tag, pushdown", 500, 0, "ghost", true, core.StrategyBasic},
+		{"rare tag, no pushdown", 500, 3, "rare", false, 10, core.StrategyLoopLifted},
+		{"absent tag, pushdown", 500, 0, "ghost", true, 10, core.StrategyBasic},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			ix := indexWith(t, tc.dense, tc.rare)
 			sp := step(tc.test)
-			if got := sp.StrategyFor(ix, tc.pushdown); got != tc.want {
-				t.Fatalf("StrategyFor = %v, want %v (areas=%d)", got, tc.want, ix.Stats().Areas)
+			if got := sp.StrategyFor(ix, tc.pushdown, tc.ctxRows); got != tc.want {
+				t.Fatalf("StrategyFor = %v, want %v (areas=%d ctx=%d)", got, tc.want, ix.Stats().Areas, tc.ctxRows)
 			}
 			// Memoized: the second call answers from the step's cache.
-			if got := sp.StrategyFor(ix, tc.pushdown); got != tc.want {
+			if got := sp.StrategyFor(ix, tc.pushdown, tc.ctxRows); got != tc.want {
 				t.Fatalf("memoized StrategyFor = %v, want %v", got, tc.want)
 			}
+			// The decision record is retained for EXPLAIN.
+			ce := sp.LastCost()
+			if ce == nil || ce.Strategy != tc.want || ce.CtxRows != tc.ctxRows {
+				t.Fatalf("LastCost = %+v, want strategy %v ctx %d", ce, tc.want, tc.ctxRows)
+			}
 		})
+	}
+}
+
+// TestStrategyFlipsWithContextCardinality is the headline cost-model-v2
+// case: identical step, identical index — identical candidate estimate —
+// yet the strategy flips from Basic to Loop-Lifted purely because the
+// observed context cardinality grows. The v1 fixed-64 threshold (candidates
+// here are far below 64) would have answered Basic for both.
+func TestStrategyFlipsWithContextCardinality(t *testing.T) {
+	ix := indexWith(t, 5, 0) // five candidate areas: v1 says Basic, always
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectWide, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	if got := sp.StrategyFor(ix, true, 2); got != core.StrategyBasic {
+		t.Fatalf("2 context rows: %v, want basic", got)
+	}
+	if got := sp.StrategyFor(ix, true, 1000); got != core.StrategyLoopLifted {
+		t.Fatalf("1000 context rows: %v, want looplifted", got)
+	}
+	// Distinct cardinality bands hold distinct memo entries.
+	n := 0
+	sp.strategies.Range(func(_, _ any) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("memo entries = %d, want 2 (one per cardinality band)", n)
 	}
 }
 
@@ -139,10 +174,10 @@ func TestStrategyPerIndex(t *testing.T) {
 	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectWide, Test: xpath.Test{Kind: xpath.TestAnyNode}})
 	tiny := indexWith(t, 3, 0)
 	huge := indexWith(t, 300, 0)
-	if got := sp.StrategyFor(tiny, true); got != core.StrategyBasic {
+	if got := sp.StrategyFor(tiny, true, 4); got != core.StrategyBasic {
 		t.Fatalf("tiny index: %v", got)
 	}
-	if got := sp.StrategyFor(huge, true); got != core.StrategyLoopLifted {
+	if got := sp.StrategyFor(huge, true, 4); got != core.StrategyLoopLifted {
 		t.Fatalf("huge index: %v", got)
 	}
 	resolved := sp.ResolvedStrategies()
@@ -174,7 +209,7 @@ func TestStrategyMemoSurvivesIndexRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s1, s2 := sp.StrategyFor(ix1, true), sp.StrategyFor(ix2, true); s1 != s2 {
+	if s1, s2 := sp.StrategyFor(ix1, true, 4), sp.StrategyFor(ix2, true, 4); s1 != s2 {
 		t.Fatalf("rebuilt index resolved differently: %v vs %v", s1, s2)
 	}
 	if n := memoLen(); n != 1 {
@@ -188,7 +223,7 @@ func TestStrategyMemoSurvivesIndexRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp.StrategyFor(ix3, true)
+	sp.StrategyFor(ix3, true, 4)
 	if n := memoLen(); n != 2 {
 		t.Fatalf("memo entries after distinct document = %d, want 2", n)
 	}

@@ -17,6 +17,20 @@
 // iterations. The naive and per-iteration algorithms from the paper's
 // evaluation are available as execution modes for benchmarking.
 //
+// The query pipeline is parse (internal/xqparse) → compile (internal/xqplan,
+// an immutable cacheable Plan) → execute (internal/xqeval driven through the
+// internal/xqexec cursor pipeline). Prepare/Exec expose the compiled form;
+// Stream pulls results through bounded-memory cursors; Query/QueryWith ride
+// an LRU plan cache. Per StandOff step, a cost model picks the Basic or
+// Loop-Lifted join from the region index statistics and the context
+// cardinality observed at execution (docs/ARCHITECTURE.md describes the
+// stages and the cost-model lifecycle).
+//
+// Every plan is observable: Prepared.Explain renders the operator tree with
+// candidate policies, cost estimates and chosen join strategies, and
+// Prepared.Analyze executes while counting per-operator rows, candidates
+// and chunks — EXPLAIN and EXPLAIN ANALYZE, documented in docs/EXPLAIN.md.
+//
 // Quick start:
 //
 //	eng := soxq.New()
@@ -323,6 +337,35 @@ func (p *Prepared) Exec(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return &Result{items: items}, nil
+}
+
+// Analyze executes the compiled query like Exec while collecting the
+// per-operator runtime counters, and returns the result together with the
+// EXPLAIN ANALYZE plan: the operator tree annotated with observed rows in
+// and out, candidates scanned and join algorithms per StandOff step, and
+// FLWOR tuple/chunk counts — next to the cost model's estimates, so
+// estimated and observed cardinalities compare line by line. Counter
+// collection costs one mutex-protected map update per operator evaluation
+// (not per row), so Analyze timing is representative; Exec and Stream pay
+// only a nil check. With cfg.StreamChunk > 0 the run is chunked like Stream,
+// so the chunk counters reflect streamed execution.
+func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
+	st := xqplan.NewExecStats()
+	ev := p.evaluator(cfg)
+	ev.Stats = st
+	chunk := 0
+	if cfg.StreamChunk > 0 {
+		chunk = cfg.StreamChunk
+	}
+	cur, err := xqexec.Build(ev, xqexec.Config{ChunkSize: chunk, Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, nil, err
+	}
+	items, err := xqexec.DrainAll(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{items: items}, p.explainWith(st), nil
 }
 
 // evaluator builds the per-run evaluator state for one execution of the
