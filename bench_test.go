@@ -469,20 +469,63 @@ func BenchmarkPrepare(b *testing.B) {
 
 // ---- E11: the streaming execution subsystem ----------------------------
 
+// bigStandoffCorpus generates the >=100k-region stand-off corpus of the
+// streaming benchmarks: 2,000 scene areas each containing 60 hit areas
+// (122,000 regions total), registered as "big.xml" on the given engine. The
+// stand-off final-step query over it produces 120k result nodes — the shape
+// where the chunked join plus ordered merge must stay memory-bounded while
+// the materialising path buffers everything.
+const (
+	bigScenes       = 2000
+	bigHitsPerScene = 60
+)
+
+var bigCorpusOnce sync.Once
+var bigCorpusXML []byte
+
+func loadBigCorpus(b *testing.B, eng *Engine) {
+	bigCorpusOnce.Do(func() {
+		var sb []byte
+		sb = append(sb, "<doc>"...)
+		for s := 0; s < bigScenes; s++ {
+			base := int64(s) * 100
+			sb = append(sb, fmt.Sprintf(`<scene id="s%d" start="%d" end="%d"/>`, s, base, base+99)...)
+			for h := 0; h < bigHitsPerScene; h++ {
+				hs := base + int64(h)
+				sb = append(sb, fmt.Sprintf(`<hit start="%d" end="%d"/>`, hs, hs+1)...)
+			}
+		}
+		sb = append(sb, "</doc>"...)
+		bigCorpusXML = sb
+	})
+	if err := eng.LoadXML("big.xml", bigCorpusXML); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.BuildIndex("big.xml"); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkStreamExec compares the materialising Exec against draining the
 // same query through the Stream cursor pipeline. The queries produce large
 // results relative to their inputs — the shape the cursor subsystem exists
 // for — so the streamed run allocates materially less: the range generator
 // never materialises the binding sequence, chunk scratch is reused, and the
-// final result sequence is never accumulated.
+// final result sequence is never accumulated. The standoff-final case runs
+// the chunked join + ordered merge over the 122k-region corpus; the
+// nested-loop case runs the cursor-valued inner binding, whose expansion the
+// materialising path holds in full.
 func BenchmarkStreamExec(b *testing.B) {
 	data := dataFor(b, 0.05)
+	loadBigCorpus(b, data.eng)
 	queries := []struct {
 		name string
 		q    string
 	}{
 		{"range-loop", `for $i in 1 to 200000 return $i * 3`},
 		{"xmark-bidders", `for $b in doc("so.xml")//bidder return $b/select-narrow::increase`},
+		{"standoff-final", `doc("big.xml")//scene/select-narrow::hit`},
+		{"nested-loop", `for $s in doc("big.xml")//scene for $p in 1 to 60 return $s/@start + $p`},
 	}
 	for _, tc := range queries {
 		prep, err := data.eng.Prepare(tc.q)

@@ -52,6 +52,8 @@ func main() {
 		"print per-step estimated vs observed cardinalities (EXPLAIN ANALYZE, auto mode) instead of the timing grid")
 	calibrate := flag.Bool("calibrate", false,
 		"measure the Basic vs Loop-Lifted crossover on synthetic layers and report the implied cost-model overhead")
+	streamChunk := flag.Int("stream-chunk", 0,
+		"tuples (and StandOff context areas) per pipeline chunk for the stream variant (0 = default 1024)")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -60,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *cellDoc != "" {
-		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare)
+		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk)
 		return
 	}
 	if *calibrate {
@@ -97,7 +99,7 @@ func main() {
 		}
 		for _, q := range queryList {
 			for _, variant := range variantList {
-				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare)
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk)
 				k := key{scale, q, variant}
 				if !ok {
 					results[k] = "DNF"
@@ -206,7 +208,7 @@ func ensureData(dir string, scale float64, seed uint64) (string, error) {
 
 // runCellSubprocess executes one measurement in a child process and kills it
 // at the timeout (DNF).
-func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool) (float64, bool) {
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int) (float64, bool) {
 	args := []string{
 		"-run-cell-doc", soPath,
 		"-run-cell-query", strconv.Itoa(q),
@@ -214,6 +216,9 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 	}
 	if prepare {
 		args = append(args, "-prepare")
+	}
+	if streamChunk > 0 {
+		args = append(args, "-stream-chunk", strconv.Itoa(streamChunk))
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
@@ -252,8 +257,8 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 // is compiled before the clock starts, so the cell times the join strategy
 // alone (the paper-figure mode); otherwise the cell includes parse+compile,
 // matching the pre-pipeline measurements.
-func runCell(soPath string, q int, variant string, prepare bool) {
-	cfg := soxq.Config{}
+func runCell(soPath string, q int, variant string, prepare bool, streamChunk int) {
+	cfg := soxq.Config{StreamChunk: streamChunk}
 	streamed := false
 	switch variant {
 	case "auto":

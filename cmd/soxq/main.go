@@ -23,8 +23,11 @@
 //
 // -stream serialises results through the cursor pipeline as they are
 // produced instead of materialising the full sequence first (constant
-// memory for arbitrarily large results); -parallel N partitions large
-// FLWOR loops across N workers.
+// memory for arbitrarily large results); -stream-chunk N sets the tuples
+// evaluated per pipeline chunk (the memory/amortisation trade-off: StandOff
+// final steps join per chunk of context areas and nested for clauses bind
+// child cursors, so the bound compounds through nested loops); -parallel N
+// partitions large FLWOR loops across N workers.
 package main
 
 import (
@@ -58,6 +61,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the compiled plan (with resolved join strategies) instead of results")
 	analyze := flag.Bool("analyze", false, "run the query and print the plan annotated with observed per-operator counters (EXPLAIN ANALYZE)")
 	stream := flag.Bool("stream", false, "stream results through the cursor pipeline instead of materialising them")
+	streamChunk := flag.Int("stream-chunk", 0, "tuples (and StandOff context areas) per pipeline chunk for -stream/-analyze (0 = default 1024)")
 	parallel := flag.Int("parallel", 0, "partition large FLWOR loops across N workers (0 = single-threaded)")
 	flag.Parse()
 
@@ -70,7 +74,8 @@ func main() {
 		fatalIf(err)
 		q = string(data)
 	}
-	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap, Parallelism: *parallel}
+	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap,
+		Parallelism: *parallel, StreamChunk: *streamChunk}
 	switch *mode {
 	case "auto":
 		cfg.Mode = soxq.ModeAuto

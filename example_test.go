@@ -123,7 +123,7 @@ func ExamplePrepared_Explain() {
 	//     step descendant::music (fused //)
 	//     step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=2 basic=8 ll=37}
 	// stream:
-	//   path [materialised] final StandOff step select-narrow materialises via its merge join
+	//   path [pipelined] final StandOff step select-narrow streams per context chunk through an ordered dedup merge when the context is single-document
 }
 
 func ExampleEngine_LoadStandOff() {

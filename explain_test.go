@@ -70,7 +70,7 @@ plan:
     return string($s/@id)
 stream:
   flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
-    path [materialised] final StandOff step select-narrow materialises via its merge join
+    path [pipelined] final StandOff step select-narrow streams per context chunk through an ordered dedup merge when the context is single-document
 `
 	if got := prep.Explain().String(); got != wantBefore {
 		t.Fatalf("explain before exec:\n%s\nwant:\n%s", got, wantBefore)
@@ -121,7 +121,7 @@ plan:
     return string($s/@id)
 stream:
   flwor [pipelined] for $s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
-    path [materialised] final StandOff step select-narrow materialises via its merge join
+    path [pipelined] final StandOff step select-narrow streams per context chunk through an ordered dedup merge when the context is single-document
 `
 	if got := pe.String(); got != want {
 		t.Fatalf("analyze:\n%s\nwant:\n%s", got, want)
@@ -153,6 +153,114 @@ func TestAnalyzeChunkedCountsChunks(t *testing.T) {
 	}
 	if flwor.Obs.RowsIn != 100 || flwor.Obs.RowsOut != 100 {
 		t.Fatalf("tuples=%d out=%d, want 100/100", flwor.Obs.RowsIn, flwor.Obs.RowsOut)
+	}
+}
+
+// TestAnalyzeNestedFLWORCounts is the regression test for the nested-loop
+// counter bug: the chunked pipeline used to count only first-level tuples
+// (4 here), so whenever a nested loop crossed the fallback boundary into the
+// materialising evaluator — which counts tuples after full clause expansion
+// (12 here) — the same FLWOR reported different totals, multiplying per
+// nesting level. The chunk counter now records post-expansion tuples, so
+// every execution style reports the one true count.
+func TestAnalyzeNestedFLWORCounts(t *testing.T) {
+	eng := figure2Engine(t)
+	const q = `for $i in 1 to 4 for $j in 1 to 3 return $j * $i`
+	for _, tc := range []struct {
+		cfg    Config
+		chunks int64 // 0 = don't pin (parallel partitioning varies)
+	}{
+		{Config{}, 1},                               // Exec-style drain: one chunk
+		{Config{StreamChunk: 2}, 8},                 // 2 outer chunks x (2+1) inner... 4 children x 2 chunks
+		{Config{StreamChunk: 2, Parallelism: 4}, 8}, // below the gate: same sequential path
+		{Config{StreamChunk: 100}, 4},               // one outer chunk, 4 child cursors x 1 chunk
+	} {
+		prep, err := eng.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, pe, err := prep.Analyze(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 12 {
+			t.Fatalf("cfg %+v: result len = %d, want 12", tc.cfg, res.Len())
+		}
+		fl := pe.Plan[0]
+		if fl.Kind != "flwor" || fl.Obs == nil {
+			t.Fatalf("cfg %+v: top operator = %+v, want analyzed flwor", tc.cfg, fl)
+		}
+		if fl.Obs.Invocations != 1 {
+			t.Errorf("cfg %+v: invocations = %d, want 1 (no double-count)", tc.cfg, fl.Obs.Invocations)
+		}
+		if fl.Obs.RowsIn != 12 || fl.Obs.RowsOut != 12 {
+			t.Errorf("cfg %+v: tuples=%d out=%d, want 12/12 (post-expansion count in every mode)",
+				tc.cfg, fl.Obs.RowsIn, fl.Obs.RowsOut)
+		}
+		if tc.chunks != 0 && fl.Obs.Chunks != tc.chunks {
+			t.Errorf("cfg %+v: chunks = %d, want %d", tc.cfg, fl.Obs.Chunks, tc.chunks)
+		}
+	}
+
+	// The materialising reference: the same nested FLWOR evaluated inside an
+	// aggregate reports the identical totals.
+	prep, err := eng.Prepare(`count(for $i in 1 to 4 for $j in 1 to 3 return $j * $i)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pe, err := prep.Analyze(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fl *OpNode
+	var walk func(ns []*OpNode)
+	walk = func(ns []*OpNode) {
+		for _, n := range ns {
+			if n.Kind == "flwor" && fl == nil {
+				fl = n
+			}
+			walk(n.Children)
+		}
+	}
+	walk(pe.Plan)
+	if fl == nil || fl.Obs == nil {
+		t.Fatal("no analyzed flwor under the aggregate")
+	}
+	if fl.Obs.RowsIn != 12 || fl.Obs.RowsOut != 12 || fl.Obs.Invocations != 1 {
+		t.Fatalf("materialised nested flwor: inv=%d tuples=%d out=%d, want 1/12/12",
+			fl.Obs.Invocations, fl.Obs.RowsIn, fl.Obs.RowsOut)
+	}
+}
+
+// TestExplainGoldenNestedStream pins the stream section of a nested FLWOR
+// (the flwor-nested cursor-valued-binding line docs/EXPLAIN.md documents):
+// the streamable inner for renders as a child operator of the streamed
+// loop, while a StandOff inner binding stays off the nested path.
+func TestExplainGoldenNestedStream(t *testing.T) {
+	eng := figure2Engine(t)
+	prep, err := eng.Prepare(`for $m in doc("d.xml")//music for $i in 1 to 3 return ($m/@artist, $i)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prep.Explain().String()
+	wantStream := `stream:
+  flwor [pipelined] for $m tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible
+    path [pipelined] final step descendant::music streams per context node when context subtrees are disjoint
+    flwor-nested [pipelined] inner for $i binds a child cursor per parent tuple under bounded chunks; inner tuples stream in chunks of their own
+      range [pipelined] integers generated on demand
+`
+	if !strings.HasSuffix(got, wantStream) {
+		t.Fatalf("nested stream section:\n%s\nwant suffix:\n%s", got, wantStream)
+	}
+
+	// A StandOff inner binding keeps the expanded (loop-lifted) path: no
+	// flwor-nested line.
+	prep, err = eng.Prepare(`for $m in doc("d.xml")//music for $s in $m/select-narrow::shot return $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.Explain().String(); strings.Contains(got, "flwor-nested") {
+		t.Fatalf("StandOff inner binding must not stream as a child cursor:\n%s", got)
 	}
 }
 

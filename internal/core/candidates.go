@@ -19,6 +19,11 @@ type Candidates struct {
 	areas []int32
 
 	endRows []int32 // region rows in end order (filtered); lazy
+
+	// Suffix-min id arrays over the two row orders, backing the
+	// streaming-merge watermarks; lazy (see MinPreStartFrom/MinPreEndFrom).
+	startMin []int32
+	endMin   []int32
 }
 
 // All returns the unrestricted candidate sequence (the whole index).
@@ -74,9 +79,12 @@ func (ix *RegionIndex) FilterByName(nameID int32) *Candidates {
 		return v.(*Candidates)
 	}
 	c := ix.Filter(ix.doc.ElementsByName(nameID))
-	// Pre-build the end-order permutation too, so cached candidates are
-	// immediately usable by the overlap joins.
+	// Pre-build the end-order permutation and the watermark suffix-mins, so
+	// cached candidates are immediately usable by the overlap joins and the
+	// streaming merge without a lazy write after publication.
 	c.endPerm()
+	c.startSuffixMin()
+	c.endSuffixMin()
 	actual, _ := ix.nameCands.LoadOrStore(nameID, c)
 	return actual.(*Candidates)
 }
@@ -136,6 +144,74 @@ func (c *Candidates) endPerm() []int32 {
 		c.endRows = p
 	}
 	return c.endRows
+}
+
+// MinPreStartFrom returns the smallest candidate area pre whose bounding
+// region starts at or after s (ok=false when no candidate starts there).
+// This is the containment-join watermark of the chunked StandOff stream: a
+// candidate contained in a context area whose regions all start at or after
+// s must itself start at or after s, so every candidate pre below the
+// returned value is final once the remaining context frontier reaches s.
+func (c *Candidates) MinPreStartFrom(s int64) (int32, bool) {
+	mins := c.startSuffixMin()
+	k := sort.Search(c.boundsLen(), func(k int) bool {
+		start, _, _ := c.boundsRow(k)
+		return start >= s
+	})
+	if k >= len(mins) {
+		return 0, false
+	}
+	return mins[k], true
+}
+
+// MinPreEndFrom returns the smallest candidate area pre having a region that
+// ends at or after e (ok=false when none does) — the overlap-join watermark:
+// a candidate overlapping a context area whose regions all start at or after
+// e must have a region ending at or after e.
+func (c *Candidates) MinPreEndFrom(e int64) (int32, bool) {
+	mins := c.endSuffixMin()
+	k := sort.Search(c.regionLen(), func(k int) bool {
+		_, end, _ := c.regionRowByEnd(k)
+		return end >= e
+	})
+	if k >= len(mins) {
+		return 0, false
+	}
+	return mins[k], true
+}
+
+// startSuffixMin returns the suffix-min of area ids over the bounds rows in
+// start order. Unfiltered candidates share the index's array; filtered ones
+// build their own lazily (a filtered Candidates cached by FilterByName has it
+// pre-built, like the end permutation, so cached candidates stay read-only).
+func (c *Candidates) startSuffixMin() []int32 {
+	if c.all {
+		bMin, _ := c.ix.suffixMins()
+		return bMin
+	}
+	if c.startMin == nil {
+		c.startMin = suffixMinIDs(c.boundsLen(), func(k int) int32 {
+			_, _, id := c.boundsRow(k)
+			return id
+		})
+	}
+	return c.startMin
+}
+
+// endSuffixMin returns the suffix-min of region ids over the end-ordered
+// region rows.
+func (c *Candidates) endSuffixMin() []int32 {
+	if c.all {
+		_, eMin := c.ix.suffixMins()
+		return eMin
+	}
+	if c.endMin == nil {
+		c.endMin = suffixMinIDs(c.regionLen(), func(k int) int32 {
+			_, _, id := c.regionRowByEnd(k)
+			return id
+		})
+	}
+	return c.endMin
 }
 
 func (c *Candidates) boundsLen() int {

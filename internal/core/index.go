@@ -46,6 +46,10 @@ type RegionIndex struct {
 	endPermOnce sync.Once
 	rEndPerm    []int32 // region row indices ordered by (end, start, id)
 
+	suffixOnce sync.Once
+	bSuffixMin []int32 // suffix-min of bID over the bounds rows (start order)
+	eSuffixMin []int32 // suffix-min of rID over the end-ordered region rows
+
 	statsOnce sync.Once
 	stats     Stats // planner statistics, built lazily (see stats.go)
 
@@ -269,6 +273,33 @@ func (ix *RegionIndex) endPerm() []int32 {
 		ix.rEndPerm = p
 	})
 	return ix.rEndPerm
+}
+
+// suffixMins returns the whole-index suffix-min id arrays backing the
+// streaming-merge watermarks (see Candidates.MinPreStartFrom/MinPreEndFrom):
+// bSuffixMin[k] is the smallest area id among bounds rows k.. in start order,
+// eSuffixMin[k] the smallest region id among end-ordered rows k.. . Built
+// once; the index is immutable so the arrays are shareable.
+func (ix *RegionIndex) suffixMins() (bMin, eMin []int32) {
+	ix.suffixOnce.Do(func() {
+		ix.bSuffixMin = suffixMinIDs(len(ix.bID), func(k int) int32 { return ix.bID[k] })
+		ep := ix.endPerm()
+		ix.eSuffixMin = suffixMinIDs(len(ep), func(k int) int32 { return ix.rID[ep[k]] })
+	})
+	return ix.bSuffixMin, ix.eSuffixMin
+}
+
+// suffixMinIDs builds the suffix-min array of n ids.
+func suffixMinIDs(n int, id func(int) int32) []int32 {
+	out := make([]int32, n)
+	m := int32(1<<31 - 1)
+	for k := n - 1; k >= 0; k-- {
+		if v := id(k); v < m {
+			m = v
+		}
+		out[k] = m
+	}
+	return out
 }
 
 // Doc returns the indexed document.

@@ -9,6 +9,9 @@ package xqeval
 // the executor builds pipelines.
 
 import (
+	"soxq/internal/core"
+	"soxq/internal/tree"
+	"soxq/internal/xpath"
 	"soxq/internal/xqast"
 	"soxq/internal/xqplan"
 )
@@ -80,26 +83,39 @@ func (f *Frame) BindChunk(varName, posName string, items []Item, basePos int64) 
 	return nf
 }
 
-// FLWORTail evaluates the remainder of a FLWOR over the tuples of f: the
-// clauses after the streamed for clause, the where filter, and the return
-// expression. The result is grouped by the final tuple frame; because tuple
-// expansion and where-restriction both preserve iteration order, the flat
-// Items slice is already in result order — the executor streams it directly
-// without the per-iteration regroup the materialising path performs.
-// FLWORTail does not handle order by; the executor falls back to the
-// materialising evaluator for FLWORs that sort.
-func (ev *Evaluator) FLWORTail(clauses []xqast.Clause, where, ret xqast.Expr, f *Frame) (LLSeq, error) {
+// FLWORTail evaluates the remainder of FLWOR v over the tuples of f: the
+// given clauses (those after the streamed for clause), v's where filter, and
+// v's return expression. The result is grouped by the final tuple frame;
+// because tuple expansion and where-restriction both preserve iteration
+// order, the flat Items slice is already in result order — the executor
+// streams it directly without the per-iteration regroup the materialising
+// path performs. FLWORTail does not handle order by; the executor falls back
+// to the materialising evaluator for FLWORs that sort.
+//
+// FLWORTail owns the chunk counters of the streamed FLWOR: it records one
+// chunk with the tuple count after clause expansion (before where), so the
+// streamed totals agree with the materialising evalFLWOR no matter how many
+// for clauses the chunk expands through — the executor's callers must not
+// count tuples themselves, or nested loops would double-count across the
+// fallback boundary.
+func (ev *Evaluator) FLWORTail(v *xqast.FLWOR, clauses []xqast.Clause, f *Frame) (LLSeq, error) {
 	cur, rootOf, err := ev.flworClauses(clauses, f)
 	if err != nil {
 		return LLSeq{}, err
 	}
-	if where != nil {
-		cur, _, err = ev.flworWhere(where, cur, rootOf)
+	tuples := int64(cur.n)
+	if v.Where != nil {
+		cur, _, err = ev.flworWhere(v.Where, cur, rootOf)
 		if err != nil {
 			return LLSeq{}, err
 		}
 	}
-	return ev.eval(ret, cur)
+	ret, err := ev.eval(v.Return, cur)
+	if err != nil {
+		return LLSeq{}, err
+	}
+	ev.Stats.RecordChunk(v, tuples, int64(len(ret.Items)))
+	return ret, nil
 }
 
 // PathPrefix evaluates a path's starting context and every compiled step but
@@ -147,6 +163,13 @@ func (ev *Evaluator) TreeStepItems(sp *xqplan.StepPlan, it Item) ([]Item, error)
 	return res[0], nil
 }
 
+// EvalStepTypeError is the error the bulk step raises for an atomic context
+// item. The pipelined final-step cursors raise the identical error before
+// any streaming starts, so both execution styles fail the same way.
+func (ev *Evaluator) EvalStepTypeError() error {
+	return errf(codeType, "axis step applied to an atomic value")
+}
+
 // SingletonInt coerces a 0/1-item group to an integer, with ok=false on an
 // empty group — the `to` range-bound coercion, exported for the executor's
 // pipelined range cursor.
@@ -163,6 +186,103 @@ const RangeLimit = 1 << 24
 // ErrRangeTooLarge is the error both executions raise at the RangeLimit.
 func ErrRangeTooLarge(lo, hi int64) error {
 	return errf(codeType, "range %d to %d is too large", lo, hi)
+}
+
+// StandOffStream is the chunked execution handle of a pipelined StandOff
+// select final step: the per-document residue — region index, candidate
+// sequence, pushdown post-filter, join strategy — resolved once, after which
+// the executor runs one loop-lifted join per chunk of context nodes and
+// gates emission on the candidate-interval watermark. Only the two select
+// operators stream this way; the reject operators are anti-joins over the
+// whole context sequence, where a union of per-chunk complements would be
+// wrong.
+type StandOffStream struct {
+	ev         *Evaluator
+	sp         *xqplan.StepPlan
+	d          *tree.Doc
+	ix         *core.RegionIndex
+	cand       *core.Candidates
+	postFilter bool
+	test       xpath.Compiled
+	wide       bool
+	strat      core.Strategy
+}
+
+// NewStandOffStream resolves one StandOff select step against a single
+// document for chunked execution. ctxRows is the step's full context
+// cardinality — the cost model prices the whole loop, so chunking must not
+// change the Basic/Loop-Lifted decision. A nil stream with a nil error means
+// the step is statically or dynamically empty for this document (the node
+// test can never match an area-annotation).
+func (ev *Evaluator) NewStandOffStream(sp *xqplan.StepPlan, d *tree.Doc, ctxRows int) (*StandOffStream, error) {
+	if ev.IndexFor == nil {
+		return nil, errf(codeStandOffIndex, "no region index provider configured")
+	}
+	ix, err := ev.IndexFor(d)
+	if err != nil {
+		return nil, errf(codeStandOffIndex, "building region index for %q: %v", d.Name, err)
+	}
+	cand, postFilter := ev.candidatesFor(ix, sp.SO)
+	if cand == nil {
+		return nil, nil
+	}
+	s := &StandOffStream{
+		ev: ev, sp: sp, d: d, ix: ix, cand: cand, postFilter: postFilter,
+		wide:  sp.SO.Op == core.SelectWide,
+		strat: ev.strategyFor(sp, ix, ctxRows),
+	}
+	if postFilter {
+		s.test = sp.CompiledTest(d)
+	}
+	return s, nil
+}
+
+// CtxStart returns the document-position start of a context node's area (the
+// minimum region start — RegionsOf is start-ordered). ok=false means the
+// node is not an area-annotation of this stream's document and can never
+// produce a match.
+func (s *StandOffStream) CtxStart(it Item) (int64, bool) {
+	if it.Kind != KNode || it.D != s.d {
+		return 0, false
+	}
+	regs := s.ix.RegionsOf(it.Pre)
+	if len(regs) == 0 {
+		return 0, false
+	}
+	return regs[0].Start, true
+}
+
+// JoinChunk runs the step's join over one chunk of context nodes and returns
+// the matching candidate items, sorted and duplicate-free in document order.
+// One ANALYZE join invocation is recorded per chunk — the chunked run truly
+// executes that many merges.
+func (s *StandOffStream) JoinChunk(chunk []Item) []Item {
+	ctx := make([]core.CtxNode, len(chunk))
+	for i, it := range chunk {
+		ctx[i] = core.CtxNode{Iter: 0, Pre: it.Pre}
+	}
+	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat)
+	pairs := core.Join(s.ix, s.sp.SO.Op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
+	out := make([]Item, 0, len(pairs))
+	for _, pr := range pairs {
+		if s.postFilter && !s.test.Matches(s.d, pr.Pre) {
+			continue
+		}
+		out = append(out, NodeItem(s.d, pr.Pre))
+	}
+	return out
+}
+
+// Watermark returns the exclusive emission bound once every unprocessed
+// context area starts at or after frontier: candidate pres below the bound
+// cannot be produced by any remaining chunk and are final. ok=false means no
+// remaining candidate can match at all — everything pending is final and the
+// remaining chunks need not run.
+func (s *StandOffStream) Watermark(frontier int64) (int32, bool) {
+	if s.wide {
+		return s.cand.MinPreEndFrom(frontier)
+	}
+	return s.cand.MinPreStartFrom(frontier)
 }
 
 // Fork returns a copy of the evaluator for use by a worker goroutine: all

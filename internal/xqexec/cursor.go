@@ -4,10 +4,15 @@
 // loop-lifted evaluator that the materialising path uses — a FLWOR's loop
 // body is still evaluated for a whole chunk of tuples at once, so StandOff
 // joins inside the loop keep their loop-lifted amortisation — but only one
-// chunk of tuples and one chunk of results is live at a time. Expression
-// forms that cannot stream (order by, aggregates, ...) fall back to a cursor
-// wrapping the materialising evaluator, so every query works under either
-// execution style and both return identical sequences.
+// chunk of tuples and one chunk of results is live at a time. The bound
+// compounds through nesting: an inner for clause over a streamable
+// StandOff-free binding drives a child cursor per parent tuple (see
+// flwor.go), and a StandOff select final path step streams per context
+// chunk through a watermark-gated ordered dedup merge (see standoff.go).
+// Expression forms that cannot stream (order by, aggregates, reject
+// anti-joins, ...) fall back to a cursor wrapping the materialising
+// evaluator, so every query works under either execution style and both
+// return identical sequences.
 //
 // On top of the chunked pipeline, the FLWOR cursor can partition large loops
 // across a worker pool (Config.Parallelism): chunks of tuples are evaluated

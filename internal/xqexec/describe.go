@@ -13,8 +13,8 @@ import (
 // the run time can make (is the final path context disjoint?) is reported as
 // the condition it is.
 type OpExplain struct {
-	// Kind names the operator: "flwor", "path", "seq", "range",
-	// "materialise".
+	// Kind names the operator: "flwor", "flwor-nested", "path", "seq",
+	// "range", "materialise".
 	Kind string
 	// Pipelined reports whether the operator streams its output.
 	Pipelined bool
@@ -43,19 +43,38 @@ func describeExpr(plan *xqplan.Plan, e xqast.Expr) *OpExplain {
 			return &OpExplain{Kind: "flwor", Detail: reason}
 		}
 		var first *xqast.ForClause
-		for _, cl := range v.Clauses {
+		var firstAt int
+		for i, cl := range v.Clauses {
 			if fc, ok := cl.(*xqast.ForClause); ok {
-				first = fc
+				first, firstAt = fc, i
 				break
 			}
 		}
-		return &OpExplain{
+		op := &OpExplain{
 			Kind:      "flwor",
 			Pipelined: true,
 			Detail: fmt.Sprintf("for $%s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible",
 				first.Var),
 			Children: []*OpExplain{describeExpr(plan, first.Seq)},
 		}
+		// Nested cursor-valued bindings: each immediately following for
+		// clause over a streamable StandOff-free binding drives a child
+		// cursor per parent tuple (under bounded chunks), compounding the
+		// memory bound; the chain stops at the first clause that expands.
+		for _, cl := range v.Clauses[firstAt+1:] {
+			fc, ok := cl.(*xqast.ForClause)
+			if !ok || !streamableBinding(fc.Seq) {
+				break
+			}
+			op.Children = append(op.Children, &OpExplain{
+				Kind:      "flwor-nested",
+				Pipelined: true,
+				Detail: fmt.Sprintf("inner for $%s binds a child cursor per parent tuple under bounded chunks; inner tuples stream in chunks of their own",
+					fc.Var),
+				Children: []*OpExplain{describeExpr(plan, fc.Seq)},
+			})
+		}
+		return op
 	case *xqast.Path:
 		return describePath(plan, v)
 	case *xqast.Binary:
@@ -83,15 +102,20 @@ func describePath(plan *xqplan.Plan, p *xqast.Path) *OpExplain {
 		return &OpExplain{Kind: "path", Detail: "no steps"}
 	}
 	last := prog[len(prog)-1]
-	if streamableStep(last) {
+	switch last.Streamability() {
+	case xqplan.StreamTree:
 		return &OpExplain{Kind: "path", Pipelined: true,
 			Detail: fmt.Sprintf("final step %s::%s streams per context node when context subtrees are disjoint",
 				last.Axis, last.Test)}
+	case xqplan.StreamChunked:
+		return &OpExplain{Kind: "path", Pipelined: true,
+			Detail: fmt.Sprintf("final StandOff step %s streams per context chunk through an ordered dedup merge when the context is single-document",
+				last.SO.Op)}
 	}
 	reason := "final step materialises"
 	switch {
 	case last.StandOff:
-		reason = fmt.Sprintf("final StandOff step %s materialises via its merge join", last.SO.Op)
+		reason = fmt.Sprintf("final StandOff step %s is an anti-join over the whole context and materialises via its merge join", last.SO.Op)
 	case len(last.Predicates) > 0:
 		reason = "predicates on the final step re-rank positions per context group"
 	default:

@@ -32,6 +32,32 @@ const testDoc = `<doc>
 
 const otherDoc = `<lib><book id="b1"><au>x</au></book><book id="b2"><au>y</au><au>z</au></book></lib>`
 
+// permutedDoc is a stand-off document whose record order deliberately
+// disagrees with region order (the paper's permuted conversion): the
+// streaming merge of a chunked StandOff final step must re-establish
+// document order across chunks through its heap, so every equivalence run
+// over this document exercises the watermark logic, not just the
+// already-ordered fast case. The span layer overlaps itself and crosses
+// block boundaries; one word is annotated twice (w3/w3b share a region).
+const permutedDoc = `<corpus>
+  <word id="w9" start="80" end="89"/>
+  <word id="w2" start="10" end="19"/>
+  <block id="b2" start="50" end="99"/>
+  <word id="w5" start="40" end="49"/>
+  <span id="s2" start="45" end="85"/>
+  <word id="w1" start="0" end="9"/>
+  <block id="b1" start="0" end="49"/>
+  <word id="w7" start="60" end="69"/>
+  <span id="s1" start="5" end="55"/>
+  <word id="w3" start="20" end="29"/>
+  <word id="w3b" start="20" end="29"/>
+  <span id="s3" start="90" end="99"/>
+  <word id="w8" start="70" end="79"/>
+  <word id="w4" start="30" end="39"/>
+  <word id="w6" start="50" end="59"/>
+  <word id="w0" start="95" end="99"/>
+</corpus>`
+
 // corpus is the query corpus every execution style must agree on. It covers
 // the pipelined operators (FLWOR with for/let/where/at, paths with
 // streamable and non-streamable final steps, sequences, ranges) and the
@@ -66,6 +92,20 @@ var corpus = []string{
 	`doc("t.xml")//scene[speech]/speech[2]`,
 	`doc("t.xml")//scene/select-wide::hit`,
 	`(doc("t.xml")//scene, doc("o.xml")//book)/child::*`,
+	// Chunked StandOff final steps over the permuted document: the merge
+	// heap must reorder across chunks and dedup the doubly-annotated word.
+	`doc("p.xml")//block/select-narrow::word`,
+	`doc("p.xml")//span/select-wide::word`,
+	`doc("p.xml")//span/select-narrow::word/@id`,
+	`doc("p.xml")//word/select-wide::span`,
+	`(doc("t.xml")//scene, doc("p.xml")//block)/select-narrow::hit`,
+	`for $b in doc("p.xml")//block return count($b/select-wide::span)`,
+	// Nested FLWOR loops over streamable bindings (cursor-valued bindings).
+	`for $s in doc("t.xml")//scene for $w in $s/speech where $w/@who = "a" return string($w)`,
+	`for $i in 1 to 9 for $j in 1 to $i for $k in $j to $i return $i * 100 + $j * 10 + $k`,
+	`for $i at $p in 1 to 4 for $j at $q in 0 to $i return ($p, $q)`,
+	`for $s in doc("t.xml")//scene for $h in $s/select-narrow::hit return ($s/@id, $h/@id)`,
+	`for $b in doc("p.xml")//block for $w in doc("p.xml")//word where $w/@start >= $b/@start return ($b/@id, $w/@id)`,
 	// Sequences, ranges, fallbacks.
 	`(1, 2, doc("t.xml")//hit/@id, "x")`,
 	`(doc("t.xml")//scene, doc("t.xml")//hit)`,
@@ -96,7 +136,7 @@ type testEnv struct {
 func newTestEnv(t testing.TB) *testEnv {
 	t.Helper()
 	env := &testEnv{docs: map[string]*tree.Doc{}, indexes: map[*tree.Doc]*core.RegionIndex{}}
-	for name, data := range map[string]string{"t.xml": testDoc, "o.xml": otherDoc} {
+	for name, data := range map[string]string{"t.xml": testDoc, "o.xml": otherDoc, "p.xml": permutedDoc} {
 		d, err := xmlparse.Parse(name, []byte(data))
 		if err != nil {
 			t.Fatal(err)
@@ -161,25 +201,31 @@ func render(items []xqeval.Item, err error) string {
 	return sb.String()
 }
 
+// equivalenceMatrix is the configuration grid every equivalence test runs:
+// chunk sizes from degenerate (1) to unbounded (0), crossed with
+// single-threaded and partitioned execution. One grid, shared by the
+// internal and public matrix tests, replaces the ad-hoc per-test config
+// lists that used to drift apart.
+func equivalenceMatrix() []Config {
+	var cfgs []Config
+	for _, chunk := range []int{1, 2, 7, 64, 0} {
+		for _, par := range []int{1, 4} {
+			cfgs = append(cfgs, Config{ChunkSize: chunk, Parallelism: par})
+		}
+	}
+	return cfgs
+}
+
 // TestPipelineEquivalence is the central property test of the subsystem:
-// for every corpus query, the cursor pipeline — across chunk sizes from
-// degenerate (1) to unbounded, and under parallel partitioning — drains to
-// exactly the sequence the materialising evaluator produces, or fails with
-// exactly the same error.
+// for every corpus query and every cell of the chunk x parallelism matrix,
+// the cursor pipeline drains to exactly the sequence the materialising
+// evaluator produces, or fails with exactly the same error.
 func TestPipelineEquivalence(t *testing.T) {
 	env := newTestEnv(t)
-	configs := []Config{
-		{ChunkSize: 0},
-		{ChunkSize: 1},
-		{ChunkSize: 2},
-		{ChunkSize: 7},
-		{ChunkSize: DefaultChunkSize},
-		{ChunkSize: 3, Parallelism: 4},
-		{ChunkSize: 0, Parallelism: 3},
-	}
+	cfgs := equivalenceMatrix()
 	for _, q := range corpus {
 		want := render(env.evaluator(t, q).Run())
-		for _, cfg := range configs {
+		for _, cfg := range cfgs {
 			got := render(runPipeline(env.evaluator(t, q), cfg))
 			if got != want {
 				t.Errorf("query %q cfg %+v:\n got %q\nwant %q", q, cfg, got, want)
@@ -243,26 +289,55 @@ func TestParallelGateEngages(t *testing.T) {
 	fl.Close()
 }
 
+// waitGoroutines polls until the goroutine count drops back to the baseline
+// (worker teardown after Close is asynchronous: the producer and workers
+// exit when they observe donech, not inside Close itself).
+func waitGoroutines(t *testing.T, baseline int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines leaked (baseline %d, now %d)",
+				what, runtime.NumGoroutine()-baseline, baseline, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestEarlyClose verifies that abandoning a stream mid-way — sequential and
-// parallel — releases the pipeline without deadlock and that Close is
-// idempotent.
+// parallel — releases the pipeline without deadlock, terminates every worker
+// goroutine, and that Close is idempotent.
 func TestEarlyClose(t *testing.T) {
 	env := newTestEnv(t)
-	q := fmt.Sprintf(`for $i in 1 to %d return $i`, 8*parallelMinTuples)
-	for _, cfg := range []Config{{ChunkSize: 16}, {ChunkSize: 16, Parallelism: 4}} {
-		cur, err := Build(env.evaluator(t, q), cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < 5; i++ {
-			if !cur.Next() {
-				t.Fatalf("cfg %+v: stream ended after %d items", cfg, i)
+	queries := []string{
+		fmt.Sprintf(`for $i in 1 to %d return $i`, 8*parallelMinTuples),
+		// Nested loops: the child cursor chain must tear down too.
+		fmt.Sprintf(`for $i in 1 to %d for $j in 1 to 100 return $j`, 8*parallelMinTuples),
+		// Chunked StandOff final step mid-merge.
+		`doc("p.xml")//span/select-wide::word`,
+	}
+	for _, q := range queries {
+		for _, cfg := range []Config{{ChunkSize: 16}, {ChunkSize: 16, Parallelism: 4}} {
+			baseline := runtime.NumGoroutine()
+			cur, err := Build(env.evaluator(t, q), cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		cur.Close()
-		cur.Close() // idempotent
-		if cur.Next() {
-			t.Fatalf("cfg %+v: Next after Close", cfg)
+			for i := 0; i < 5; i++ {
+				if !cur.Next() {
+					t.Fatalf("%q cfg %+v: stream ended after %d items", q, cfg, i)
+				}
+			}
+			cur.Close()
+			cur.Close() // idempotent
+			if cur.Next() {
+				t.Fatalf("%q cfg %+v: Next after Close", q, cfg)
+			}
+			waitGoroutines(t, baseline, fmt.Sprintf("%q cfg %+v", q, cfg))
 		}
 	}
 }
@@ -371,7 +446,8 @@ func TestDescribeShapes(t *testing.T) {
 		{`for $s in doc("t.xml")//scene return $s`, "flwor", true},
 		{`for $s in doc("t.xml")//scene order by $s/@id return $s`, "flwor", false},
 		{`doc("t.xml")//speech`, "path", true},
-		{`doc("t.xml")//scene/select-narrow::hit`, "path", false},
+		{`doc("t.xml")//scene/select-narrow::hit`, "path", true},
+		{`doc("t.xml")//scene/reject-narrow::hit`, "path", false},
 		{`(1, 2)`, "seq", true},
 		{`1 to 9`, "range", true},
 		{`count(doc("t.xml")//hit)`, "materialise", false},
@@ -384,4 +460,111 @@ func TestDescribeShapes(t *testing.T) {
 				c.q, op.Kind, op.Pipelined, c.kind, c.pipelined, op.Detail)
 		}
 	}
+
+	// A nested streamable for clause shows up as a flwor-nested child; a
+	// nested StandOff binding must not (it keeps the loop-lifted expansion).
+	nested := Describe(env.evaluator(t,
+		`for $s in doc("t.xml")//scene for $w in $s/speech return $w`).Plan)
+	if len(nested.Children) != 2 || nested.Children[1].Kind != "flwor-nested" {
+		t.Errorf("nested for: children = %+v, want [binding, flwor-nested]", nested.Children)
+	}
+	lifted := Describe(env.evaluator(t,
+		`for $s in doc("t.xml")//scene for $h in $s/select-narrow::hit return $h`).Plan)
+	if len(lifted.Children) != 1 {
+		t.Errorf("StandOff inner binding: children = %+v, want only the outer binding", lifted.Children)
+	}
+}
+
+// TestStandoffCursorStreams pins the routing of StandOff final steps: a
+// select step over a single-document context takes the chunked cursor, the
+// permuted document drains in document order with the duplicate annotation
+// removed, and a multi-document context falls back to the bulk step.
+func TestStandoffCursorStreams(t *testing.T) {
+	env := newTestEnv(t)
+	build := func(q string, chunk int) *pathCursor {
+		cur, err := Build(env.evaluator(t, q), Config{ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, ok := cur.(*pathCursor)
+		if !ok {
+			t.Fatalf("expected pathCursor for %q, got %T", q, cur)
+		}
+		return pc
+	}
+
+	pc := build(`doc("p.xml")//span/select-wide::word`, 2)
+	if !pc.Next() {
+		t.Fatal("empty stream")
+	}
+	if pc.soc == nil {
+		t.Fatal("select final step over one document did not take the chunked cursor")
+	}
+	var last int32 = -1
+	n := 1
+	for ok := true; ok; ok = pc.Next() {
+		it := pc.Item()
+		if it.Pre <= last && n > 1 {
+			t.Fatalf("stream out of document order: pre %d after %d", it.Pre, last)
+		}
+		last = it.Pre
+		n++
+	}
+	pc.Close()
+
+	// The doubly-annotated word (w3/w3b share a region) appears once per
+	// node, deduplicated across chunks.
+	pc = build(`doc("p.xml")//block/select-narrow::word`, 1)
+	seen := map[int32]bool{}
+	for pc.Next() {
+		it := pc.Item()
+		if seen[it.Pre] {
+			t.Fatalf("duplicate node pre=%d in chunked stream", it.Pre)
+		}
+		seen[it.Pre] = true
+	}
+	pc.Close()
+
+	// Multi-document context: the chunked cursor refuses and the bulk step
+	// answers (soc stays nil, result still correct via materialised items).
+	pc = build(`(doc("t.xml")//scene, doc("p.xml")//block)/select-narrow::hit`, 2)
+	for pc.Next() {
+	}
+	if pc.soc != nil {
+		t.Fatal("multi-document context must fall back to the bulk step")
+	}
+	pc.Close()
+}
+
+// TestNestedCursorEngages pins the cursor-valued-binding decision: a
+// streamable inner for clause binds a child cursor under bounded chunks,
+// stays expanded under unbounded chunks (Exec's drain wants the full
+// loop-lifting), and a StandOff inner binding always stays expanded.
+func TestNestedCursorEngages(t *testing.T) {
+	env := newTestEnv(t)
+	pin := func(q string, chunk int, wantNested bool) {
+		t.Helper()
+		cur, err := Build(env.evaluator(t, q), Config{ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, ok := cur.(*flworCursor)
+		if !ok {
+			t.Fatalf("expected flworCursor, got %T", cur)
+		}
+		for fl.Next() {
+		}
+		if err := fl.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if (fl.inner != nil) != wantNested {
+			t.Errorf("%q chunk=%d: nested=%v, want %v", q, chunk, fl.inner != nil, wantNested)
+		}
+		fl.Close()
+	}
+	pin(`for $s in doc("t.xml")//scene for $w in $s/speech return $w`, 4, true)
+	pin(`for $i in 1 to 10 for $j in 1 to $i return $j`, 4, true)
+	pin(`for $i in 1 to 10 for $j in 1 to $i return $j`, 0, false)
+	pin(`for $s in doc("t.xml")//scene for $h in $s/select-narrow::hit return $h`, 4, false)
+	pin(`for $s in doc("t.xml")//scene let $n := count($s/speech) for $w in $s/speech return $n`, 4, false)
 }

@@ -3,6 +3,7 @@ package xqexec
 import (
 	"soxq/internal/xqast"
 	"soxq/internal/xqeval"
+	"soxq/internal/xqplan"
 )
 
 // The FLWOR cursor streams a for loop chunk by chunk: the first for clause's
@@ -12,9 +13,22 @@ import (
 // body still runs one join per chunk of iterations, not one per iteration,
 // while only a chunk of tuples and its results are ever live.
 //
+// Nested loops compound the bound. When the clause right after the streamed
+// for is itself a for over a sequence the pipeline can generate on demand
+// (a range, a StandOff-free path), the inner loop is not expanded
+// loop-lifted into the chunk — expansion would materialise chunk×inner
+// tuples at once, unbounded by the chunk size. Instead each parent tuple
+// drives a child flworCursor over the inner binding: the child pulls inner
+// tuples in chunks of its own and evaluates the remaining tail loop-lifted
+// per inner chunk, recursively for deeper nests, so the live tuple count
+// stays proportional to ChunkSize at every nesting depth. Bindings that
+// contain StandOff joins stay on the expanded path deliberately — a join in
+// the inner binding wants the chunk-level loop-lifting, not a per-parent-
+// tuple re-run (the Basic cost model the paper's loop-lifting avoids).
+//
 // Order-correctness needs no merge: tuples expand in order and where keeps
-// order, so the chunk results concatenate into exactly the sequence the
-// materialising path produces.
+// order, so the chunk (and child-cursor) results concatenate into exactly
+// the sequence the materialising path produces.
 
 const (
 	// parallelChunkSize is the partition granularity of the worker pool.
@@ -30,12 +44,21 @@ const (
 	parallelMinTuples = 2 * parallelChunkSize
 )
 
-// flworCursor is the single-threaded chunked FLWOR pipeline.
+// flworCursor is the chunked FLWOR pipeline for one for-clause level. The
+// root cursor owns the whole FLWOR (and is the only one that records the
+// operator's ANALYZE invocation and may engage the worker pool); child
+// cursors own the clause suffix from one nested for clause on, bound under a
+// single parent tuple.
 type flworCursor struct {
 	x *executor
 	v *xqast.FLWOR
 
-	f     *xqeval.Frame // root frame, leading lets bound at init
+	// clauses is the clause list this cursor level consumes: v.Clauses at
+	// the root, the suffix from the nested for clause down for a child.
+	clauses []xqast.Clause
+	root    bool
+
+	f     *xqeval.Frame // this level's frame, leading lets bound at init
 	first *xqast.ForClause
 	rest  []xqast.Clause
 	bind  Cursor // stream of the first for clause's binding sequence
@@ -43,6 +66,18 @@ type flworCursor struct {
 	// deciding to stay sequential; nextChunk consumes it ahead of bind,
 	// in ChunkSize slices like any other input.
 	pending []xqeval.Item
+
+	// Nested cursor-valued binding: when rest starts with a streamable for
+	// clause (and the pool did not engage), each tuple of the chunk drives
+	// a child cursor over inner/innerRest instead of expanding into the
+	// chunk frame. memo caches the decision per level: every sibling child
+	// cursor shares its parent's clause suffix, so the classification walk
+	// runs once per nesting level, not once per parent tuple.
+	memo      *nestedDecision
+	inner     *xqast.ForClause
+	innerRest []xqast.Clause
+	child     *flworCursor
+	ti        int // next chunk tuple to drive a child with
 
 	par *parallelFLWOR // non-nil once the worker pool engages
 
@@ -57,18 +92,39 @@ type flworCursor struct {
 }
 
 func newFLWORCursor(x *executor, v *xqast.FLWOR, f *xqeval.Frame) *flworCursor {
-	return &flworCursor{x: x, v: v, f: f}
+	return &flworCursor{x: x, v: v, clauses: v.Clauses, root: true, f: f, memo: &nestedDecision{}}
 }
 
-// init evaluates the let clauses preceding the first for clause (they see
-// only the root scope), splits the clause list there, and opens the binding
-// stream. The one ANALYZE invocation record happens here — the per-chunk
-// counters (RecordChunk) accumulate rows and chunks on top of it.
+// newChildCursor builds the cursor of one nested for level: clauses is the
+// suffix starting at the nested for clause, f the single-tuple frame of the
+// parent binding, memo the level's shared decision cache.
+func newChildCursor(x *executor, v *xqast.FLWOR, clauses []xqast.Clause, f *xqeval.Frame, memo *nestedDecision) *flworCursor {
+	return &flworCursor{x: x, v: v, clauses: clauses, f: f, memo: memo}
+}
+
+// nestedDecision caches one nesting level's cursor-valued-binding decision.
+// A cursor and all its sibling cursors (children of one parent, one per
+// parent tuple) share the same clause suffix, so the first sibling decides
+// and the rest reuse — the classification walk is per level, not per tuple.
+type nestedDecision struct {
+	decided   bool
+	inner     *xqast.ForClause
+	innerRest []xqast.Clause
+	child     *nestedDecision // the next level's cache, set when inner is
+}
+
+// init evaluates the let clauses preceding this level's for clause (they see
+// only the enclosing scope), splits the clause list there, and opens the
+// binding stream. The one ANALYZE invocation record happens at the root —
+// the per-chunk counters (recorded by FLWORTail) accumulate tuples and
+// chunks on top of it.
 func (c *flworCursor) init() {
 	c.started = true
-	c.x.ev.Stats.RecordOp(c.v, 0, 0)
+	if c.root {
+		c.x.ev.Stats.RecordOp(c.v, 0, 0)
+	}
 	f := c.f
-	for i, cl := range c.v.Clauses {
+	for i, cl := range c.clauses {
 		switch cl := cl.(type) {
 		case *xqast.LetClause:
 			seq, err := c.x.ev.EvalExpr(cl.Seq, f)
@@ -80,25 +136,72 @@ func (c *flworCursor) init() {
 		case *xqast.ForClause:
 			c.f = f
 			c.first = cl
-			c.rest = c.v.Clauses[i+1:]
+			c.rest = c.clauses[i+1:]
 			c.bind = c.x.build(cl.Seq, f)
-			if c.x.cfg.Parallelism > 1 {
+			if c.root && c.x.cfg.Parallelism > 1 {
 				c.par = startParallel(c)
+			}
+			if c.par == nil && c.err == nil {
+				c.initNested()
 			}
 			return
 		}
 	}
-	// Unreachable: streamableFLWOR guaranteed a for clause.
+	// Unreachable at the root (streamableFLWOR guaranteed a for clause);
+	// children always start at one.
 	c.done = true
 }
 
-// nextChunk pulls up to one chunk of binding tuples and evaluates the FLWOR
-// tail over them. The scratch buffer is reused: by the time the next chunk
-// is pulled, every item of the previous chunk's output has been copied out
-// by value through Item().
+// initNested engages the cursor-valued-binding mode: under bounded chunks,
+// an immediately following for clause over a streamable binding makes each
+// parent tuple drive a child cursor. Unbounded chunks (Exec's full drain)
+// keep the expanded path — there the whole loop evaluates loop-lifted in one
+// chunk, which is exactly the amortisation the materialising engine wants.
+func (c *flworCursor) initNested() {
+	if c.x.cfg.ChunkSize <= 0 {
+		return
+	}
+	m := c.memo
+	if !m.decided {
+		m.decided = true
+		if len(c.rest) > 0 {
+			if fc, ok := c.rest[0].(*xqast.ForClause); ok && streamableBinding(fc.Seq) {
+				m.inner, m.innerRest = fc, c.rest[1:]
+				m.child = &nestedDecision{}
+			}
+		}
+	}
+	c.inner, c.innerRest = m.inner, m.innerRest
+}
+
+// streamableBinding reports whether a nested for clause's binding sequence
+// should drive a child cursor: a form the pipeline generates on demand
+// (range, sequence, path, nested FLWOR) that evaluates no StandOff join —
+// joins want the chunk-level loop-lifting of the expanded path.
+func streamableBinding(e xqast.Expr) bool {
+	if xqplan.ContainsStandOff(e) {
+		return false
+	}
+	switch v := e.(type) {
+	case *xqast.Binary:
+		return v.Op == "to" || v.Op == ","
+	case *xqast.Enclosed:
+		return streamableBinding(v.X)
+	case *xqast.Path:
+		return true
+	case *xqast.FLWOR:
+		return streamableFLWOR(v)
+	}
+	return false
+}
+
+// nextChunk pulls up to one chunk of binding tuples. In expanded mode it
+// evaluates the FLWOR tail over them at once; in nested mode it only stages
+// the tuples — Next drives a child cursor per tuple.
 func (c *flworCursor) nextChunk() {
 	limit := c.x.chunkSize()
 	c.chunk = c.chunk[:0]
+	c.ti = 0
 	if n := min(limit, len(c.pending)); n > 0 {
 		c.chunk = append(c.chunk, c.pending[:n]...)
 		c.pending = c.pending[n:]
@@ -114,6 +217,10 @@ func (c *flworCursor) nextChunk() {
 		c.done = true
 		return
 	}
+	if c.inner != nil {
+		c.basePos += int64(len(c.chunk))
+		return
+	}
 	out, err := evalFLWORChunk(c.x.ev, c, c.chunk, c.basePos)
 	if err != nil {
 		c.err = err
@@ -123,15 +230,26 @@ func (c *flworCursor) nextChunk() {
 	c.out, c.i = out, 0
 }
 
-// evalFLWORChunk runs the FLWOR tail over one chunk of binding tuples.
+// evalFLWORChunk runs the FLWOR tail over one chunk of binding tuples
+// (expanded mode: remaining clauses unroll loop-lifted into the chunk
+// frame). FLWORTail records the chunk's tuple counters.
 func evalFLWORChunk(ev *xqeval.Evaluator, c *flworCursor, tuples []xqeval.Item, basePos int64) ([]xqeval.Item, error) {
 	nf := c.f.BindChunk(c.first.Var, c.first.Pos, tuples, basePos)
-	ret, err := ev.FLWORTail(c.rest, c.v.Where, c.v.Return, nf)
+	ret, err := ev.FLWORTail(c.v, c.rest, nf)
 	if err != nil {
 		return nil, err
 	}
-	ev.Stats.RecordChunk(c.v, int64(len(tuples)), int64(len(ret.Items)))
 	return ret.Items, nil
+}
+
+// startChild binds the next staged tuple into a one-iteration frame and
+// opens the child cursor of the nested for clause over it.
+func (c *flworCursor) startChild() {
+	t := c.chunk[c.ti]
+	pos := c.basePos - int64(len(c.chunk)) + int64(c.ti)
+	c.ti++
+	nf := c.f.BindChunk(c.first.Var, c.first.Pos, []xqeval.Item{t}, pos)
+	c.child = newChildCursor(c.x, c.v, c.rest, nf, c.memo.child)
 }
 
 func (c *flworCursor) Next() bool {
@@ -142,6 +260,20 @@ func (c *flworCursor) Next() bool {
 		return c.par.next(c)
 	}
 	for c.err == nil {
+		if c.child != nil {
+			if c.child.Next() {
+				c.cur = c.child.Item()
+				return true
+			}
+			c.err = c.child.Err()
+			c.child.Close()
+			c.child = nil
+			continue
+		}
+		if c.inner != nil && c.ti < len(c.chunk) {
+			c.startChild()
+			continue
+		}
 		if c.i < len(c.out) {
 			c.cur = c.out[c.i]
 			c.i++
@@ -163,6 +295,11 @@ func (c *flworCursor) Close() {
 	// Close must not resurrect the pipeline by running init.
 	c.started, c.done = true, true
 	c.out, c.i, c.pending = nil, 0, nil
+	c.chunk, c.ti = nil, 0
+	if c.child != nil {
+		c.child.Close()
+		c.child = nil
+	}
 	if c.par != nil {
 		// The producer goroutine owns (and closes) the binding cursor.
 		c.par.close()
@@ -182,7 +319,9 @@ func (c *flworCursor) Close() {
 // (the plan is immutable and race-safe to share), and the consumer hands
 // chunks out strictly in stream order. The orderq capacity bounds the number
 // of chunks in flight, so memory stays proportional to
-// Parallelism x chunk result, not to the loop size.
+// Parallelism x chunk result, not to the loop size. Only the root cursor
+// parallelises — nested levels inside a partitioned loop evaluate on the
+// expanded path within their worker's chunk.
 type parallelFLWOR struct {
 	orderq chan chan chunkResult
 	jobs   chan chunkJob

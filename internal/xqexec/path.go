@@ -1,7 +1,6 @@
 package xqexec
 
 import (
-	"soxq/internal/xpath"
 	"soxq/internal/xqast"
 	"soxq/internal/xqeval"
 	"soxq/internal/xqplan"
@@ -9,19 +8,25 @@ import (
 
 // pathCursor pipelines the final step of a path expression. The prefix —
 // starting context and all steps but the last — evaluates in bulk exactly as
-// the materialising path does (StandOff steps need the bulk context for
-// their loop-lifted joins), but when the final step is an order-safe tree
-// step, its results stream one context node at a time and the path's full
-// result sequence is never buffered. `//a/b`-style scans over a large
-// document emit b-nodes as the cursor walks the a-contexts.
+// the materialising path does (StandOff steps inside the prefix need the
+// bulk context for their loop-lifted joins), but the final step streams when
+// its compiled plan classifies as streamable (xqplan.Streamability):
 //
-// Order safety is decided against the actual context at run time: if the
-// context nodes are strictly ascending in document order and their subtrees
-// are disjoint, the per-node results of a forward axis are confined to
-// disjoint ascending pre ranges, so their concatenation is exactly the
-// sorted, duplicate-free sequence the bulk step would produce. Nested
-// contexts (or reverse axes, predicates, StandOff joins) fall back to the
-// bulk step.
+//   - StreamTree: an order-safe tree step streams one context node at a
+//     time, so `//a/b`-style scans emit b-nodes as the cursor walks the
+//     a-contexts. Order safety is decided against the actual context at run
+//     time: strictly ascending context nodes with disjoint subtrees confine
+//     each node's forward-axis results to disjoint ascending pre ranges, so
+//     their concatenation is exactly the sorted, duplicate-free bulk result.
+//
+//   - StreamChunked: a StandOff select step streams per context chunk — the
+//     loop-lifted join runs one chunk of context areas at a time and the
+//     chunk outputs merge through the watermark-gated document-order heap
+//     (see standoffCursor). Requires a single-document context at run time.
+//
+// Contexts that fail the run-time condition — nested tree contexts,
+// multi-document join contexts — and the remaining step forms (reverse
+// axes, predicates, reject joins) fall back to the bulk step.
 type pathCursor struct {
 	x *executor
 	p *xqast.Path
@@ -30,11 +35,14 @@ type pathCursor struct {
 	started bool
 	err     error
 
-	// Streaming mode: remaining context nodes and the current node's
+	// Tree streaming mode: remaining context nodes and the current node's
 	// matches.
 	last *xqplan.StepPlan
 	ctx  []xqeval.Item
 	buf  []xqeval.Item
+
+	// StandOff chunked mode: the chunk-join-merge cursor.
+	soc *standoffCursor
 
 	// Fallback mode: the fully evaluated result.
 	items []xqeval.Item
@@ -61,10 +69,31 @@ func (c *pathCursor) init() {
 		c.items = g
 		return
 	}
-	if streamableStep(last) && disjointContext(g) {
-		c.last = last
-		c.ctx = g
-		return
+	for _, it := range g {
+		if !it.IsNode() {
+			// The bulk step rejects atomic context items before joining;
+			// fail identically before any streaming starts.
+			c.err = c.x.ev.EvalStepTypeError()
+			return
+		}
+	}
+	switch last.Streamability() {
+	case xqplan.StreamTree:
+		if disjointContext(g) {
+			c.last = last
+			c.ctx = g
+			return
+		}
+	case xqplan.StreamChunked:
+		soc, err := newStandoffCursor(c.x, last, g)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if soc != nil {
+			c.soc = soc
+			return
+		}
 	}
 	out, err := c.x.ev.EvalStepBulk(last, ctxSeq, c.f)
 	if err != nil {
@@ -72,23 +101,6 @@ func (c *pathCursor) init() {
 		return
 	}
 	c.items = out.Group(0)
-}
-
-// streamableStep reports whether a final step may stream per context node: a
-// forward tree axis whose results stay inside the context node's subtree,
-// with no predicates (predicates re-rank positions per context group, which
-// the bulk path handles).
-func streamableStep(sp *xqplan.StepPlan) bool {
-	if sp.StandOff || len(sp.Predicates) > 0 {
-		return false
-	}
-	switch sp.Axis {
-	case xpath.AxisChild, xpath.AxisDescendant, xpath.AxisDescendantOrSelf,
-		xpath.AxisSelf, xpath.AxisAttribute:
-		return true
-	default:
-		return false
-	}
 }
 
 // disjointContext reports whether the context nodes are strictly ascending
@@ -119,6 +131,15 @@ func (c *pathCursor) Next() bool {
 		c.init()
 	}
 	if c.err != nil {
+		return false
+	}
+	if c.soc != nil { // chunked StandOff final step
+		if c.soc.Next() {
+			c.cur = c.soc.Item()
+			c.produced++
+			return true
+		}
+		c.record()
 		return false
 	}
 	if c.last == nil { // fallback: iterate the materialised result
@@ -175,4 +196,8 @@ func (c *pathCursor) Close() {
 	c.started = true
 	c.last = nil
 	c.ctx, c.buf, c.items = nil, nil, nil
+	if c.soc != nil {
+		c.soc.Close()
+		c.soc = nil
+	}
 }

@@ -1,0 +1,298 @@
+package xqexec
+
+import (
+	"sort"
+
+	"soxq/internal/tree"
+	"soxq/internal/xqeval"
+	"soxq/internal/xqplan"
+)
+
+// standoffCursor pipelines a StandOff select final step per context-node
+// chunk. The bulk step runs one loop-lifted join over the whole context and
+// materialises the whole output; this cursor instead sorts the context areas
+// by region start, runs the same join one chunk of context nodes at a time,
+// and feeds the chunk outputs through a streaming ordered merge — so only
+// one chunk's join state plus the merge's pending heap is ever live.
+//
+// The merge is where the streaming is earned. Chunk outputs are each sorted
+// in document order, but outputs of different chunks may interleave
+// arbitrarily (region order and document order are unrelated in a permuted
+// stand-off document), so the cursor cannot simply concatenate them. It
+// keeps pending items in a document-order heap keyed by node identity (all
+// items are nodes of one document, so the pre rank is the identity) and
+// emits an item only when the candidate-interval watermark proves no
+// remaining chunk can produce a smaller one: once every unprocessed context
+// area starts at or after position S, a contained candidate must start at or
+// after S (select-narrow) and an overlapping candidate must end at or after
+// S (select-wide), and the suffix-min arrays over the candidate sequence's
+// start- and end-ordered rows (internal/core) translate that interval bound
+// into the smallest still-reachable pre. Everything below it is final.
+// Cross-chunk duplicates — one candidate matched by context nodes of
+// different chunks — are still pending together when the second copy
+// arrives (the watermark that let the first copy out would have ruled the
+// second one impossible), so dedup at heap pop is exact.
+//
+// For annotation corpora whose document order roughly follows region order —
+// the common case the paper's conversion produces — the watermark advances
+// with the frontier and the heap stays near the chunk size. A fully permuted
+// layer degrades gracefully: the heap grows toward the output size, never
+// past it, and the result is still byte-identical to the bulk step.
+type standoffCursor struct {
+	x  *executor
+	sp *xqplan.StepPlan
+	so *xqeval.StandOffStream
+
+	ctx     []soCtx       // area context nodes, ascending by region start
+	i       int           // next unprocessed context index
+	scratch []xqeval.Item // reused per-chunk context buffer
+
+	heap preHeap
+	out  []xqeval.Item // items proven final, in document order
+	oi   int
+
+	rowsIn   int64 // full context row count, for the step's ANALYZE record
+	produced int64
+	lastPre  int32
+	emitted  bool // lastPre is valid (guards the pre==0 first emission)
+	recorded bool
+
+	done bool
+	cur  xqeval.Item
+}
+
+// soCtx is one context area with its sort key (minimum region start).
+type soCtx struct {
+	start int64
+	item  xqeval.Item
+}
+
+// newStandoffCursor builds the chunked cursor for a StandOff select final
+// step over the evaluated context g. It returns (nil, nil) when the context
+// is not chunkable — nodes of more than one document (the join partitions
+// per document fragment; the bulk step handles that) — and the caller falls
+// back to the bulk step. Non-area and attribute context nodes can never
+// match and are dropped from the chunk stream.
+func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*standoffCursor, error) {
+	var d *tree.Doc
+	for _, it := range g {
+		if it.Kind != xqeval.KNode {
+			continue
+		}
+		if d == nil {
+			d = it.D
+		} else if it.D != d {
+			return nil, nil
+		}
+	}
+	c := &standoffCursor{x: x, sp: sp, rowsIn: int64(len(g))}
+	if d == nil {
+		// No element context at all: the step is empty, but still streams
+		// (and still reports its ANALYZE row counts).
+		return c, nil
+	}
+	so, err := x.ev.NewStandOffStream(sp, d, len(g))
+	if err != nil {
+		return nil, err
+	}
+	if so == nil {
+		return c, nil // no candidate can ever match: empty stream
+	}
+	c.so = so
+	c.ctx = make([]soCtx, 0, len(g))
+	for _, it := range g {
+		if s, ok := so.CtxStart(it); ok {
+			c.ctx = append(c.ctx, soCtx{start: s, item: it})
+		}
+	}
+	sort.Slice(c.ctx, func(a, b int) bool { return c.ctx[a].start < c.ctx[b].start })
+	return c, nil
+}
+
+// refill processes context chunks until at least one pending item is proven
+// final (or the context is exhausted). A chunk's join output is itself a
+// sorted run, so when nothing is pending the run's prefix below the
+// watermark is emitted wholesale — an in-order corpus never pays for the
+// heap at all (the whole run is handed over without a copy); the heap only
+// engages for runs that genuinely interleave across chunks.
+func (c *standoffCursor) refill() {
+	chunkSize := c.x.chunkSize()
+	for {
+		if c.i >= len(c.ctx) {
+			c.flush()
+			return
+		}
+		n := min(chunkSize, len(c.ctx)-c.i)
+		if cap(c.scratch) < n {
+			c.scratch = make([]xqeval.Item, 0, n)
+		}
+		c.scratch = c.scratch[:0]
+		for j := 0; j < n; j++ {
+			c.scratch = append(c.scratch, c.ctx[c.i+j].item)
+		}
+		c.i += n
+		joined := c.so.JoinChunk(c.scratch)
+		final := c.i >= len(c.ctx)
+		var wm int32
+		if !final {
+			w, ok := c.so.Watermark(c.ctx[c.i].start)
+			if !ok {
+				// No remaining candidate can match any remaining context
+				// area: the joins of the remaining chunks would all come
+				// back empty, so skip them (the chunked analogue of the
+				// merge join's early break) and finish.
+				c.i = len(c.ctx)
+				final = true
+			} else {
+				wm = w
+			}
+		}
+		switch {
+		case final:
+			if c.heap.len() == 0 {
+				c.emitRun(joined)
+			} else {
+				for _, it := range joined {
+					c.heap.push(it)
+				}
+			}
+			c.flush()
+			return
+		case c.heap.len() == 0:
+			k := sort.Search(len(joined), func(i int) bool { return joined[i].Pre >= wm })
+			c.emitRun(joined[:k])
+			for _, it := range joined[k:] {
+				c.heap.push(it)
+			}
+		default:
+			for _, it := range joined {
+				c.heap.push(it)
+			}
+			for c.heap.len() > 0 && c.heap.top().Pre < wm {
+				c.emit(c.heap.pop())
+			}
+		}
+		if c.oi < len(c.out) {
+			return
+		}
+	}
+}
+
+// flush drains the heap (every pending item is final) and ends the stream.
+func (c *standoffCursor) flush() {
+	for c.heap.len() > 0 {
+		c.emit(c.heap.pop())
+	}
+	c.done = true
+}
+
+// emitRun appends a sorted duplicate-free run of final items to the output
+// buffer; an empty buffer takes the run without a copy. Runs never overlap
+// previously emitted items — a run is only emitted below a watermark that
+// ruled its items out for every remaining chunk.
+func (c *standoffCursor) emitRun(items []xqeval.Item) {
+	if len(items) == 0 {
+		return
+	}
+	if len(c.out) == 0 {
+		c.out = items
+	} else {
+		c.out = append(c.out, items...)
+	}
+	c.emitted, c.lastPre = true, items[len(items)-1].Pre
+	c.produced += int64(len(items))
+}
+
+// emit appends a popped item to the output buffer, dropping cross-chunk
+// duplicates (the heap pops equal pres adjacently).
+func (c *standoffCursor) emit(it xqeval.Item) {
+	if c.emitted && it.Pre == c.lastPre {
+		return
+	}
+	c.emitted, c.lastPre = true, it.Pre
+	c.out = append(c.out, it)
+	c.produced++
+}
+
+func (c *standoffCursor) Next() bool {
+	for {
+		if c.oi < len(c.out) {
+			c.cur = c.out[c.oi]
+			c.oi++
+			return true
+		}
+		if c.done {
+			c.record()
+			return false
+		}
+		c.out, c.oi = c.out[:0], 0
+		c.refill()
+	}
+}
+
+// record reports the step's ANALYZE row counts, once — a cursor closed
+// before it is drained reports what it produced.
+func (c *standoffCursor) record() {
+	if c.recorded {
+		return
+	}
+	c.recorded = true
+	c.x.ev.Stats.RecordStep(c.sp, c.rowsIn, c.produced)
+}
+
+func (c *standoffCursor) Item() xqeval.Item { return c.cur }
+func (c *standoffCursor) Err() error        { return nil }
+
+func (c *standoffCursor) Close() {
+	c.record()
+	c.done = true
+	c.ctx, c.out, c.heap.items, c.scratch = nil, nil, nil, nil
+	c.i, c.oi = 0, 0
+}
+
+// preHeap is a binary min-heap of node items keyed by pre rank — the
+// document-order heap of the streaming merge (all items share one document,
+// so pre order is document order and equal pres are the same node).
+type preHeap struct {
+	items []xqeval.Item
+}
+
+func (h *preHeap) len() int         { return len(h.items) }
+func (h *preHeap) top() xqeval.Item { return h.items[0] }
+
+func (h *preHeap) push(it xqeval.Item) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].Pre <= h.items[i].Pre {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *preHeap) pop() xqeval.Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].Pre < h.items[small].Pre {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].Pre < h.items[small].Pre {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

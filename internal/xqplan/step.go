@@ -81,6 +81,61 @@ type strategyKey struct {
 	band     uint8
 }
 
+// Streamability classifies how a step may execute as the final operator of a
+// pipelined path: not at all, per context node (forward tree axes), or per
+// context chunk through the StandOff join plus ordered dedup merge. The
+// classification is static — the run time still has to check the conditions
+// only it can see (disjoint context subtrees for StreamTree, a
+// single-document node context for StreamChunked) and falls back to the bulk
+// step when they fail.
+type Streamability int
+
+const (
+	// StreamNone: the step materialises (predicates re-rank positions per
+	// context group; reject steps are anti-joins over the whole context).
+	StreamNone Streamability = iota
+	// StreamTree: a forward tree axis whose per-node results stay inside
+	// the context node's subtree — streams one context node at a time when
+	// the context subtrees are disjoint.
+	StreamTree
+	// StreamChunked: a StandOff select step — the loop-lifted join runs per
+	// chunk of context nodes and the chunk outputs merge through a
+	// document-order heap with cross-chunk dedup, emission gated by the
+	// candidate-interval watermark.
+	StreamChunked
+)
+
+func (s Streamability) String() string {
+	switch s {
+	case StreamTree:
+		return "per-node"
+	case StreamChunked:
+		return "chunked"
+	default:
+		return "none"
+	}
+}
+
+// Streamability returns the step's static streaming classification.
+func (sp *StepPlan) Streamability() Streamability {
+	if len(sp.Predicates) > 0 {
+		return StreamNone
+	}
+	if sp.StandOff {
+		if sp.Axis == xpath.AxisSelectNarrow || sp.Axis == xpath.AxisSelectWide {
+			return StreamChunked
+		}
+		return StreamNone
+	}
+	switch sp.Axis {
+	case xpath.AxisChild, xpath.AxisDescendant, xpath.AxisDescendantOrSelf,
+		xpath.AxisSelf, xpath.AxisAttribute:
+		return StreamTree
+	default:
+		return StreamNone
+	}
+}
+
 // Program is the compiled step sequence of one path expression, with the //
 // fusion applied (a Program can be shorter than the source step list).
 type Program []*StepPlan

@@ -1,6 +1,126 @@
 package xqplan
 
-import "soxq/internal/xqast"
+import (
+	"strings"
+
+	"soxq/internal/xqast"
+)
+
+// ContainsStandOff reports whether e can evaluate a StandOff join: a path
+// step (or step predicate, or nested expression) with a StandOff axis, or a
+// call into a user-defined or so: function whose body this walk cannot see
+// (treated conservatively as containing one). The executor's nested-cursor
+// gate uses it at execution time over the shared immutable plan, so the
+// walk must be strictly read-only (visitChildren, not rewriteChildren —
+// even an identity rewrite is a write under concurrent executions).
+func ContainsStandOff(e xqast.Expr) bool {
+	found := false
+	var walk func(x xqast.Expr)
+	walk = func(x xqast.Expr) {
+		if x == nil || found {
+			return
+		}
+		switch v := x.(type) {
+		case *xqast.Path:
+			for _, st := range v.Steps {
+				if st.Axis.StandOff() {
+					found = true
+					return
+				}
+			}
+		case *xqast.FuncCall:
+			if !strings.HasPrefix(v.Name, "fn:") && strings.Contains(v.Name, ":") {
+				found = true
+				return
+			}
+		}
+		visitChildren(x, walk)
+	}
+	walk(e)
+	return found
+}
+
+// visitChildren calls f on every direct child expression of e without
+// writing anything back — the read-only sibling of rewriteChildren, for
+// analyses that run at execution time over the shared immutable plan.
+// (Routing through rewriteChildren with an identity function would not do:
+// it stores every result back into the AST, and even an identical-pointer
+// store is a write — a data race once plans are shared by concurrent
+// executions.) Its case list must stay in lockstep with rewriteChildren;
+// TestVisitChildrenMatchesRewrite pins that.
+func visitChildren(e xqast.Expr, f func(xqast.Expr)) {
+	switch v := e.(type) {
+	case *xqast.FLWOR:
+		for _, cl := range v.Clauses {
+			switch c := cl.(type) {
+			case *xqast.ForClause:
+				f(c.Seq)
+			case *xqast.LetClause:
+				f(c.Seq)
+			}
+		}
+		if v.Where != nil {
+			f(v.Where)
+		}
+		for i := range v.OrderBy {
+			f(v.OrderBy[i].Key)
+		}
+		f(v.Return)
+	case *xqast.Quantified:
+		f(v.Seq)
+		f(v.Satisfies)
+	case *xqast.IfExpr:
+		f(v.Cond)
+		f(v.Then)
+		f(v.Else)
+	case *xqast.Binary:
+		f(v.L)
+		f(v.R)
+	case *xqast.Unary:
+		f(v.X)
+	case *xqast.Path:
+		if v.Start != nil {
+			f(v.Start)
+		}
+		for _, step := range v.Steps {
+			for i := range step.Predicates {
+				f(step.Predicates[i])
+			}
+		}
+	case *xqast.Filter:
+		f(v.Base)
+		for i := range v.Predicates {
+			f(v.Predicates[i])
+		}
+	case *xqast.FuncCall:
+		for i := range v.Args {
+			f(v.Args[i])
+		}
+	case *xqast.DirectElem:
+		for ai := range v.Attrs {
+			for i := range v.Attrs[ai].Value {
+				f(v.Attrs[ai].Value[i])
+			}
+		}
+		for i := range v.Content {
+			f(v.Content[i])
+		}
+	case *xqast.Enclosed:
+		f(v.X)
+	case *xqast.ComputedElem:
+		if v.NameExpr != nil {
+			f(v.NameExpr)
+		}
+		f(v.Content)
+	case *xqast.ComputedAttr:
+		if v.NameExpr != nil {
+			f(v.NameExpr)
+		}
+		f(v.Content)
+	case *xqast.ComputedText:
+		f(v.Content)
+	}
+}
 
 // rewriteChildren applies f to every direct child expression of e, storing
 // the (possibly rewritten) result back in place. It is the single canonical

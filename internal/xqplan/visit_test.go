@@ -1,0 +1,102 @@
+package xqplan
+
+import (
+	"testing"
+
+	"soxq/internal/xqast"
+	"soxq/internal/xqparse"
+)
+
+// kitchenSink exercises every expression form both child enumerations must
+// know about: FLWOR (for/let/where/order by), quantified, if, binary, unary,
+// paths with predicates and a start expression, filters, function calls,
+// direct and computed constructors, enclosed expressions.
+const kitchenSink = `
+declare function local:f($x) { $x + 1 };
+for $a in doc("d.xml")//s[@start > 1][2]
+let $n := count($a/w)
+where some $q in (1, 2) satisfies $q > -$n
+order by $a/@id descending
+return if ($n > 0)
+  then <r id="{$a/@id}">{local:f($n)}, element e { $n }, attribute k { $n }, text { "t" }</r>
+  else ($a/select-narrow::w)[1]`
+
+// TestVisitChildrenMatchesRewrite pins that the read-only visitChildren
+// enumerates exactly the children rewriteChildren rewrites, over the whole
+// kitchen-sink AST — the two case lists must not drift apart, or an
+// execution-time analysis would silently skip expression forms.
+func TestVisitChildrenMatchesRewrite(t *testing.T) {
+	m, err := xqparse.Parse(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exprs []xqast.Expr
+	for _, fd := range m.Functions {
+		exprs = append(exprs, fd.Body)
+	}
+	exprs = append(exprs, m.Body)
+
+	checked := 0
+	var check func(e xqast.Expr)
+	check = func(e xqast.Expr) {
+		if e == nil {
+			return
+		}
+		var rewriteSeen []xqast.Expr
+		rewriteChildren(e, func(c xqast.Expr) xqast.Expr {
+			rewriteSeen = append(rewriteSeen, c)
+			return c
+		})
+		var visitSeen []xqast.Expr
+		visitChildren(e, func(c xqast.Expr) { visitSeen = append(visitSeen, c) })
+		if len(rewriteSeen) != len(visitSeen) {
+			t.Fatalf("%T: rewriteChildren saw %d children, visitChildren %d",
+				e, len(rewriteSeen), len(visitSeen))
+		}
+		for i := range rewriteSeen {
+			if rewriteSeen[i] != visitSeen[i] {
+				t.Fatalf("%T child %d: rewrite saw %T, visit saw %T",
+					e, i, rewriteSeen[i], visitSeen[i])
+			}
+		}
+		checked++
+		for _, c := range visitSeen {
+			check(c)
+		}
+	}
+	for _, e := range exprs {
+		check(e)
+	}
+	if checked < 30 {
+		t.Fatalf("kitchen sink walked only %d expressions — generator too small to pin the case lists", checked)
+	}
+}
+
+// TestContainsStandOff pins the execution-time classifier: StandOff axes
+// anywhere under the expression (including predicates) count, user/extension
+// function calls are conservatively treated as containing one, and plain
+// tree-axis forms do not.
+func TestContainsStandOff(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`1 to 5`, false},
+		{`doc("d.xml")//a/b`, false},
+		{`doc("d.xml")//a/select-narrow::b`, true},
+		{`doc("d.xml")//a[select-wide::b]/c`, true},
+		{`for $x in doc("d.xml")//a return $x/reject-wide::b`, true},
+		{`count(doc("d.xml")//a)`, false},
+		{`local:f(1)`, true},
+		{`(1, 2, doc("d.xml")//a/@id)`, false},
+	}
+	for _, c := range cases {
+		m, err := xqparse.Parse(`declare function local:f($x) { $x }; ` + c.q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.q, err)
+		}
+		if got := ContainsStandOff(m.Body); got != c.want {
+			t.Errorf("ContainsStandOff(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

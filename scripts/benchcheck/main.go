@@ -1,0 +1,128 @@
+// Command benchcheck compares the B/op column of `go test -bench` output on
+// stdin against the checked-in baseline (BENCH_stream.json) and exits
+// non-zero when any baselined benchmark regresses by more than the
+// configured tolerance — the memory-bound guard of the streaming pipeline's
+// CI job. Benchmarks missing from the input (e.g. skipped on a single-core
+// runner) fail the check too, so a silently-vanished cell cannot hide a
+// regression. With -update, the baseline file is rewritten from the input
+// instead.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkStreamExec -benchtime 3x . | go run ./scripts/benchcheck
+//	go test -run '^$' -bench BenchmarkStreamExec -benchtime 3x . | go run ./scripts/benchcheck -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Comment      string           `json:"_comment"`
+	TolerancePct float64          `json:"tolerance_pct"`
+	BytesPerOp   map[string]int64 `json:"bytes_per_op"`
+}
+
+// benchLine matches one benchmark result line with a B/op column, e.g.
+// "BenchmarkStreamExec/range-loop/exec-4  3  144670543 ns/op  222983376 B/op  122 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+(\d+) B/op`)
+
+func main() {
+	file := flag.String("baseline", "BENCH_stream.json", "baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured values instead of checking")
+	flag.Parse()
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	if base.TolerancePct <= 0 {
+		base.TolerancePct = 20
+	}
+
+	measured := map[string]int64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			b, _ := strconv.ParseInt(m[2], 10, 64)
+			measured[m[1]] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading bench output: %v", err)
+	}
+
+	if *update {
+		// Merge the measured cells in: a newly added benchmark enters the
+		// baseline here, while cells missing from this run (e.g. a partial
+		// -bench filter) keep their old values rather than silently losing
+		// their guard.
+		updated, added := 0, 0
+		for name, got := range measured {
+			if _, ok := base.BytesPerOp[name]; ok {
+				updated++
+			} else {
+				added++
+			}
+			base.BytesPerOp[name] = got
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline %s updated (%d cells refreshed, %d added, %d kept)\n",
+			*file, updated, added, len(base.BytesPerOp)-updated-added)
+		return
+	}
+
+	failed := false
+	for name := range measured {
+		if _, ok := base.BytesPerOp[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: measured but not in the baseline — re-baseline with -update so the new cell gets a regression guard\n", name)
+			failed = true
+		}
+	}
+	for name, want := range base.BytesPerOp {
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		deltaPct := 100 * (float64(got) - float64(want)) / float64(want)
+		switch {
+		case deltaPct > base.TolerancePct:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d B/op, baseline %d (+%.1f%% > %.0f%% tolerance)\n",
+				name, got, want, deltaPct, base.TolerancePct)
+			failed = true
+		case deltaPct < -base.TolerancePct:
+			fmt.Fprintf(os.Stderr, "benchcheck: note %s improved to %d B/op (baseline %d, %.1f%%) — consider re-baselining with -update\n",
+				name, got, want, deltaPct)
+		default:
+			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d B/op (baseline %d, %+.1f%%)\n", name, got, want, deltaPct)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

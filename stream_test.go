@@ -2,9 +2,11 @@ package soxq
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"soxq/internal/xmark"
 )
@@ -28,7 +30,26 @@ var streamCorpus = []string{
 	`let $scenes := doc("stable.xml")//scene return count($scenes)`,
 	`some $h in doc("stable.xml")//hit satisfies $h/@start > 400`,
 	`for $h in doc("stable.xml")//hit return $h/reject-narrow::scene`,
+	// Chunked StandOff final steps and nested cursor-valued loops.
+	`doc("stable.xml")//scene/select-wide::hit`,
+	`doc("stable.xml")//hit/select-wide::scene/@id`,
+	`for $s in doc("stable.xml")//scene for $h in doc("stable.xml")//hit
+	 where $h/@start >= $s/@start return ($s/@id, $h/@id)`,
+	`for $i in 1 to 40 for $j in 1 to $i return $j * $i`,
 	`doc("missing.xml")//x`,
+}
+
+// streamMatrix is the public equivalence grid: StreamChunk from degenerate
+// (1) to unbounded (0, the Stream default) crossed with single-threaded and
+// partitioned execution — the same cells as the internal pipeline matrix.
+func streamMatrix() []Config {
+	var cfgs []Config
+	for _, chunk := range []int{1, 2, 7, 64, 0} {
+		for _, par := range []int{1, 4} {
+			cfgs = append(cfgs, Config{StreamChunk: chunk, Parallelism: par})
+		}
+	}
+	return cfgs
 }
 
 func streamEngine(t testing.TB) *Engine {
@@ -59,21 +80,16 @@ func drainStream(cur *Cursor) (string, error) {
 }
 
 // TestStreamExecEquivalence is the public equivalence property: for every
-// corpus query and configuration, Stream drains to byte-identical output as
-// Exec's materialised Result (or fails with the identical error). The
-// configurations cross chunk sizes — including a degenerate chunk of 1 —
-// with parallel partitioning.
+// corpus query and every cell of the chunk x parallelism matrix — plus the
+// forced-mode and no-pushdown rows — Stream drains to byte-identical output
+// as Exec's materialised Result (or fails with the identical error).
 func TestStreamExecEquivalence(t *testing.T) {
 	eng := streamEngine(t)
-	cfgs := []Config{
-		{},
-		{StreamChunk: 1},
-		{StreamChunk: 3},
-		{StreamChunk: 3, Parallelism: 4},
-		{Parallelism: 2},
-		{Mode: ModeBasic},
-		{NoPushdown: true},
-	}
+	cfgs := append(streamMatrix(),
+		Config{Mode: ModeBasic},
+		Config{Mode: ModeLoopLifted},
+		Config{NoPushdown: true},
+	)
 	for _, q := range streamCorpus {
 		prep, err := eng.Prepare(q)
 		if err != nil {
@@ -147,26 +163,89 @@ func TestStreamLargeLoopParallel(t *testing.T) {
 	}
 }
 
-// TestStreamEarlyClose: abandoning a parallel stream after a few items must
-// not leak or deadlock, and Err stays nil.
-func TestStreamEarlyClose(t *testing.T) {
+// TestStreamNestedConcurrent streams a nested FLWOR (cursor-valued inner
+// binding) from several goroutines over one shared Prepared — the -race
+// guard for the nested-cursor decision path, which inspects the shared
+// immutable plan at execution time (a write anywhere in that inspection is
+// a race exactly here).
+func TestStreamNestedConcurrent(t *testing.T) {
 	eng := streamEngine(t)
-	prep, err := eng.Prepare(`for $i in 1 to 100000 return $i`)
+	prep, err := eng.Prepare(
+		`for $s in doc("stable.xml")//scene for $i in 1 to 50 return ($s/@id, $i)`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cfg := range []Config{{StreamChunk: 16}, {StreamChunk: 16, Parallelism: 4}} {
-		cur, err := prep.Stream(cfg)
+	ref, err := prep.Exec(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		cfg := Config{StreamChunk: 1 + g*3, Parallelism: g % 3}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur, err := prep.Stream(cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := drainStream(cur)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != want {
+				errs <- fmt.Errorf("cfg %+v diverged", cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStreamEarlyClose: abandoning a stream after a few items — including a
+// partitioned one and a nested-loop one — must not deadlock, must terminate
+// every worker goroutine, and Err stays nil.
+func TestStreamEarlyClose(t *testing.T) {
+	eng := streamEngine(t)
+	for _, q := range []string{
+		`for $i in 1 to 100000 return $i`,
+		`for $i in 1 to 100000 for $j in 1 to 50 return $j`,
+	} {
+		prep, err := eng.Prepare(q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < 10 && cur.Next(); i++ {
-		}
-		if err := cur.Close(); err != nil {
-			t.Fatalf("cfg %+v: Close = %v", cfg, err)
-		}
-		if cur.Next() {
-			t.Fatalf("cfg %+v: Next after Close", cfg)
+		for _, cfg := range []Config{{StreamChunk: 16}, {StreamChunk: 16, Parallelism: 4}} {
+			baseline := runtime.NumGoroutine()
+			cur, err := prep.Stream(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10 && cur.Next(); i++ {
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatalf("cfg %+v: Close = %v", cfg, err)
+			}
+			if cur.Next() {
+				t.Fatalf("cfg %+v: Next after Close", cfg)
+			}
+			// Worker teardown is asynchronous; poll until the count drops
+			// back to the baseline.
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > baseline {
+				if time.Now().After(deadline) {
+					t.Fatalf("%q cfg %+v: %d goroutines leaked after Close",
+						q, cfg, runtime.NumGoroutine()-baseline)
+				}
+				time.Sleep(time.Millisecond)
+			}
 		}
 	}
 }
@@ -219,7 +298,7 @@ func TestStreamXMarkEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Q%d exec: %v", qn, err)
 		}
-		for _, cfg := range []Config{{}, {StreamChunk: 8}, {StreamChunk: 8, Parallelism: 4}} {
+		for _, cfg := range streamMatrix() {
 			cur, err := prep.Stream(cfg)
 			if err != nil {
 				t.Fatalf("Q%d stream: %v", qn, err)
