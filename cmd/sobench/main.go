@@ -24,6 +24,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -54,6 +55,10 @@ func main() {
 		"measure the Basic vs Loop-Lifted crossover on synthetic layers and report the implied cost-model overhead")
 	streamChunk := flag.Int("stream-chunk", 0,
 		"tuples (and StandOff context areas) per pipeline chunk for the stream variant (0 = default 1024)")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a CPU profile of each cell's measured run to this path plus a .qN.variant suffix")
+	memProfile := flag.String("memprofile", "",
+		"write a post-run heap profile of each cell to this path plus a .qN.variant suffix")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -62,7 +67,7 @@ func main() {
 	flag.Parse()
 
 	if *cellDoc != "" {
-		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk)
+		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk, *cpuProfile, *memProfile)
 		return
 	}
 	if *calibrate {
@@ -99,7 +104,7 @@ func main() {
 		}
 		for _, q := range queryList {
 			for _, variant := range variantList {
-				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk)
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk, *cpuProfile, *memProfile)
 				k := key{scale, q, variant}
 				if !ok {
 					results[k] = "DNF"
@@ -208,7 +213,7 @@ func ensureData(dir string, scale float64, seed uint64) (string, error) {
 
 // runCellSubprocess executes one measurement in a child process and kills it
 // at the timeout (DNF).
-func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int) (float64, bool) {
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int, cpuProfile, memProfile string) (float64, bool) {
 	args := []string{
 		"-run-cell-doc", soPath,
 		"-run-cell-query", strconv.Itoa(q),
@@ -219,6 +224,14 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 	}
 	if streamChunk > 0 {
 		args = append(args, "-stream-chunk", strconv.Itoa(streamChunk))
+	}
+	// Profiles go to one file per cell — a shared path would be overwritten
+	// by every later cell of the grid.
+	if cpuProfile != "" {
+		args = append(args, "-cpuprofile", cellProfilePath(cpuProfile, q, variant))
+	}
+	if memProfile != "" {
+		args = append(args, "-memprofile", cellProfilePath(memProfile, q, variant))
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
@@ -257,7 +270,12 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 // is compiled before the clock starts, so the cell times the join strategy
 // alone (the paper-figure mode); otherwise the cell includes parse+compile,
 // matching the pre-pipeline measurements.
-func runCell(soPath string, q int, variant string, prepare bool, streamChunk int) {
+// cellProfilePath derives the per-cell profile filename.
+func cellProfilePath(base string, q int, variant string) string {
+	return fmt.Sprintf("%s.q%d.%s", base, q, variant)
+}
+
+func runCell(soPath string, q int, variant string, prepare bool, streamChunk int, cpuProfile, memProfile string) {
 	cfg := soxq.Config{StreamChunk: streamChunk}
 	streamed := false
 	switch variant {
@@ -323,11 +341,40 @@ func runCell(soPath string, q int, variant string, prepare bool, streamChunk int
 	} else if prep, err = eng.Prepare(query); err != nil {
 		fatal("Q%d (%s): %v", q, variant, err)
 	}
+	// The CPU profile covers exactly the timed region; the heap profile is
+	// taken right after it (post-GC), so it shows what the run left live —
+	// retained pipeline state, not transient garbage.
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("starting CPU profile: %v", err)
+		}
+		defer f.Close()
+	}
 	items, err := run(prep)
 	if err != nil {
 		fatal("Q%d (%s): %v", q, variant, err)
 	}
 	secs := time.Since(start).Seconds()
+	if cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "  [cell] wrote CPU profile %s\n", cpuProfile)
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("writing heap profile: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "  [cell] wrote heap profile %s\n", memProfile)
+	}
 	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, items, secs)
 	fmt.Printf("seconds=%.6f\n", secs)
 }

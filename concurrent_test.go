@@ -134,6 +134,79 @@ func TestConcurrentPreparedAndCachedQuery(t *testing.T) {
 	}
 }
 
+// TestConcurrentStreamDrains drains one shared Prepared plan through two (and
+// more) concurrent streaming cursors. Each drain borrows join buffers from the
+// plan's shared arena pool and recycles its own chunk/seed/pre buffers, so
+// this pins — under `go test -race` — that pooled buffers are never visible to
+// two cursors at once and that per-cursor recycled state really is per-cursor.
+func TestConcurrentStreamDrains(t *testing.T) {
+	eng := New()
+	if err := eng.LoadXML("stable.xml", []byte(concurrentDoc)); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		// Join-only path: the pipelined standoffCursor over arena-recycled
+		// candidate buffers.
+		`doc("stable.xml")//scene/select-narrow::hit/@id`,
+		// Chunked FLWOR path: recycled chunk and seed buffers driving child
+		// cursors, plus a stand-off join inside the loop body.
+		`for $s in doc("stable.xml")//scene
+		 for $i in 1 to 4
+		 return string($s/select-narrow::hit/@id)`,
+	}
+	for _, query := range queries {
+		prep, err := eng.Prepare(query)
+		if err != nil {
+			t.Fatalf("Prepare(%s): %v", query, err)
+		}
+		ref, err := prep.Exec(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.String()
+
+		const (
+			goroutines = 4
+			drains     = 50
+		)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Different chunk sizes per goroutine so the concurrent
+				// cursors refill on different schedules and return buffers
+				// to the shared pool at different times.
+				cfg := Config{StreamChunk: g + 1}
+				for i := 0; i < drains; i++ {
+					cur, err := prep.Stream(cfg)
+					if err != nil {
+						t.Errorf("Stream: %v", err)
+						return
+					}
+					var sb strings.Builder
+					for cur.Next() {
+						if sb.Len() > 0 {
+							sb.WriteByte(' ')
+						}
+						sb.WriteString(cur.Value().XML())
+					}
+					if err := cur.Close(); err != nil {
+						t.Errorf("drain: %v", err)
+						return
+					}
+					if got := sb.String(); got != want {
+						t.Errorf("concurrent drain = %q, want %q", got, want)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
 // TestPlanCacheHitAndInvalidation pins the Query plan-cache contract:
 // repeated text hits, Declare and Unload invalidate.
 func TestPlanCacheHitAndInvalidation(t *testing.T) {

@@ -42,11 +42,21 @@ type listActive struct {
 }
 
 func newListActive(nKeys int32) *listActive {
-	best := make([]int64, nKeys)
-	for i := range best {
-		best[i] = math.MinInt64
+	return (&listActive{}).reset(nKeys)
+}
+
+// reset reinitialises the set for nKeys keys, keeping the backing arrays —
+// the arena-recycled construction path.
+func (l *listActive) reset(nKeys int32) *listActive {
+	if cap(l.best) < int(nKeys) {
+		l.best = make([]int64, nKeys)
 	}
-	return &listActive{best: best}
+	l.best = l.best[:nKeys]
+	for i := range l.best {
+		l.best[i] = math.MinInt64
+	}
+	l.items = l.items[:0]
+	return l
 }
 
 func (l *listActive) insert(key int32, end int64) bool {
@@ -134,11 +144,22 @@ type heapActive struct {
 }
 
 func newHeapActive(nKeys int32) *heapActive {
-	best := make([]int64, nKeys)
-	for i := range best {
-		best[i] = math.MinInt64
+	return (&heapActive{}).reset(nKeys)
+}
+
+// reset reinitialises the heap for nKeys keys, keeping the backing arrays.
+func (h *heapActive) reset(nKeys int32) *heapActive {
+	if cap(h.best) < int(nKeys) {
+		h.best = make([]int64, nKeys)
 	}
-	return &heapActive{best: best}
+	h.best = h.best[:nKeys]
+	for i := range h.best {
+		h.best[i] = math.MinInt64
+	}
+	h.heap = h.heap[:0]
+	h.scratch = h.scratch[:0]
+	h.live = 0
+	return h
 }
 
 func (h *heapActive) insert(key int32, end int64) bool {

@@ -8,27 +8,46 @@ import "sort"
 // pushed-down selection (e.g. an element name test), an index intersection
 // on node id is performed that preserves the start ordering of the region
 // index.
+//
+// The sequence is stored struct-of-arrays: parallel start/end/id columns in
+// each of the orders the joins consume, so the merge loops scan contiguous
+// memory instead of chasing per-row indirections. The unrestricted view
+// aliases the index's own columns; filtered views materialise their own.
 type Candidates struct {
 	ix  *RegionIndex
 	all bool
 
-	// Filtered views, used when !all. Region/bounds rows are indices into
-	// the index tables, in the table's own (start) order.
-	rows  []int32
-	bRows []int32
-	areas []int32
+	areas []int32 // candidate area pres, document order
 
-	endRows []int32 // region rows in end order (filtered); lazy
+	// Region columns, sorted by (start, end, id).
+	rStart, rEnd []int64
+	rID          []int32
 
-	// Suffix-min id arrays over the two row orders, backing the
-	// streaming-merge watermarks; lazy (see MinPreStartFrom/MinPreEndFrom).
+	// Bounds columns: one row per area (covering region), sorted by
+	// (start, end, id). Alias the region columns when every candidate is
+	// single-region.
+	bStart, bEnd []int64
+	bID          []int32
+
+	// Region columns sorted by (end, start, id); lazy for filtered views
+	// (see endCols), pre-built for FilterByName-cached ones.
+	eStart, eEnd []int64
+	eID          []int32
+
+	// Suffix-min id arrays over the start- and end-ordered columns, backing
+	// the streaming-merge watermarks; lazy (see MinPreStartFrom/MinPreEndFrom).
 	startMin []int32
 	endMin   []int32
 }
 
 // All returns the unrestricted candidate sequence (the whole index).
 func (ix *RegionIndex) All() *Candidates {
-	return &Candidates{ix: ix, all: true}
+	return &Candidates{
+		ix: ix, all: true,
+		areas:  ix.areas,
+		rStart: ix.rStart, rEnd: ix.rEnd, rID: ix.rID,
+		bStart: ix.bStart, bEnd: ix.bEnd, bID: ix.bID,
+	}
 }
 
 // Filter returns the candidate sequence restricted to the given node pres,
@@ -52,18 +71,22 @@ func (ix *RegionIndex) Filter(pres []int32) *Candidates {
 	if !sort.SliceIsSorted(c.areas, func(i, j int) bool { return c.areas[i] < c.areas[j] }) {
 		sort.Slice(c.areas, func(i, j int) bool { return c.areas[i] < c.areas[j] })
 	}
-	for i := int32(0); i < int32(len(ix.rID)); i++ {
+	for i := range ix.rID {
 		if id := ix.rID[i]; bits[id>>6]&(1<<(uint(id)&63)) != 0 {
-			c.rows = append(c.rows, i)
+			c.rStart = append(c.rStart, ix.rStart[i])
+			c.rEnd = append(c.rEnd, ix.rEnd[i])
+			c.rID = append(c.rID, id)
 		}
 	}
 	if !ix.multiRegion {
-		c.bRows = c.rows
+		c.bStart, c.bEnd, c.bID = c.rStart, c.rEnd, c.rID
 		return c
 	}
-	for i := int32(0); i < int32(len(ix.bID)); i++ {
+	for i := range ix.bID {
 		if id := ix.bID[i]; bits[id>>6]&(1<<(uint(id)&63)) != 0 {
-			c.bRows = append(c.bRows, i)
+			c.bStart = append(c.bStart, ix.bStart[i])
+			c.bEnd = append(c.bEnd, ix.bEnd[i])
+			c.bID = append(c.bID, id)
 		}
 	}
 	return c
@@ -79,10 +102,10 @@ func (ix *RegionIndex) FilterByName(nameID int32) *Candidates {
 		return v.(*Candidates)
 	}
 	c := ix.Filter(ix.doc.ElementsByName(nameID))
-	// Pre-build the end-order permutation and the watermark suffix-mins, so
+	// Pre-build the end-ordered columns and the watermark suffix-mins, so
 	// cached candidates are immediately usable by the overlap joins and the
 	// streaming merge without a lazy write after publication.
-	c.endPerm()
+	c.endCols()
 	c.startSuffixMin()
 	c.endSuffixMin()
 	actual, _ := ix.nameCands.LoadOrStore(nameID, c)
@@ -90,60 +113,70 @@ func (ix *RegionIndex) FilterByName(nameID int32) *Candidates {
 }
 
 // AreaPres returns the candidate area-annotation pres in document order.
-func (c *Candidates) AreaPres() []int32 {
-	if c.all {
-		return c.ix.areas
-	}
-	return c.areas
-}
+func (c *Candidates) AreaPres() []int32 { return c.areas }
 
 // Len returns the number of candidate areas.
-func (c *Candidates) Len() int { return len(c.AreaPres()) }
+func (c *Candidates) Len() int { return len(c.areas) }
 
-func (c *Candidates) regionLen() int {
-	if c.all {
-		return len(c.ix.rStart)
-	}
-	return len(c.rows)
+// boundsCols returns the bounds columns (one row per area) in start order.
+func (c *Candidates) boundsCols() (start, end []int64, id []int32) {
+	return c.bStart, c.bEnd, c.bID
 }
+
+// regionCols returns the region columns in start order.
+func (c *Candidates) regionCols() (start, end []int64, id []int32) {
+	return c.rStart, c.rEnd, c.rID
+}
+
+// endCols returns the region columns in (end, start, id) order. The
+// unrestricted view shares the index's lazily built columns; a filtered view
+// sorts its own once.
+func (c *Candidates) endCols() (start, end []int64, id []int32) {
+	if c.all {
+		return c.ix.endCols()
+	}
+	if c.eID == nil && len(c.rID) > 0 {
+		perm := make([]int32, len(c.rID))
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.Slice(perm, func(a, b int) bool {
+			i, j := perm[a], perm[b]
+			if c.rEnd[i] != c.rEnd[j] {
+				return c.rEnd[i] < c.rEnd[j]
+			}
+			if c.rStart[i] != c.rStart[j] {
+				return c.rStart[i] < c.rStart[j]
+			}
+			return c.rID[i] < c.rID[j]
+		})
+		c.eStart = permute64(c.rStart, perm)
+		c.eEnd = permute64(c.rEnd, perm)
+		c.eID = permute32(c.rID, perm)
+	}
+	return c.eStart, c.eEnd, c.eID
+}
+
+// regionLen returns the number of candidate region rows.
+func (c *Candidates) regionLen() int { return len(c.rID) }
 
 // regionRow returns the k-th candidate region row in start order.
 func (c *Candidates) regionRow(k int) (start, end int64, id int32) {
-	i := int32(k)
-	if !c.all {
-		i = c.rows[k]
-	}
-	return c.ix.rStart[i], c.ix.rEnd[i], c.ix.rID[i]
+	return c.rStart[k], c.rEnd[k], c.rID[k]
 }
 
 // regionRowByEnd returns the k-th candidate region row in end order.
 func (c *Candidates) regionRowByEnd(k int) (start, end int64, id int32) {
-	perm := c.endPerm()
-	i := perm[k]
-	return c.ix.rStart[i], c.ix.rEnd[i], c.ix.rID[i]
+	es, ee, eid := c.endCols()
+	return es[k], ee[k], eid[k]
 }
 
-func (c *Candidates) endPerm() []int32 {
-	if c.all {
-		return c.ix.endPerm()
-	}
-	if c.endRows == nil {
-		p := make([]int32, len(c.rows))
-		copy(p, c.rows)
-		ix := c.ix
-		sort.Slice(p, func(a, b int) bool {
-			i, j := p[a], p[b]
-			if ix.rEnd[i] != ix.rEnd[j] {
-				return ix.rEnd[i] < ix.rEnd[j]
-			}
-			if ix.rStart[i] != ix.rStart[j] {
-				return ix.rStart[i] < ix.rStart[j]
-			}
-			return ix.rID[i] < ix.rID[j]
-		})
-		c.endRows = p
-	}
-	return c.endRows
+func (c *Candidates) boundsLen() int { return len(c.bID) }
+
+// boundsRow returns the k-th candidate bounds row (one per area) in start
+// order.
+func (c *Candidates) boundsRow(k int) (start, end int64, id int32) {
+	return c.bStart[k], c.bEnd[k], c.bID[k]
 }
 
 // MinPreStartFrom returns the smallest candidate area pre whose bounding
@@ -154,10 +187,8 @@ func (c *Candidates) endPerm() []int32 {
 // returned value is final once the remaining context frontier reaches s.
 func (c *Candidates) MinPreStartFrom(s int64) (int32, bool) {
 	mins := c.startSuffixMin()
-	k := sort.Search(c.boundsLen(), func(k int) bool {
-		start, _, _ := c.boundsRow(k)
-		return start >= s
-	})
+	bs := c.bStart
+	k := sort.Search(len(bs), func(k int) bool { return bs[k] >= s })
 	if k >= len(mins) {
 		return 0, false
 	}
@@ -170,10 +201,8 @@ func (c *Candidates) MinPreStartFrom(s int64) (int32, bool) {
 // e must have a region ending at or after e.
 func (c *Candidates) MinPreEndFrom(e int64) (int32, bool) {
 	mins := c.endSuffixMin()
-	k := sort.Search(c.regionLen(), func(k int) bool {
-		_, end, _ := c.regionRowByEnd(k)
-		return end >= e
-	})
+	_, ee, _ := c.endCols()
+	k := sort.Search(len(ee), func(k int) bool { return ee[k] >= e })
 	if k >= len(mins) {
 		return 0, false
 	}
@@ -183,17 +212,15 @@ func (c *Candidates) MinPreEndFrom(e int64) (int32, bool) {
 // startSuffixMin returns the suffix-min of area ids over the bounds rows in
 // start order. Unfiltered candidates share the index's array; filtered ones
 // build their own lazily (a filtered Candidates cached by FilterByName has it
-// pre-built, like the end permutation, so cached candidates stay read-only).
+// pre-built, like the end-ordered columns, so cached candidates stay
+// read-only).
 func (c *Candidates) startSuffixMin() []int32 {
 	if c.all {
 		bMin, _ := c.ix.suffixMins()
 		return bMin
 	}
 	if c.startMin == nil {
-		c.startMin = suffixMinIDs(c.boundsLen(), func(k int) int32 {
-			_, _, id := c.boundsRow(k)
-			return id
-		})
+		c.startMin = suffixMinIDs(len(c.bID), func(k int) int32 { return c.bID[k] })
 	}
 	return c.startMin
 }
@@ -206,27 +233,8 @@ func (c *Candidates) endSuffixMin() []int32 {
 		return eMin
 	}
 	if c.endMin == nil {
-		c.endMin = suffixMinIDs(c.regionLen(), func(k int) int32 {
-			_, _, id := c.regionRowByEnd(k)
-			return id
-		})
+		_, _, eid := c.endCols()
+		c.endMin = suffixMinIDs(len(eid), func(k int) int32 { return eid[k] })
 	}
 	return c.endMin
-}
-
-func (c *Candidates) boundsLen() int {
-	if c.all {
-		return len(c.ix.bStart)
-	}
-	return len(c.bRows)
-}
-
-// boundsRow returns the k-th candidate bounds row (one per area) in start
-// order.
-func (c *Candidates) boundsRow(k int) (start, end int64, id int32) {
-	i := int32(k)
-	if !c.all {
-		i = c.bRows[k]
-	}
-	return c.ix.bStart[i], c.ix.bEnd[i], c.ix.bID[i]
 }

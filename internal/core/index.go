@@ -45,6 +45,11 @@ type RegionIndex struct {
 
 	endPermOnce sync.Once
 	rEndPerm    []int32 // region row indices ordered by (end, start, id)
+	// Flat region columns in (end, start, id) order — the overlap joins scan
+	// these contiguously instead of dereferencing rEndPerm per row.
+	eStart []int64
+	eEnd   []int64
+	eID    []int32
 
 	suffixOnce sync.Once
 	bSuffixMin []int32 // suffix-min of bID over the bounds rows (start order)
@@ -255,24 +260,35 @@ func (ix *RegionIndex) sortRows() {
 
 // endPerm returns region row indices ordered ascending by (end, start, id).
 func (ix *RegionIndex) endPerm() []int32 {
-	ix.endPermOnce.Do(func() {
-		p := make([]int32, len(ix.rStart))
-		for i := range p {
-			p[i] = int32(i)
-		}
-		sort.Slice(p, func(a, b int) bool {
-			i, j := p[a], p[b]
-			if ix.rEnd[i] != ix.rEnd[j] {
-				return ix.rEnd[i] < ix.rEnd[j]
-			}
-			if ix.rStart[i] != ix.rStart[j] {
-				return ix.rStart[i] < ix.rStart[j]
-			}
-			return ix.rID[i] < ix.rID[j]
-		})
-		ix.rEndPerm = p
-	})
+	ix.endPermOnce.Do(ix.buildEndOrder)
 	return ix.rEndPerm
+}
+
+// endCols returns the flat region columns in (end, start, id) order.
+func (ix *RegionIndex) endCols() (start, end []int64, id []int32) {
+	ix.endPermOnce.Do(ix.buildEndOrder)
+	return ix.eStart, ix.eEnd, ix.eID
+}
+
+func (ix *RegionIndex) buildEndOrder() {
+	p := make([]int32, len(ix.rStart))
+	for i := range p {
+		p[i] = int32(i)
+	}
+	sort.Slice(p, func(a, b int) bool {
+		i, j := p[a], p[b]
+		if ix.rEnd[i] != ix.rEnd[j] {
+			return ix.rEnd[i] < ix.rEnd[j]
+		}
+		if ix.rStart[i] != ix.rStart[j] {
+			return ix.rStart[i] < ix.rStart[j]
+		}
+		return ix.rID[i] < ix.rID[j]
+	})
+	ix.rEndPerm = p
+	ix.eStart = permute64(ix.rStart, p)
+	ix.eEnd = permute64(ix.rEnd, p)
+	ix.eID = permute32(ix.rID, p)
 }
 
 // suffixMins returns the whole-index suffix-min id arrays backing the
@@ -283,8 +299,8 @@ func (ix *RegionIndex) endPerm() []int32 {
 func (ix *RegionIndex) suffixMins() (bMin, eMin []int32) {
 	ix.suffixOnce.Do(func() {
 		ix.bSuffixMin = suffixMinIDs(len(ix.bID), func(k int) int32 { return ix.bID[k] })
-		ep := ix.endPerm()
-		ix.eSuffixMin = suffixMinIDs(len(ep), func(k int) int32 { return ix.rID[ep[k]] })
+		_, _, eid := ix.endCols()
+		ix.eSuffixMin = suffixMinIDs(len(eid), func(k int) int32 { return eid[k] })
 	})
 	return ix.bSuffixMin, ix.eSuffixMin
 }

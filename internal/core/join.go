@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sort"
 )
 
 // Op selects one of the four StandOff joins of section 3.1.
@@ -110,6 +111,10 @@ type JoinConfig struct {
 	UseHeap bool
 	// Trace receives execution events (Figure 4); nil disables tracing.
 	Trace Tracer
+	// Arena recycles join scratch and output buffers across invocations
+	// within one execution run; nil disables recycling. See JoinArena for
+	// the ownership contract of the returned pairs.
+	Arena *JoinArena
 }
 
 // Join evaluates one StandOff join. ctx holds the context nodes of all
@@ -117,15 +122,22 @@ type JoinConfig struct {
 // be < nIters); cand is the candidate sequence. The result is sorted by
 // (Iter, Pre) and duplicate-free. Context nodes that are not
 // area-annotations simply produce no matches.
+//
+// With cfg.Arena set, the returned slice is borrowed from the arena and is
+// valid only until the next Join call carrying the same arena.
 func Join(ix *RegionIndex, op Op, strat Strategy, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	cfg.Arena.reclaim()
+	var out []Pair
 	switch strat {
 	case StrategyNaive:
-		return joinNaive(ix, op, ctx, nIters, cand)
+		out = joinNaive(ix, op, ctx, nIters, cand)
 	case StrategyBasic:
-		return joinBasic(ix, op, ctx, nIters, cand, cfg)
+		out = joinBasic(ix, op, ctx, nIters, cand, cfg)
 	default:
-		return joinLoopLifted(ix, op, ctx, nIters, cand, cfg)
+		out = joinLoopLifted(ix, op, ctx, nIters, cand, cfg)
 	}
+	cfg.Arena.loan(out)
+	return out
 }
 
 // ctxRow is one region of a context area in the iter|start|end table.
@@ -138,10 +150,10 @@ type ctxRow struct {
 // any context area is multi-region. When pseudoKeys is true each ctx entry
 // becomes its own key (exact containment needs to know *which* context area
 // matched); pseudoToIter maps keys back to iterations.
-func buildCtxRows(ix *RegionIndex, ctx []CtxNode, pseudoKeys bool) (rows []ctxRow, pseudoToIter []int32, multi bool) {
-	rows = make([]ctxRow, 0, len(ctx))
+func buildCtxRows(ix *RegionIndex, ctx []CtxNode, pseudoKeys bool, a *JoinArena) (rows []ctxRow, pseudoToIter []int32, multi bool) {
+	rows = a.getCtxRows(len(ctx))
 	if pseudoKeys {
-		pseudoToIter = make([]int32, 0, len(ctx))
+		pseudoToIter = a.getPseudo(len(ctx))
 	}
 	for _, cn := range ctx {
 		regs := ix.RegionsOf(cn.Pre)
@@ -160,12 +172,16 @@ func buildCtxRows(ix *RegionIndex, ctx []CtxNode, pseudoKeys bool) (rows []ctxRo
 			rows = append(rows, ctxRow{key: key, start: r.Start, end: r.End})
 		}
 	}
-	slices.SortFunc(rows, func(a, b ctxRow) int {
-		if a.start != b.start {
-			return cmpI64(a.start, b.start)
+	slices.SortFunc(rows, func(x, y ctxRow) int {
+		if x.start != y.start {
+			return cmpI64(x.start, y.start)
 		}
-		return cmpI64(a.end, b.end)
+		return cmpI64(x.end, y.end)
 	})
+	a.putCtxRows(rows)
+	if pseudoKeys {
+		a.putPseudo(pseudoToIter)
+	}
 	return rows, pseudoToIter, multi
 }
 
@@ -183,6 +199,12 @@ func ctxHasMultiRegion(ix *RegionIndex, ctx []CtxNode) bool {
 }
 
 func newActiveSet(nKeys int32, cfg JoinConfig) activeSet {
+	if a := cfg.Arena; a != nil {
+		if cfg.UseHeap {
+			return a.heap.reset(nKeys)
+		}
+		return a.list.reset(nKeys)
+	}
 	if cfg.UseHeap {
 		return newHeapActive(nKeys)
 	}
@@ -191,6 +213,7 @@ func newActiveSet(nKeys int32, cfg JoinConfig) activeSet {
 
 // joinLoopLifted is the entry point of the Loop-Lifted StandOff MergeJoin.
 func joinLoopLifted(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	a := cfg.Arena
 	var matched []Pair
 	switch op {
 	case SelectNarrow, RejectNarrow:
@@ -198,9 +221,11 @@ func joinLoopLifted(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *C
 	case SelectWide, RejectWide:
 		matched = matchWide(ix, ctx, cand, cfg)
 	}
-	sortDedupPairs(&matched)
+	sortDedupPairs(&matched, a)
 	if op == RejectNarrow || op == RejectWide {
-		return complement(matched, nIters, cand.AreaPres())
+		out := complement(matched, nIters, cand.AreaPres(), a)
+		a.putPairs(matched)
+		return out
 	}
 	return matched
 }
@@ -215,7 +240,7 @@ func matchNarrow(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfi
 	// Fast path: every context area is a single region, so containment of a
 	// candidate area reduces to containment of its bounding region, and one
 	// dominant context region per iteration is exact.
-	rows, _, _ := buildCtxRows(ix, ctx, false)
+	rows, _, _ := buildCtxRows(ix, ctx, false, cfg.Arena)
 	nKeys := int32(0)
 	for _, r := range rows {
 		if r.key+1 > nKeys {
@@ -224,11 +249,11 @@ func matchNarrow(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfi
 	}
 	as := newActiveSet(nKeys, cfg)
 	tr := cfg.Trace
-	var emit emitState
+	emit := emitState{out: cfg.Arena.getPairs()}
 	i := 0
-	n := cand.boundsLen()
-	for k := 0; k < n; k++ {
-		cs, ce, cid := cand.boundsRow(k)
+	bStart, bEnd, bID := cand.boundsCols()
+	for k := 0; k < len(bID); k++ {
+		cs := bStart[k]
 		for i < len(rows) && rows[i].start <= cs {
 			if as.insert(rows[i].key, rows[i].end) {
 				if tr != nil {
@@ -240,9 +265,25 @@ func matchNarrow(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfi
 			i++
 		}
 		as.expire(cs)
+		if !fullScan && tr == nil && as.len() == 0 {
+			// Empty staircase: nothing can emit until the next context region
+			// enters, so fast-forward to the first candidate that admits it
+			// (rows[i].start > cs here — the merge loop above consumed every
+			// earlier row). With the context exhausted this is the early
+			// break. Tracing keeps the plain per-candidate walk so the event
+			// stream (skip-candidate per candidate) stays byte-identical.
+			if i == len(rows) {
+				break
+			}
+			next := rows[i].start
+			lo := k + 1
+			k = lo + sort.Search(len(bID)-lo, func(j int) bool { return bStart[lo+j] >= next }) - 1
+			continue
+		}
+		cid := bID[k]
 		before := len(emit.out)
 		emit.pre = cid
-		as.forEach(ce, emit.callback())
+		as.forEach(bEnd[k], emit.callback())
 		if tr != nil {
 			if len(emit.out) > before {
 				for _, p := range emit.out[before:] {
@@ -284,20 +325,30 @@ func (e *emitState) callback() func(key int32) {
 // a candidate matches a context area only if *all* its regions were matched
 // by that same area (the paper's omitted post-processing, section 4.5).
 func matchNarrowExact(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig, fullScan bool) []Pair {
-	rows, pseudoToIter, _ := buildCtxRows(ix, ctx, true)
+	a := cfg.Arena
+	rows, pseudoToIter, _ := buildCtxRows(ix, ctx, true, a)
 	as := newActiveSet(int32(len(pseudoToIter)), cfg)
-	var emit emitState
+	emit := emitState{out: a.getPairs()}
 	i := 0
-	n := cand.regionLen()
-	for k := 0; k < n; k++ {
-		cs, ce, cid := cand.regionRow(k)
+	rStart, rEnd, rID := cand.regionCols()
+	for k := 0; k < len(rID); k++ {
+		cs := rStart[k]
 		for i < len(rows) && rows[i].start <= cs {
 			as.insert(rows[i].key, rows[i].end)
 			i++
 		}
 		as.expire(cs)
-		emit.pre = cid
-		as.forEach(ce, emit.callback())
+		if !fullScan && as.len() == 0 {
+			if i == len(rows) {
+				break
+			}
+			next := rows[i].start
+			lo := k + 1
+			k = lo + sort.Search(len(rID)-lo, func(j int) bool { return rStart[lo+j] >= next }) - 1
+			continue
+		}
+		emit.pre = rID[k]
+		as.forEach(rEnd[k], emit.callback())
 		if !fullScan && i == len(rows) && as.maxEnd() < cs {
 			break
 		}
@@ -311,7 +362,7 @@ func matchNarrowExact(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg Join
 		}
 		return int(x.Pre) - int(y.Pre)
 	})
-	var out []Pair
+	out := a.getPairs()
 	for s := 0; s < len(hits); {
 		e := s
 		for e < len(hits) && hits[e] == hits[s] {
@@ -324,6 +375,7 @@ func matchNarrowExact(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg Join
 		}
 		s = e
 	}
+	a.putPairs(hits)
 	return out
 }
 
@@ -333,7 +385,7 @@ func matchNarrowExact(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg Join
 // monotone; the per-iteration dominant context region is exact because the
 // overlap test only constrains start from above and end from below.
 func matchWide(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig) []Pair {
-	rows, _, _ := buildCtxRows(ix, ctx, false)
+	rows, _, _ := buildCtxRows(ix, ctx, false, cfg.Arena)
 	nKeys := int32(0)
 	for _, r := range rows {
 		if r.key+1 > nKeys {
@@ -341,17 +393,30 @@ func matchWide(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig)
 		}
 	}
 	as := newActiveSet(nKeys, cfg)
-	var emit emitState
+	emit := emitState{out: cfg.Arena.getPairs()}
 	i := 0
-	n := cand.regionLen()
-	for k := 0; k < n; k++ {
-		cs, ce, cid := cand.regionRowByEnd(k)
+	eStart, eEnd, eID := cand.endCols()
+	for k := 0; k < len(eID); k++ {
+		ce := eEnd[k]
 		for i < len(rows) && rows[i].start <= ce {
 			as.insert(rows[i].key, rows[i].end)
 			i++
 		}
-		emit.pre = cid
-		as.forEach(cs, emit.callback())
+		if as.len() == 0 {
+			// Nothing active (no context region admitted yet — matchWide
+			// never removes entries, so this only holds on the leading
+			// candidate run): fast-forward to the first candidate whose end
+			// reaches the next context region's start.
+			if i == len(rows) {
+				break
+			}
+			next := rows[i].start
+			lo := k + 1
+			k = lo + sort.Search(len(eID)-lo, func(j int) bool { return eEnd[lo+j] >= next }) - 1
+			continue
+		}
+		emit.pre = eID[k]
+		as.forEach(eStart[k], emit.callback())
 	}
 	return emit.out
 }
@@ -360,8 +425,17 @@ func matchWide(ix *RegionIndex, ctx []CtxNode, cand *Candidates, cfg JoinConfig)
 // all candidate areas that were not matched. matched must be sorted by
 // (Iter, Pre) and duplicate-free; areas is the candidate pre list in
 // document order.
-func complement(matched []Pair, nIters int32, areas []int32) []Pair {
-	out := make([]Pair, 0, int(nIters)*len(areas)-len(matched))
+func complement(matched []Pair, nIters int32, areas []int32, a *JoinArena) []Pair {
+	// The matched pairs are a sorted, duplicate-free subset of the
+	// iteration × area grid, so the remainder count is the exact output
+	// size. Clamp at zero so a contract-violating caller (duplicates in
+	// matched) degrades to append growth instead of a negative-capacity
+	// panic.
+	want := int(nIters)*len(areas) - len(matched)
+	if want < 0 {
+		want = 0
+	}
+	out := a.getPairsCap(want)
 	m := 0
 	for iter := int32(0); iter < nIters; iter++ {
 		for _, pre := range areas {
@@ -390,7 +464,7 @@ func cmpI64(a, b int64) int {
 // inputs use a counting sort over the iteration column (the joins emit in
 // candidate order, so iterations arrive interleaved but each iteration's
 // bucket is small and cheap to sort).
-func sortDedupPairs(pairs *[]Pair) {
+func sortDedupPairs(pairs *[]Pair, a *JoinArena) {
 	p := *pairs
 	if len(p) >= 64 {
 		maxIter := int32(0)
@@ -400,23 +474,25 @@ func sortDedupPairs(pairs *[]Pair) {
 			}
 		}
 		if int(maxIter) < 4*len(p) { // counting sort pays off
-			off := make([]int32, maxIter+2)
+			off := a.getOff(int(maxIter) + 2)
 			for _, x := range p {
 				off[x.Iter+1]++
 			}
 			for i := 1; i < len(off); i++ {
 				off[i] += off[i-1]
 			}
-			sorted := make([]Pair, len(p))
-			fill := append([]int32(nil), off[:len(off)-1]...)
+			sorted := a.getPairsLen(len(p))
+			fill := a.getFill(int(maxIter) + 1)
+			copy(fill, off[:len(off)-1])
 			for _, x := range p {
 				sorted[fill[x.Iter]] = x
 				fill[x.Iter]++
 			}
 			for i := int32(0); i <= maxIter; i++ {
 				bucket := sorted[off[i]:off[i+1]]
-				slices.SortFunc(bucket, func(a, b Pair) int { return int(a.Pre) - int(b.Pre) })
+				slices.SortFunc(bucket, func(x, y Pair) int { return int(x.Pre) - int(y.Pre) })
 			}
+			a.putPairs(p)
 			p = sorted
 		} else {
 			sortPairsDirect(p)
@@ -446,17 +522,19 @@ func sortPairsDirect(p []Pair) {
 // is re-run for every iteration, so every iteration pays a fresh scan of the
 // candidate sequence (the behaviour that makes XMark Q2 DNF in Figure 6).
 func joinBasic(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candidates, cfg JoinConfig) []Pair {
+	a := cfg.Arena
 	byIter := make([][]CtxNode, nIters)
 	for _, cn := range ctx {
 		byIter[cn.Iter] = append(byIter[cn.Iter], cn)
 	}
-	var all []Pair
+	all := a.getPairs()
+	local := a.getCtxNodes(len(ctx))
 	for iter := int32(0); iter < nIters; iter++ {
 		group := byIter[iter]
 		// Remap the group to a single iteration and run the full merge.
-		local := make([]CtxNode, len(group))
-		for i, cn := range group {
-			local[i] = CtxNode{Iter: 0, Pre: cn.Pre}
+		local = local[:0]
+		for _, cn := range group {
+			local = append(local, CtxNode{Iter: 0, Pre: cn.Pre})
 		}
 		var matched []Pair
 		switch op {
@@ -465,14 +543,18 @@ func joinBasic(ix *RegionIndex, op Op, ctx []CtxNode, nIters int32, cand *Candid
 		default:
 			matched = matchWide(ix, local, cand, cfg)
 		}
-		sortDedupPairs(&matched)
+		sortDedupPairs(&matched, a)
 		if op == RejectNarrow || op == RejectWide {
-			matched = complement(matched, 1, cand.AreaPres())
+			comp := complement(matched, 1, cand.AreaPres(), a)
+			a.putPairs(matched)
+			matched = comp
 		}
 		for _, p := range matched {
 			all = append(all, Pair{Iter: iter, Pre: p.Pre})
 		}
+		a.putPairs(matched)
 	}
+	a.putCtxNodes(local)
 	return all
 }
 

@@ -160,7 +160,7 @@ func TestQuickSortDedupPairs(t *testing.T) {
 			ref[p] = true
 		}
 		got := append([]Pair(nil), pairs...)
-		sortDedupPairs(&got)
+		sortDedupPairs(&got, nil)
 		if len(got) != len(ref) {
 			return false
 		}
@@ -184,7 +184,7 @@ func TestQuickSortDedupPairs(t *testing.T) {
 		big = append(big, Pair{Iter: rng.Int31n(20), Pre: rng.Int31n(40)})
 	}
 	cp := append([]Pair(nil), big...)
-	sortDedupPairs(&cp)
+	sortDedupPairs(&cp, nil)
 	direct := append([]Pair(nil), big...)
 	sortPairsDirect(direct)
 	out := direct[:0]

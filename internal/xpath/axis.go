@@ -190,43 +190,55 @@ func Step(d *tree.Doc, axis Axis, test Test, pre int32) []int32 {
 	return CompiledStep(d, axis, Compile(d, test), pre)
 }
 
-// CompiledStep is Step with a pre-compiled test.
+// CompiledStep is Step with a pre-compiled test. A descendant name test
+// returns a slice of the element-name index directly — zero-copy, so callers
+// must treat the result as read-only.
 func CompiledStep(d *tree.Doc, axis Axis, c Compiled, pre int32) []int32 {
-	var out []int32
+	if axis == AxisDescendant && c.isElementNameTest() {
+		return indexRange(d, c.nameID, pre+1, pre+d.Size(pre))
+	}
+	return AppendCompiledStep(nil, d, axis, c, pre)
+}
+
+// AppendCompiledStep appends the step result to dst and returns the extended
+// slice — the allocation-free form of CompiledStep for hot loops that
+// evaluate one step over many context nodes into a recycled buffer.
+func AppendCompiledStep(dst []int32, d *tree.Doc, axis Axis, c Compiled, pre int32) []int32 {
 	switch axis {
 	case AxisChild:
 		for ch := d.FirstChild(pre); ch >= 0; ch = d.NextSibling(ch) {
 			if c.Matches(d, ch) {
-				out = append(out, ch)
+				dst = append(dst, ch)
 			}
 		}
 	case AxisDescendant:
-		out = descendants(d, c, pre, false)
+		dst = appendDescendants(dst, d, c, pre, false)
 	case AxisDescendantOrSelf:
-		out = descendants(d, c, pre, true)
+		dst = appendDescendants(dst, d, c, pre, true)
 	case AxisSelf:
 		if c.Matches(d, pre) {
-			out = append(out, pre)
+			dst = append(dst, pre)
 		}
 	case AxisParent:
 		if p := d.Parent(pre); p >= 0 && c.Matches(d, p) {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	case AxisAncestor, AxisAncestorOrSelf:
 		start := d.Parent(pre)
 		if axis == AxisAncestorOrSelf {
 			start = pre
 		}
+		mark := len(dst)
 		for p := start; p >= 0; p = d.Parent(p) {
 			if c.Matches(d, p) {
-				out = append(out, p)
+				dst = append(dst, p)
 			}
 		}
-		reverse(out) // collected innermost-first; report document order
+		reverse(dst[mark:]) // collected innermost-first; report document order
 	case AxisFollowingSibling:
 		for s := d.NextSibling(pre); s >= 0; s = d.NextSibling(s) {
 			if c.Matches(d, s) {
-				out = append(out, s)
+				dst = append(dst, s)
 			}
 		}
 	case AxisPrecedingSibling:
@@ -236,57 +248,63 @@ func CompiledStep(d *tree.Doc, axis Axis, c Compiled, pre int32) []int32 {
 		}
 		for s := d.FirstChild(parent); s >= 0 && s < pre; s = d.NextSibling(s) {
 			if c.Matches(d, s) {
-				out = append(out, s)
+				dst = append(dst, s)
 			}
 		}
 	case AxisFollowing:
-		out = scanRange(d, c, pre+d.Size(pre)+1, int32(d.NumNodes())-1)
+		dst = appendScanRange(dst, d, c, pre+d.Size(pre)+1, int32(d.NumNodes())-1)
 	case AxisPreceding:
-		for _, p := range scanRange(d, c, 0, pre-1) {
-			if !d.IsAncestorOf(p, pre) {
-				out = append(out, p)
+		if c.isElementNameTest() {
+			for _, p := range indexRange(d, c.nameID, 0, pre-1) {
+				if !d.IsAncestorOf(p, pre) {
+					dst = append(dst, p)
+				}
+			}
+			break
+		}
+		for p := int32(0); p <= pre-1; p++ {
+			if c.Matches(d, p) && !d.IsAncestorOf(p, pre) {
+				dst = append(dst, p)
 			}
 		}
 	default:
 		panic(fmt.Sprintf("xpath: Step cannot evaluate axis %v", axis))
 	}
-	return out
+	return dst
 }
 
-// descendants returns matching nodes in (pre, pre+size] (plus pre itself
-// with orSelf), using the element-name index when the test allows.
-func descendants(d *tree.Doc, c Compiled, pre int32, orSelf bool) []int32 {
-	var out []int32
+// appendDescendants appends matching nodes in (pre, pre+size] (plus pre
+// itself with orSelf), using the element-name index when the test allows.
+func appendDescendants(dst []int32, d *tree.Doc, c Compiled, pre int32, orSelf bool) []int32 {
 	if orSelf && c.Matches(d, pre) {
-		out = append(out, pre)
+		dst = append(dst, pre)
 	}
 	lo, hi := pre+1, pre+d.Size(pre)
 	if c.isElementNameTest() {
-		return append(out, indexRange(d, c.nameID, lo, hi)...)
+		return append(dst, indexRange(d, c.nameID, lo, hi)...)
 	}
 	for p := lo; p <= hi; p++ {
 		if c.Matches(d, p) {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
-// scanRange returns matching nodes in [lo, hi].
-func scanRange(d *tree.Doc, c Compiled, lo, hi int32) []int32 {
+// appendScanRange appends matching nodes in [lo, hi].
+func appendScanRange(dst []int32, d *tree.Doc, c Compiled, lo, hi int32) []int32 {
 	if lo < 0 {
 		lo = 0
 	}
-	var out []int32
 	if c.isElementNameTest() {
-		return indexRange(d, c.nameID, lo, hi)
+		return append(dst, indexRange(d, c.nameID, lo, hi)...)
 	}
 	for p := lo; p <= hi; p++ {
 		if c.Matches(d, p) {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
 // indexRange slices the element-name index to pres within [lo, hi].

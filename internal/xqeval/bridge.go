@@ -65,18 +65,15 @@ func (f *Frame) BindSeq(name string, seq LLSeq) *Frame {
 // returned frame (or any sequence produced under it) is still in use.
 func (f *Frame) BindChunk(varName, posName string, items []Item, basePos int64) *Frame {
 	n := len(items)
-	outerOf := make([]int32, n) // all tuples descend from root iteration 0
-	nf := f.expand(outerOf)
-	seq := LLSeq{Off: make([]int32, n+1), Items: items}
-	for i := 0; i < n; i++ {
-		seq.Off[i+1] = int32(i + 1)
-	}
-	nf = nf.bind(varName, newBinding(seq))
+	// All tuples descend from root iteration 0: a broadcast expansion, so
+	// the outer bindings carry over without per-tuple indirection arrays,
+	// and the one-item-per-iteration offsets come from the shared table.
+	nf := f.expandBroadcast(n)
+	nf = nf.bind(varName, newBinding(LLSeq{Off: ascOff(n), Items: items}))
 	if posName != "" {
-		ps := LLSeq{Off: make([]int32, n+1), Items: make([]Item, n)}
+		ps := LLSeq{Off: ascOff(n), Items: make([]Item, n)}
 		for i := 0; i < n; i++ {
 			ps.Items[i] = Int(basePos + int64(i) + 1)
-			ps.Off[i+1] = int32(i + 1)
 		}
 		nf = nf.bind(posName, newBinding(ps))
 	}
@@ -206,7 +203,16 @@ type StandOffStream struct {
 	test       xpath.Compiled
 	wide       bool
 	strat      core.Strategy
+
+	// Per-stream scratch, recycled across chunks: the context-node rows
+	// handed to the join and the pre buffer handed back to the cursor.
+	ctxBuf  []core.CtxNode
+	outPres []int32
 }
+
+// Doc returns the stream's document (the cursor materialises result items
+// from pres against it).
+func (s *StandOffStream) Doc() *tree.Doc { return s.d }
 
 // NewStandOffStream resolves one StandOff select step against a single
 // document for chunked execution. ctxRows is the step's full context
@@ -252,24 +258,32 @@ func (s *StandOffStream) CtxStart(it Item) (int64, bool) {
 	return regs[0].Start, true
 }
 
-// JoinChunk runs the step's join over one chunk of context nodes and returns
-// the matching candidate items, sorted and duplicate-free in document order.
-// One ANALYZE join invocation is recorded per chunk — the chunked run truly
-// executes that many merges.
-func (s *StandOffStream) JoinChunk(chunk []Item) []Item {
-	ctx := make([]core.CtxNode, len(chunk))
-	for i, it := range chunk {
-		ctx[i] = core.CtxNode{Iter: 0, Pre: it.Pre}
+// JoinChunkPres runs the step's join over one chunk of context node pres and
+// returns the matching candidate pres, sorted and duplicate-free in document
+// order. The returned slice is the stream's recycled buffer — valid only
+// until the next JoinChunkPres call. One ANALYZE join invocation is recorded
+// per chunk — the chunked run truly executes that many merges.
+func (s *StandOffStream) JoinChunkPres(chunk []int32) []int32 {
+	if cap(s.ctxBuf) < len(chunk) {
+		s.ctxBuf = make([]core.CtxNode, len(chunk))
+	}
+	ctx := s.ctxBuf[:len(chunk)]
+	for i, pre := range chunk {
+		ctx[i] = core.CtxNode{Iter: 0, Pre: pre}
 	}
 	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat)
 	pairs := core.Join(s.ix, s.sp.SO.Op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
-	out := make([]Item, 0, len(pairs))
+	out := s.outPres[:0]
+	if cap(out) < len(pairs) {
+		out = make([]int32, 0, len(pairs))
+	}
 	for _, pr := range pairs {
 		if s.postFilter && !s.test.Matches(s.d, pr.Pre) {
 			continue
 		}
-		out = append(out, NodeItem(s.d, pr.Pre))
+		out = append(out, pr.Pre)
 	}
+	s.outPres = out
 	return out
 }
 
@@ -287,10 +301,31 @@ func (s *StandOffStream) Watermark(frontier int64) (int32, bool) {
 
 // Fork returns a copy of the evaluator for use by a worker goroutine: all
 // configuration and the shared immutable plan carry over, the per-run
-// recursion depth starts fresh. The parallel FLWOR partitioner forks one
-// evaluator per chunk.
+// recursion depth starts fresh and the join arena is dropped — arenas are
+// single-goroutine; a worker that wants one attaches its own. The parallel
+// FLWOR partitioner forks one evaluator per worker.
 func (ev *Evaluator) Fork() *Evaluator {
 	nev := *ev
 	nev.depth = 0
+	nev.JoinCfg.Arena = nil
+	nev.stepPres = nil // scratch is single-goroutine too
 	return &nev
+}
+
+// AttachArena equips the evaluator with a pooled join arena for one
+// execution run; a no-op when one is already attached. The owner of the run
+// must call DetachArena when the run's cursor closes.
+func (ev *Evaluator) AttachArena() {
+	if ev.JoinCfg.Arena == nil {
+		ev.JoinCfg.Arena = core.AcquireJoinArena()
+	}
+}
+
+// DetachArena releases the attached arena (and every buffer on loan from
+// it) back to the pool. Safe to call repeatedly.
+func (ev *Evaluator) DetachArena() {
+	if a := ev.JoinCfg.Arena; a != nil {
+		ev.JoinCfg.Arena = nil
+		a.Release()
+	}
 }

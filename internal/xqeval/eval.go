@@ -50,10 +50,18 @@ type Evaluator struct {
 	MaxRecursion int
 
 	depth int
+
+	// stepPres is the recycled per-context-node pre buffer of the fast
+	// tree-step path (single-goroutine, like the evaluator itself).
+	stepPres []int32
 }
 
 // Run executes the compiled plan and returns the result sequence.
 func (ev *Evaluator) Run() ([]Item, error) {
+	if ev.JoinCfg.Arena == nil {
+		ev.AttachArena()
+		defer ev.DetachArena()
+	}
 	f, err := ev.NewRootFrame()
 	if err != nil {
 		return nil, err
@@ -78,8 +86,8 @@ func (ev *Evaluator) eval(e xqast.Expr, f *frame) (LLSeq, error) {
 	case *xqast.EmptySeq:
 		return NewLL(f.n), nil
 	case *xqast.VarRef:
-		b, ok := f.vars[v.Name]
-		if !ok {
+		b := f.lookup(v.Name)
+		if b == nil {
 			return LLSeq{}, errf(codeUndefVar, "undeclared variable $%s", v.Name)
 		}
 		return b.materialize(), nil
@@ -130,10 +138,9 @@ func (ev *Evaluator) evalBinary(v *xqast.Binary, f *frame) (LLSeq, error) {
 		if err != nil {
 			return LLSeq{}, err
 		}
-		b := newLLBuilder(f.n)
+		b := newLLBuilderCap(f.n, l.Total()+r.Total())
 		for i := 0; i < f.n; i++ {
-			items := append(append([]Item{}, l.Group(i)...), r.Group(i)...)
-			b.add(items...)
+			b.add2(l.Group(i), r.Group(i))
 		}
 		return b.done(), nil
 	case "and", "or":
@@ -162,7 +169,7 @@ func (ev *Evaluator) evalLogical(v *xqast.Binary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilder(f.n)
+	b := newLLBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		lb, err := ebv(l.Group(i))
 		if err != nil {
@@ -207,11 +214,10 @@ func (ev *Evaluator) evalRange(v *xqast.Binary, f *frame) (LLSeq, error) {
 		if hi-lo >= RangeLimit {
 			return LLSeq{}, ErrRangeTooLarge(lo, hi)
 		}
-		items := make([]Item, 0, hi-lo+1)
 		for x := lo; x <= hi; x++ {
-			items = append(items, Int(x))
+			b.appendItem(Int(x))
 		}
-		b.add(items...)
+		b.endGroup()
 	}
 	return b.done(), nil
 }
@@ -251,7 +257,7 @@ func (ev *Evaluator) evalArith(v *xqast.Binary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilder(f.n)
+	b := newLLBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		lg, rg := l.Group(i), r.Group(i)
 		if len(lg) == 0 || len(rg) == 0 {
@@ -336,7 +342,7 @@ func (ev *Evaluator) evalUnary(v *xqast.Unary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilder(f.n)
+	b := newLLBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		g := x.Group(i)
 		if len(g) == 0 {
@@ -408,7 +414,7 @@ func (ev *Evaluator) evalIf(v *xqast.IfExpr, f *frame) (LLSeq, error) {
 		return LLSeq{}, err
 	}
 	// Merge the partitions back into frame order.
-	b := newLLBuilder(f.n)
+	b := newLLBuilderCap(f.n, thenSeq.Total()+elseSeq.Total())
 	ti, ei := 0, 0
 	for i := 0; i < f.n; i++ {
 		if ti < len(thenIters) && thenIters[ti] == int32(i) {
@@ -449,7 +455,7 @@ func (ev *Evaluator) evalQuantified(v *xqast.Quantified, f *frame) (LLSeq, error
 			result[o] = result[o] || bv
 		}
 	}
-	b := newLLBuilder(f.n)
+	b := newLLBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		b.add(Bool(result[i]))
 	}
@@ -612,16 +618,17 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 		return LLSeq{}, err
 	}
 	// Regroup tuple results back to the outer iterations. Tuples are in
-	// iteration order (stable through restrict), so a single pass works.
-	b := newLLBuilder(f.n)
+	// iteration order (stable through restrict), so a single pass works, and
+	// one outer iteration's tuple results are a contiguous range of ret.Items
+	// — the regroup slices it out instead of accumulating a temporary.
+	b := newLLBuilderCap(f.n, ret.Total())
 	t := 0
 	for i := 0; i < f.n; i++ {
-		var items []Item
+		t0 := t
 		for t < cur.n && rootOf[t] == int32(i) {
-			items = append(items, ret.Group(t)...)
 			t++
 		}
-		b.add(items...)
+		b.add(ret.Items[ret.Off[t0]:ret.Off[t]]...)
 	}
 	out := b.done()
 	ev.Stats.RecordOp(v, tuples, int64(out.Total()))

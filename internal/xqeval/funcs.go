@@ -107,13 +107,13 @@ func (ev *Evaluator) callUDF(fd *xqast.FunctionDecl, argExprs []xqast.Expr, f *f
 		return LLSeq{}, errf(codeRecursion, "recursion depth %d exceeded in %s", ev.MaxRecursion, fd.Name)
 	}
 	nf := newFrame(f.n)
-	nf.vars = map[string]*binding{}
+	nf.vars = make([]varBind, 0, len(fd.Params))
 	for i, p := range fd.Params {
 		seq, err := ev.eval(argExprs[i], f)
 		if err != nil {
 			return LLSeq{}, err
 		}
-		nf.vars[p] = newBinding(seq)
+		nf.vars = append(nf.vars, varBind{p, newBinding(seq)})
 	}
 	ev.depth++
 	out, err := ev.eval(fd.Body, nf)

@@ -12,6 +12,8 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"soxq/internal/tree"
 )
@@ -232,8 +234,34 @@ func newLLBuilder(nHint int) *llBuilder {
 	return &llBuilder{seq: LLSeq{Off: make([]int32, 1, nHint+1)}}
 }
 
+// newLLBuilderCap additionally pre-sizes the item buffer, so hot loops with
+// a known (or tightly bounded) total item count build without regrowth.
+func newLLBuilderCap(nHint, itemsHint int) *llBuilder {
+	return &llBuilder{seq: LLSeq{
+		Off:   make([]int32, 1, nHint+1),
+		Items: make([]Item, 0, itemsHint),
+	}}
+}
+
 func (b *llBuilder) add(items ...Item) {
 	b.seq.Items = append(b.seq.Items, items...)
+	b.seq.Off = append(b.seq.Off, int32(len(b.seq.Items)))
+}
+
+// add2 appends one iteration holding the concatenation of two groups,
+// without the caller materialising a temporary.
+func (b *llBuilder) add2(l, r []Item) {
+	b.seq.Items = append(append(b.seq.Items, l...), r...)
+	b.seq.Off = append(b.seq.Off, int32(len(b.seq.Items)))
+}
+
+// appendItem / endGroup build one iteration incrementally: append any number
+// of items, then seal the group.
+func (b *llBuilder) appendItem(it Item) {
+	b.seq.Items = append(b.seq.Items, it)
+}
+
+func (b *llBuilder) endGroup() {
 	b.seq.Off = append(b.seq.Off, int32(len(b.seq.Items)))
 }
 
@@ -252,6 +280,39 @@ func constLL(n int, items ...Item) LLSeq {
 	}
 	return s
 }
+
+// ascOff returns the offsets of a sequence with exactly one item per
+// iteration: 0,1,...,n. All such sequences share one immutable table behind
+// an atomic pointer (grown on demand), and the returned slice has zero spare
+// capacity so an append by a confused caller copies instead of clobbering
+// the shared array.
+func ascOff(n int) []int32 {
+	p := ascOffTab.Load()
+	if p == nil || len(*p) < n+1 {
+		ascOffMu.Lock()
+		p = ascOffTab.Load()
+		if p == nil || len(*p) < n+1 {
+			size := n + 1
+			if size < 4096 {
+				size = 4096
+			}
+			t := make([]int32, size)
+			for i := range t {
+				t[i] = int32(i)
+			}
+			ascOffTab.Store(&t)
+			p = &t
+		}
+		ascOffMu.Unlock()
+	}
+	t := *p
+	return t[: n+1 : n+1]
+}
+
+var (
+	ascOffTab atomic.Pointer[[]int32]
+	ascOffMu  sync.Mutex
+)
 
 // sortDedupNodes sorts items (which must all be nodes) in document order and
 // removes identity duplicates, in place.

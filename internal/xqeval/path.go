@@ -97,6 +97,9 @@ func (ev *Evaluator) evalStep(sp *xqplan.StepPlan, ctx LLSeq, f *frame) (LLSeq, 
 	// contained in ANY area-annotation in S1"), so there the group is the
 	// iteration itself — a union of per-node complements would be wrong.
 	perIteration := sp.Axis == xpath.AxisRejectNarrow || sp.Axis == xpath.AxisRejectWide
+	if !perIteration && !sp.StandOff && len(sp.Predicates) == 0 {
+		return ev.evalStepTreeFast(sp, ctx)
+	}
 	rows := make([]stepRow, 0, ctx.Total())
 	if perIteration {
 		for i := 0; i < ctx.N(); i++ {
@@ -156,6 +159,45 @@ func (ev *Evaluator) evalStep(sp *xqplan.StepPlan, ctx LLSeq, f *frame) (LLSeq, 
 	return out, nil
 }
 
+// evalStepTreeFast is the predicate-free tree-axis step: matches are written
+// straight into the output items buffer — no per-row result slices, no
+// stepRow table — and each iteration's segment is sort-deduped in place. The
+// per-row pre scratch lives on the evaluator (the loop below never re-enters
+// eval, so the buffer cannot be in use twice).
+func (ev *Evaluator) evalStepTreeFast(sp *xqplan.StepPlan, ctx LLSeq) (LLSeq, error) {
+	out := LLSeq{
+		Off:   make([]int32, 1, ctx.N()+1),
+		Items: make([]Item, 0, ctx.Total()),
+	}
+	for i := 0; i < ctx.N(); i++ {
+		segStart := len(out.Items)
+		for _, it := range ctx.Group(i) {
+			switch {
+			case it.Kind == KAttr:
+				res, err := attrSourceStep(sp, it)
+				if err != nil {
+					return LLSeq{}, err
+				}
+				out.Items = append(out.Items, res...)
+			case !it.IsNode():
+				return LLSeq{}, errf(codeType, "axis step applied to an atomic value")
+			case sp.Axis == xpath.AxisAttribute:
+				out.Items = appendAttrAxis(out.Items, it, sp.Test)
+			default:
+				ev.stepPres = xpath.AppendCompiledStep(ev.stepPres[:0], it.D, sp.Axis, sp.CompiledTest(it.D), it.Pre)
+				for _, p := range ev.stepPres {
+					out.Items = append(out.Items, NodeItem(it.D, p))
+				}
+			}
+		}
+		seg := sortDedupNodes(out.Items[segStart:])
+		out.Items = out.Items[:segStart+len(seg)]
+		out.Off = append(out.Off, int32(len(out.Items)))
+	}
+	ev.Stats.RecordStep(sp, int64(ctx.Total()), int64(len(out.Items)))
+	return out, nil
+}
+
 // strategyFor resolves the join strategy of one StandOff step against one
 // region index and the context cardinality this execution observed
 // (iterations × context nodes — the second input of cost model v2): a
@@ -201,20 +243,24 @@ func (ev *Evaluator) treeStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item, er
 
 // attrAxis returns the matching attribute nodes of an element.
 func attrAxis(it Item, test xpath.Test) []Item {
+	return appendAttrAxis(nil, it, test)
+}
+
+// appendAttrAxis appends the matching attribute nodes of an element to dst.
+func appendAttrAxis(dst []Item, it Item, test xpath.Test) []Item {
 	if it.D.Kind(it.Pre) != tree.ElementNode {
-		return nil
+		return dst
 	}
 	if test.Kind != xpath.TestAttribute && test.Kind != xpath.TestAnyNode {
-		return nil
+		return dst
 	}
 	lo, hi := it.D.Attrs(it.Pre)
-	var out []Item
 	for a := lo; a < hi; a++ {
 		if test.Name == "" || it.D.AttrName(a) == test.Name {
-			out = append(out, AttrItem(it.D, it.Pre, a))
+			dst = append(dst, AttrItem(it.D, it.Pre, a))
 		}
 	}
-	return out
+	return dst
 }
 
 // attrSourceStep evaluates the few axes that make sense from an attribute

@@ -76,12 +76,50 @@ const DefaultChunkSize = 1024
 // matched against the pipelined operator forms, recursively for operators
 // with streamable inputs. Anything else becomes a materialising cursor.
 func Build(ev *xqeval.Evaluator, cfg Config) (Cursor, error) {
+	// The pipeline owns a pooled join arena for its whole run (globals,
+	// every chunk join); the wrapping cursor hands it back on Close.
+	// Forked parallel workers attach their own — see parallelFLWOR.
+	ev.AttachArena()
 	root, err := ev.NewRootFrame()
 	if err != nil {
+		ev.DetachArena()
 		return nil, err
 	}
 	x := &executor{ev: ev, cfg: cfg}
-	return x.build(ev.Plan.Body(), root), nil
+	return &pipelineCursor{Cursor: x.build(ev.Plan.Body(), root), ev: ev}, nil
+}
+
+// pipelineCursor wraps a pipeline's root cursor to scope the evaluator's
+// join arena to the run: Close (always reached — DrainAll defers it, and
+// soxq.Cursor.Close forwards) releases the arena and every buffer on loan
+// from it back to the pool.
+type pipelineCursor struct {
+	Cursor
+	ev *xqeval.Evaluator
+}
+
+func (c *pipelineCursor) Close() {
+	c.Cursor.Close()
+	c.ev.DetachArena()
+}
+
+// Unwrap exposes the wrapped root cursor (tests inspect its concrete type).
+func (c *pipelineCursor) Unwrap() Cursor { return c.Cursor }
+
+// takeAll forwards the materialising fast path through the wrapper so a
+// non-streamable pipeline still hands its backing slice to DrainAll.
+func (c *pipelineCursor) takeAll() ([]xqeval.Item, error) {
+	if t, ok := c.Cursor.(interface{ takeAll() ([]xqeval.Item, error) }); ok {
+		return t.takeAll()
+	}
+	var out []xqeval.Item
+	for c.Cursor.Next() {
+		out = append(out, c.Cursor.Item())
+	}
+	if err := c.Cursor.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // executor carries the build context shared by all cursors of one pipeline.

@@ -252,7 +252,7 @@ func TestParallelGateEngages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl, ok := cur.(*flworCursor)
+	fl, ok := unwrapRoot(cur).(*flworCursor)
 	if !ok {
 		t.Fatalf("expected flworCursor, got %T", cur)
 	}
@@ -280,7 +280,7 @@ func TestParallelGateEngages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl = cur.(*flworCursor)
+	fl = unwrapRoot(cur).(*flworCursor)
 	for fl.Next() {
 	}
 	if fl.par != nil {
@@ -386,7 +386,7 @@ func TestGatePathRespectsChunkSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl := cur.(*flworCursor)
+	fl := unwrapRoot(cur).(*flworCursor)
 	n := 0
 	for fl.Next() {
 		n++
@@ -424,7 +424,7 @@ func TestPathStreamingModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc := cur.(*pathCursor)
+	pc := unwrapRoot(cur).(*pathCursor)
 	if !pc.Next() {
 		t.Fatal("no results")
 	}
@@ -486,7 +486,7 @@ func TestStandoffCursorStreams(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pc, ok := cur.(*pathCursor)
+		pc, ok := unwrapRoot(cur).(*pathCursor)
 		if !ok {
 			t.Fatalf("expected pathCursor for %q, got %T", q, cur)
 		}
@@ -548,7 +548,7 @@ func TestNestedCursorEngages(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fl, ok := cur.(*flworCursor)
+		fl, ok := unwrapRoot(cur).(*flworCursor)
 		if !ok {
 			t.Fatalf("expected flworCursor, got %T", cur)
 		}
@@ -567,4 +567,13 @@ func TestNestedCursorEngages(t *testing.T) {
 	pin(`for $i in 1 to 10 for $j in 1 to $i return $j`, 0, false)
 	pin(`for $s in doc("t.xml")//scene for $h in $s/select-narrow::hit return $h`, 4, false)
 	pin(`for $s in doc("t.xml")//scene let $n := count($s/speech) for $w in $s/speech return $n`, 4, false)
+}
+
+// unwrapRoot strips the arena-scoping pipeline wrapper so tests can inspect
+// the concrete root cursor Build produced.
+func unwrapRoot(c Cursor) Cursor {
+	if p, ok := c.(*pipelineCursor); ok {
+		return p.Cursor
+	}
+	return c
 }

@@ -1,6 +1,8 @@
 package xqexec
 
 import (
+	"sync"
+
 	"soxq/internal/xqast"
 	"soxq/internal/xqeval"
 	"soxq/internal/xqplan"
@@ -84,6 +86,7 @@ type flworCursor struct {
 	started bool
 	done    bool
 	chunk   []xqeval.Item // reused binding scratch (sequential mode only)
+	seed    []xqeval.Item // reused 1-tuple buffer driving child cursors
 	basePos int64
 	out     []xqeval.Item
 	i       int
@@ -111,6 +114,12 @@ type nestedDecision struct {
 	inner     *xqast.ForClause
 	innerRest []xqast.Clause
 	child     *nestedDecision // the next level's cache, set when inner is
+
+	// chunkBuf recycles the binding-tuple chunk buffer across the level's
+	// sibling cursors (one per parent tuple, strictly one live at a time —
+	// and a closed sibling has been fully drained, so every item that could
+	// alias the buffer was copied out before the next sibling overwrites it).
+	chunkBuf []xqeval.Item
 }
 
 // init evaluates the let clauses preceding this level's for clause (they see
@@ -200,6 +209,12 @@ func streamableBinding(e xqast.Expr) bool {
 // the tuples — Next drives a child cursor per tuple.
 func (c *flworCursor) nextChunk() {
 	limit := c.x.chunkSize()
+	if c.chunk == nil && c.memo != nil {
+		// Adopt the level's recycled chunk buffer (returned on Close). The
+		// previous sibling was drained before this cursor started, so its
+		// contents are dead.
+		c.chunk, c.memo.chunkBuf = c.memo.chunkBuf, nil
+	}
 	c.chunk = c.chunk[:0]
 	c.ti = 0
 	if n := min(limit, len(c.pending)); n > 0 {
@@ -248,7 +263,15 @@ func (c *flworCursor) startChild() {
 	t := c.chunk[c.ti]
 	pos := c.basePos - int64(len(c.chunk)) + int64(c.ti)
 	c.ti++
-	nf := c.f.BindChunk(c.first.Var, c.first.Pos, []xqeval.Item{t}, pos)
+	// The 1-tuple buffer is reused across children: BindChunk aliases it, but
+	// the previous child was closed (hence drained — everything it produced
+	// was copied out as Item values) before this overwrite.
+	if cap(c.seed) == 0 {
+		c.seed = make([]xqeval.Item, 1)
+	}
+	c.seed = c.seed[:1]
+	c.seed[0] = t
+	nf := c.f.BindChunk(c.first.Var, c.first.Pos, c.seed, pos)
 	c.child = newChildCursor(c.x, c.v, c.rest, nf, c.memo.child)
 }
 
@@ -295,7 +318,10 @@ func (c *flworCursor) Close() {
 	// Close must not resurrect the pipeline by running init.
 	c.started, c.done = true, true
 	c.out, c.i, c.pending = nil, 0, nil
-	c.chunk, c.ti = nil, 0
+	if c.memo != nil && c.chunk != nil && c.memo.chunkBuf == nil {
+		c.memo.chunkBuf = c.chunk // recycle for the next sibling cursor
+	}
+	c.chunk, c.ti, c.seed = nil, 0, nil
 	if c.child != nil {
 		c.child.Close()
 		c.child = nil
@@ -326,6 +352,7 @@ type parallelFLWOR struct {
 	orderq chan chan chunkResult
 	jobs   chan chunkJob
 	donech chan struct{}
+	wg     sync.WaitGroup // producer + workers; close joins them
 	closed bool
 
 	out []xqeval.Item
@@ -375,6 +402,7 @@ func startParallel(c *flworCursor) *parallelFLWOR {
 		jobs:   make(chan chunkJob, workers),
 		donech: make(chan struct{}),
 	}
+	p.wg.Add(workers + 1)
 	for w := 0; w < workers; w++ {
 		go p.worker(c)
 	}
@@ -385,6 +413,7 @@ func startParallel(c *flworCursor) *parallelFLWOR {
 // produce slices the binding stream into jobs. It owns the binding cursor
 // exclusively — no other goroutine touches it once the pool starts.
 func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Item, pchunk int) {
+	defer p.wg.Done()
 	defer bind.Close()
 	defer close(p.jobs)
 	defer close(p.orderq)
@@ -435,13 +464,20 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 }
 
 func (p *parallelFLWOR) worker(c *flworCursor) {
+	defer p.wg.Done()
+	// One fork per worker goroutine, with its own join arena (arenas are
+	// single-goroutine; Fork drops the parent's). The fork's per-chunk
+	// state (recursion depth) resets itself because evalFLWORChunk always
+	// starts from depth 0.
+	ev := c.x.ev.Fork()
+	ev.AttachArena()
+	defer ev.DetachArena()
 	for {
 		select {
 		case job, ok := <-p.jobs:
 			if !ok {
 				return
 			}
-			ev := c.x.ev.Fork()
 			items, err := evalFLWORChunk(ev, c, job.tuples, job.basePos)
 			job.res <- chunkResult{items: items, err: err}
 		case <-p.donech:
@@ -484,4 +520,9 @@ func (p *parallelFLWOR) close() {
 	// queue space and exit; pending results are discarded.
 	for range p.orderq {
 	}
+	// Join the pool before returning: the caller releases the parent
+	// evaluator's join arena right after Close, so no goroutine that reads
+	// the evaluator (Fork) or evaluates over it (the producer's binding
+	// cursor) may outlive this call.
+	p.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package xqexec
 
 import (
+	"slices"
 	"sort"
 
 	"soxq/internal/tree"
@@ -33,6 +34,12 @@ import (
 // arrives (the watermark that let the first copy out would have ruled the
 // second one impossible), so dedup at heap pop is exact.
 //
+// The whole pipeline runs on pre ranks, not items: context areas, the
+// pending heap, and the final output buffer are all int32 pres (a sixteenth
+// of an Item), and the one-document Item materialises only at emission in
+// Item(). Together with the stream's recycled join buffers this makes the
+// per-chunk steady state allocation-free.
+//
 // For annotation corpora whose document order roughly follows region order —
 // the common case the paper's conversion produces — the watermark advances
 // with the frontier and the heap stays near the chunk size. A fully permuted
@@ -42,13 +49,14 @@ type standoffCursor struct {
 	x  *executor
 	sp *xqplan.StepPlan
 	so *xqeval.StandOffStream
+	d  *tree.Doc // the stream's single document; nil when the step is empty
 
-	ctx     []soCtx       // area context nodes, ascending by region start
-	i       int           // next unprocessed context index
-	scratch []xqeval.Item // reused per-chunk context buffer
+	ctx     []soCtx // area context nodes, ascending by region start
+	i       int     // next unprocessed context index
+	scratch []int32 // reused per-chunk context pre buffer
 
 	heap preHeap
-	out  []xqeval.Item // items proven final, in document order
+	out  []int32 // pres proven final, in document order
 	oi   int
 
 	rowsIn   int64 // full context row count, for the step's ANALYZE record
@@ -61,10 +69,10 @@ type standoffCursor struct {
 	cur  xqeval.Item
 }
 
-// soCtx is one context area with its sort key (minimum region start).
+// soCtx is one context area pre with its sort key (minimum region start).
 type soCtx struct {
 	start int64
-	item  xqeval.Item
+	pre   int32
 }
 
 // newStandoffCursor builds the chunked cursor for a StandOff select final
@@ -99,13 +107,23 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 		return c, nil // no candidate can ever match: empty stream
 	}
 	c.so = so
+	c.d = so.Doc()
 	c.ctx = make([]soCtx, 0, len(g))
 	for _, it := range g {
 		if s, ok := so.CtxStart(it); ok {
-			c.ctx = append(c.ctx, soCtx{start: s, item: it})
+			c.ctx = append(c.ctx, soCtx{start: s, pre: it.Pre})
 		}
 	}
-	sort.Slice(c.ctx, func(a, b int) bool { return c.ctx[a].start < c.ctx[b].start })
+	slices.SortFunc(c.ctx, func(a, b soCtx) int {
+		switch {
+		case a.start < b.start:
+			return -1
+		case a.start > b.start:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return c, nil
 }
 
@@ -113,8 +131,8 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 // final (or the context is exhausted). A chunk's join output is itself a
 // sorted run, so when nothing is pending the run's prefix below the
 // watermark is emitted wholesale — an in-order corpus never pays for the
-// heap at all (the whole run is handed over without a copy); the heap only
-// engages for runs that genuinely interleave across chunks.
+// heap at all; the heap only engages for runs that genuinely interleave
+// across chunks.
 func (c *standoffCursor) refill() {
 	chunkSize := c.x.chunkSize()
 	for {
@@ -124,14 +142,14 @@ func (c *standoffCursor) refill() {
 		}
 		n := min(chunkSize, len(c.ctx)-c.i)
 		if cap(c.scratch) < n {
-			c.scratch = make([]xqeval.Item, 0, n)
+			c.scratch = make([]int32, 0, n)
 		}
 		c.scratch = c.scratch[:0]
 		for j := 0; j < n; j++ {
-			c.scratch = append(c.scratch, c.ctx[c.i+j].item)
+			c.scratch = append(c.scratch, c.ctx[c.i+j].pre)
 		}
 		c.i += n
-		joined := c.so.JoinChunk(c.scratch)
+		joined := c.so.JoinChunkPres(c.scratch)
 		final := c.i >= len(c.ctx)
 		var wm int32
 		if !final {
@@ -152,27 +170,31 @@ func (c *standoffCursor) refill() {
 			if c.heap.len() == 0 {
 				c.emitRun(joined)
 			} else {
-				for _, it := range joined {
-					c.heap.push(it)
+				for _, pre := range joined {
+					c.heap.push(pre)
 				}
 			}
 			c.flush()
 			return
 		case c.heap.len() == 0:
-			k := sort.Search(len(joined), func(i int) bool { return joined[i].Pre >= wm })
+			k := sort.Search(len(joined), func(i int) bool { return joined[i] >= wm })
 			c.emitRun(joined[:k])
-			for _, it := range joined[k:] {
-				c.heap.push(it)
+			for _, pre := range joined[k:] {
+				c.heap.push(pre)
 			}
 		default:
-			for _, it := range joined {
-				c.heap.push(it)
+			for _, pre := range joined {
+				c.heap.push(pre)
 			}
-			for c.heap.len() > 0 && c.heap.top().Pre < wm {
+			for c.heap.len() > 0 && c.heap.top() < wm {
 				c.emit(c.heap.pop())
 			}
 		}
 		if c.oi < len(c.out) {
+			// The cursor drains c.out completely before the next refill, so
+			// returning here is what makes reusing the stream's joined
+			// buffer safe: by the next JoinChunkPres every emitted pre has
+			// been copied out or consumed.
 			return
 		}
 	}
@@ -186,38 +208,33 @@ func (c *standoffCursor) flush() {
 	c.done = true
 }
 
-// emitRun appends a sorted duplicate-free run of final items to the output
-// buffer; an empty buffer takes the run without a copy. Runs never overlap
-// previously emitted items — a run is only emitted below a watermark that
-// ruled its items out for every remaining chunk.
-func (c *standoffCursor) emitRun(items []xqeval.Item) {
-	if len(items) == 0 {
+// emitRun appends a sorted duplicate-free run of final pres to the output
+// buffer. Runs never overlap previously emitted pres — a run is only emitted
+// below a watermark that ruled its items out for every remaining chunk.
+func (c *standoffCursor) emitRun(pres []int32) {
+	if len(pres) == 0 {
 		return
 	}
-	if len(c.out) == 0 {
-		c.out = items
-	} else {
-		c.out = append(c.out, items...)
-	}
-	c.emitted, c.lastPre = true, items[len(items)-1].Pre
-	c.produced += int64(len(items))
+	c.out = append(c.out, pres...)
+	c.emitted, c.lastPre = true, pres[len(pres)-1]
+	c.produced += int64(len(pres))
 }
 
-// emit appends a popped item to the output buffer, dropping cross-chunk
+// emit appends a popped pre to the output buffer, dropping cross-chunk
 // duplicates (the heap pops equal pres adjacently).
-func (c *standoffCursor) emit(it xqeval.Item) {
-	if c.emitted && it.Pre == c.lastPre {
+func (c *standoffCursor) emit(pre int32) {
+	if c.emitted && pre == c.lastPre {
 		return
 	}
-	c.emitted, c.lastPre = true, it.Pre
-	c.out = append(c.out, it)
+	c.emitted, c.lastPre = true, pre
+	c.out = append(c.out, pre)
 	c.produced++
 }
 
 func (c *standoffCursor) Next() bool {
 	for {
 		if c.oi < len(c.out) {
-			c.cur = c.out[c.oi]
+			c.cur = xqeval.NodeItem(c.d, c.out[c.oi])
 			c.oi++
 			return true
 		}
@@ -246,52 +263,52 @@ func (c *standoffCursor) Err() error        { return nil }
 func (c *standoffCursor) Close() {
 	c.record()
 	c.done = true
-	c.ctx, c.out, c.heap.items, c.scratch = nil, nil, nil, nil
+	c.ctx, c.out, c.heap.pres, c.scratch = nil, nil, nil, nil
 	c.i, c.oi = 0, 0
 }
 
-// preHeap is a binary min-heap of node items keyed by pre rank — the
-// document-order heap of the streaming merge (all items share one document,
-// so pre order is document order and equal pres are the same node).
+// preHeap is a binary min-heap of pre ranks — the document-order heap of the
+// streaming merge (all items share one document, so pre order is document
+// order and equal pres are the same node).
 type preHeap struct {
-	items []xqeval.Item
+	pres []int32
 }
 
-func (h *preHeap) len() int         { return len(h.items) }
-func (h *preHeap) top() xqeval.Item { return h.items[0] }
+func (h *preHeap) len() int   { return len(h.pres) }
+func (h *preHeap) top() int32 { return h.pres[0] }
 
-func (h *preHeap) push(it xqeval.Item) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
+func (h *preHeap) push(pre int32) {
+	h.pres = append(h.pres, pre)
+	i := len(h.pres) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.items[p].Pre <= h.items[i].Pre {
+		if h.pres[p] <= h.pres[i] {
 			break
 		}
-		h.items[p], h.items[i] = h.items[i], h.items[p]
+		h.pres[p], h.pres[i] = h.pres[i], h.pres[p]
 		i = p
 	}
 }
 
-func (h *preHeap) pop() xqeval.Item {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
+func (h *preHeap) pop() int32 {
+	top := h.pres[0]
+	last := len(h.pres) - 1
+	h.pres[0] = h.pres[last]
+	h.pres = h.pres[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < len(h.items) && h.items[l].Pre < h.items[small].Pre {
+		if l < len(h.pres) && h.pres[l] < h.pres[small] {
 			small = l
 		}
-		if r < len(h.items) && h.items[r].Pre < h.items[small].Pre {
+		if r < len(h.pres) && h.pres[r] < h.pres[small] {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		h.items[i], h.items[small] = h.items[small], h.items[i]
+		h.pres[i], h.pres[small] = h.pres[small], h.pres[i]
 		i = small
 	}
 	return top

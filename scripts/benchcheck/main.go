@@ -1,11 +1,12 @@
-// Command benchcheck compares the B/op column of `go test -bench` output on
-// stdin against the checked-in baseline (BENCH_stream.json) and exits
-// non-zero when any baselined benchmark regresses by more than the
-// configured tolerance — the memory-bound guard of the streaming pipeline's
-// CI job. Benchmarks missing from the input (e.g. skipped on a single-core
-// runner) fail the check too, so a silently-vanished cell cannot hide a
-// regression. With -update, the baseline file is rewritten from the input
-// instead.
+// Command benchcheck compares the B/op and allocs/op columns of
+// `go test -bench -benchmem` output on stdin against the checked-in baseline
+// (BENCH_stream.json) and exits non-zero when any baselined benchmark
+// regresses by more than the configured tolerance — the memory-bound guard
+// of the streaming pipeline's CI job. Benchmarks missing from the input
+// (e.g. skipped on a single-core runner) fail the check too, so a
+// silently-vanished cell cannot hide a regression. With -update, the
+// baseline file is rewritten from the input instead — both columns at once,
+// so the bytes and allocation guards never drift apart.
 //
 // Usage:
 //
@@ -27,11 +28,18 @@ type baseline struct {
 	Comment      string           `json:"_comment"`
 	TolerancePct float64          `json:"tolerance_pct"`
 	BytesPerOp   map[string]int64 `json:"bytes_per_op"`
+	AllocsPerOp  map[string]int64 `json:"allocs_per_op"`
 }
 
-// benchLine matches one benchmark result line with a B/op column, e.g.
-// "BenchmarkStreamExec/range-loop/exec-4  3  144670543 ns/op  222983376 B/op  122 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+(\d+) B/op`)
+type sample struct {
+	bytes  int64
+	allocs int64
+}
+
+// benchLine matches one benchmark result line with B/op and allocs/op
+// columns, e.g. "BenchmarkStreamExec/range-loop/exec-4  3  144670543 ns/op
+// 222983376 B/op  122 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
 func main() {
 	file := flag.String("baseline", "BENCH_stream.json", "baseline file")
@@ -49,15 +57,19 @@ func main() {
 	if base.TolerancePct <= 0 {
 		base.TolerancePct = 20
 	}
+	if base.AllocsPerOp == nil {
+		base.AllocsPerOp = map[string]int64{}
+	}
 
-	measured := map[string]int64{}
+	measured := map[string]sample{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the raw output through for the CI log
 		if m := benchLine.FindStringSubmatch(line); m != nil {
 			b, _ := strconv.ParseInt(m[2], 10, 64)
-			measured[m[1]] = b
+			a, _ := strconv.ParseInt(m[3], 10, 64)
+			measured[m[1]] = sample{bytes: b, allocs: a}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -76,7 +88,8 @@ func main() {
 			} else {
 				added++
 			}
-			base.BytesPerOp[name] = got
+			base.BytesPerOp[name] = got.bytes
+			base.AllocsPerOp[name] = got.allocs
 		}
 		out, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
@@ -97,6 +110,20 @@ func main() {
 			failed = true
 		}
 	}
+	check := func(metric, name string, got, want int64) {
+		deltaPct := 100 * (float64(got) - float64(want)) / float64(want)
+		switch {
+		case deltaPct > base.TolerancePct:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d %s, baseline %d (+%.1f%% > %.0f%% tolerance)\n",
+				name, got, metric, want, deltaPct, base.TolerancePct)
+			failed = true
+		case deltaPct < -base.TolerancePct:
+			fmt.Fprintf(os.Stderr, "benchcheck: note %s improved to %d %s (baseline %d, %.1f%%) — consider re-baselining with -update\n",
+				name, got, metric, want, deltaPct)
+		default:
+			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d %s (baseline %d, %+.1f%%)\n", name, got, metric, want, deltaPct)
+		}
+	}
 	for name, want := range base.BytesPerOp {
 		got, ok := measured[name]
 		if !ok {
@@ -104,17 +131,11 @@ func main() {
 			failed = true
 			continue
 		}
-		deltaPct := 100 * (float64(got) - float64(want)) / float64(want)
-		switch {
-		case deltaPct > base.TolerancePct:
-			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d B/op, baseline %d (+%.1f%% > %.0f%% tolerance)\n",
-				name, got, want, deltaPct, base.TolerancePct)
-			failed = true
-		case deltaPct < -base.TolerancePct:
-			fmt.Fprintf(os.Stderr, "benchcheck: note %s improved to %d B/op (baseline %d, %.1f%%) — consider re-baselining with -update\n",
-				name, got, want, deltaPct)
-		default:
-			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d B/op (baseline %d, %+.1f%%)\n", name, got, want, deltaPct)
+		check("B/op", name, got.bytes, want)
+		// Cells baselined before the allocs column existed have no
+		// allocation guard until the next -update.
+		if wantAllocs, ok := base.AllocsPerOp[name]; ok && wantAllocs > 0 {
+			check("allocs/op", name, got.allocs, wantAllocs)
 		}
 	}
 	if failed {
