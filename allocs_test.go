@@ -77,6 +77,46 @@ func TestStreamAllocsJoinPath(t *testing.T) {
 	}
 }
 
+// execAllocsPerRun measures the average allocations of one warm
+// materialising Exec of prep under cfg.
+func execAllocsPerRun(t *testing.T, prep *Prepared, cfg Config) float64 {
+	t.Helper()
+	var failed error
+	run := func() {
+		if _, err := prep.Exec(cfg); err != nil {
+			failed = err
+		}
+	}
+	run()
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	n := testing.AllocsPerRun(20, run)
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	return n
+}
+
+// TestStreamAllocsBelowExec pins the headline property of the recycled
+// streaming pipeline on a nested loop: a chunked Stream drain allocates no
+// more than the materialising Exec of the same query. Stream trades peak
+// memory for per-chunk bookkeeping — if that bookkeeping ever allocates per
+// chunk or per tuple, this inversion flips and the test fails.
+func TestStreamAllocsBelowExec(t *testing.T) {
+	eng := allocsEngine(t)
+	prep, err := eng.Prepare(
+		`for $m in doc("sample.xml")//music for $i in 1 to 200 return $i mod 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := streamAllocsPerRun(t, prep, Config{StreamChunk: 16})
+	exec := execAllocsPerRun(t, prep, Config{})
+	if stream > exec {
+		t.Errorf("warm Stream drain allocated %.0f times per run, Exec %.0f — streaming must not out-allocate materialisation", stream, exec)
+	}
+}
+
 // TestStreamAllocsFLWORPath pins the steady-state allocation count of the
 // chunked FLWOR path: a nested loop whose inner binding drives child cursors
 // (recycled chunk and seed buffers, broadcast chunk frames, the fast tree

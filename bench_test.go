@@ -525,6 +525,10 @@ func BenchmarkStreamExec(b *testing.B) {
 		{"range-loop", `for $i in 1 to 200000 return $i * 3`},
 		{"xmark-bidders", `for $b in doc("so.xml")//bidder return $b/select-narrow::increase`},
 		{"standoff-final", `doc("big.xml")//scene/select-narrow::hit`},
+		// Two chained StandOff steps: the first runs in the path prefix, so
+		// this cell measures the composed pres-based stages (the prefix
+		// join's output never materialises as an item sequence).
+		{"standoff-prefix", `doc("big.xml")//scene/select-wide::scene/select-narrow::hit`},
 		{"nested-loop", `for $s in doc("big.xml")//scene for $p in 1 to 60 return $s/@start + $p`},
 	}
 	for _, tc := range queries {
@@ -595,6 +599,50 @@ func BenchmarkParallelExec(b *testing.B) {
 				}
 				if res.Len() == 0 {
 					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSteal measures the work-stealing pool on a *skewed*
+// loop: the inner range grows with the outer position, so chunks late in
+// the binding stream carry far more work than early ones. A static
+// partition would finish its light chunks and idle behind the heavy tail;
+// stealing re-balances at chunk granularity, so the speedup over p=1 is
+// the scheduler's, not the partitioner's.
+func BenchmarkParallelSteal(b *testing.B) {
+	if runtime.NumCPU() == 1 {
+		b.Skip("work stealing measures nothing on a single-core runner")
+	}
+	data := dataFor(b, 0.05)
+	if err := data.eng.LoadXML("plain.xml", mustSerialize(b, data.plain)); err != nil {
+		b.Fatal(err)
+	}
+	prep, err := data.eng.Prepare(
+		`for $a at $p in doc("plain.xml")//open_auction
+		 for $i in 1 to ($p mod 40) * 5
+		 return string($a/@id)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := Config{StreamChunk: 64, Parallelism: p}
+			for i := 0; i < b.N; i++ {
+				cur, err := prep.Stream(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for cur.Next() {
+					n++
+				}
+				if err := cur.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty stream")
 				}
 			}
 		})

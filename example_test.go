@@ -121,7 +121,7 @@ func ExamplePrepared_Explain() {
 	// plan:
 	//   path doc("d.xml")
 	//     step descendant::music (fused //)
-	//     step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=2 basic=8 ll=37}
+	//     step select-narrow::shot standoff{op=select-narrow push=by-name(shot) nopush=all+filter strategy=auto(basic)} est{cand=3 ctx=2 out=3 basic=8 ll=37}
 	// stream:
 	//   path [pipelined] final StandOff step select-narrow streams per context chunk through an ordered dedup merge when the context is single-document
 }

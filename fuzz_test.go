@@ -92,6 +92,11 @@ func fuzzQueries(r *rand.Rand) []string {
 	// the second is the chunked final step.
 	qs = append(qs, fmt.Sprintf(`doc("f.xml")//%s/%s::%s/%s::%s`,
 		layer(), axis(), layer(), axis(), layer()))
+	// A three-step chain with a reject forced into the prefix: rejects in
+	// the bulk prefix exercise the anti-join's interaction with prefix
+	// streaming, and the random final axis keeps the chunked step covered.
+	qs = append(qs, fmt.Sprintf(`doc("f.xml")//%s/reject-%s::%s/%s::%s/%s::%s`,
+		layer(), []string{"narrow", "wide"}[r.Intn(2)], layer(), axis(), layer(), axis(), layer()))
 	return qs
 }
 
@@ -107,6 +112,14 @@ func fuzzConfigs() []Config {
 		{StreamChunk: 3},
 		{StreamChunk: 16},
 		{StreamChunk: 3, Parallelism: 2},
+		// Oversubscribed work stealing: more workers than chunks in flight,
+		// so thieves drain each other's deques and the seq-heap re-orders.
+		{StreamChunk: 2, Parallelism: 8},
+		// Forced modes through the chunked stream: adaptive chunk sizing and
+		// per-chunk joins under a pinned algorithm.
+		{Mode: ModeBasic, StreamChunk: 3},
+		{Mode: ModeLoopLifted, StreamChunk: 5, Parallelism: 2},
+		{NoPushdown: true, StreamChunk: 3, Parallelism: 2},
 	}
 }
 
@@ -157,6 +170,22 @@ func runFuzzCase(t *testing.T, seed uint64) {
 				t.Fatalf("seed %d query %q cfg %+v:\nstream %q\nwant   %q\ndoc: %s",
 					seed, q, cfg, gotStream, want, doc)
 			}
+		}
+		if refErr != nil {
+			continue
+		}
+		// Feed the feedback loop and re-run: an analyzed execution may
+		// invalidate strategy memos (observed-selectivity drift) and feed
+		// the engine-wide calibration, but results must never move.
+		if res, _, err := prep.Analyze(Config{}); err != nil {
+			t.Fatalf("seed %d query %q: analyze errored: %v", seed, q, err)
+		} else if got := res.String(); got != want {
+			t.Fatalf("seed %d query %q: analyze diverged: got=%q want=%q", seed, q, got, want)
+		}
+		if res, err := prep.Exec(Config{}); err != nil {
+			t.Fatalf("seed %d query %q: exec after analyze errored: %v", seed, q, err)
+		} else if got := res.String(); got != want {
+			t.Fatalf("seed %d query %q: exec after analyze diverged: got=%q want=%q", seed, q, got, want)
 		}
 	}
 }

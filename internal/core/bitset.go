@@ -1,0 +1,81 @@
+package core
+
+// MatchBits is a bitmap over the positions of a candidate sequence's
+// document-ordered area list. The chunked reject execution accumulates the
+// candidates matched by each context chunk here: reject is an anti-join over
+// the whole context, so per-chunk complements must not union — instead the
+// select-side matches of every chunk union into the bitmap and one
+// complement pass at the end yields the anti-join. The bitmap is the only
+// whole-result state the chunked reject holds (one bit per candidate),
+// against the bulk path's full per-iteration pair materialisation.
+type MatchBits struct {
+	words  []uint64
+	n      int
+	marked int
+}
+
+// GetMatchBits returns a zeroed bitmap over n candidate positions, reusing
+// the arena's parked bitmap storage when it is large enough. Pair with
+// PutMatchBits when the reject stream closes. A nil arena degrades to plain
+// allocation, like every other arena entry point.
+func (a *JoinArena) GetMatchBits(n int) *MatchBits {
+	words := (n + 63) / 64
+	b := &MatchBits{n: n}
+	if a != nil && cap(a.bitWords) >= words {
+		b.words = a.bitWords[:words]
+		clear(b.words)
+		a.bitWords = nil
+	} else {
+		b.words = make([]uint64, words)
+	}
+	return b
+}
+
+// PutMatchBits parks a bitmap's storage for reuse by the next GetMatchBits.
+func (a *JoinArena) PutMatchBits(b *MatchBits) {
+	if a == nil || b == nil {
+		return
+	}
+	if cap(b.words) > cap(a.bitWords) {
+		a.bitWords = b.words[:0]
+	}
+	b.words = nil
+}
+
+// Get reports whether position i is marked.
+func (b *MatchBits) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Marked returns how many positions are marked so far. Once every candidate
+// is marked the reject result is fixed (empty) and remaining chunks can be
+// skipped.
+func (b *MatchBits) Marked() int { return b.marked }
+
+// Len returns the bitmap's position count.
+func (b *MatchBits) Len() int { return b.n }
+
+// MarkMatched marks the candidate positions whose pre occurs in pairs and
+// returns how many were newly marked. areas is the candidate pre list in
+// document (= ascending pre) order; pairs is a single-iteration join result,
+// sorted by pre and duplicate-free — the two-pointer walk is O(len(areas) +
+// len(pairs)) per chunk.
+func MarkMatched(b *MatchBits, areas []int32, pairs []Pair) int {
+	newly := 0
+	i := 0
+	for _, pr := range pairs {
+		for i < len(areas) && areas[i] < pr.Pre {
+			i++
+		}
+		if i < len(areas) && areas[i] == pr.Pre {
+			w, bit := i>>6, uint64(1)<<(uint(i)&63)
+			if b.words[w]&bit == 0 {
+				b.words[w] |= bit
+				newly++
+			}
+			i++
+		}
+	}
+	b.marked += newly
+	return newly
+}

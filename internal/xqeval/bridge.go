@@ -63,19 +63,21 @@ func (f *Frame) BindSeq(name string, seq LLSeq) *Frame {
 // into the frame the loop-lifted machinery evaluates the loop body over.
 // items is aliased, not copied: the caller must not mutate it while the
 // returned frame (or any sequence produced under it) is still in use.
-func (f *Frame) BindChunk(varName, posName string, items []Item, basePos int64) *Frame {
+// Under an open arena scope, the chunk frames and lifted bindings are
+// recycled loans of that scope — the chunk turnover allocates nothing.
+func (ev *Evaluator) BindChunk(f *Frame, varName, posName string, items []Item, basePos int64) *Frame {
 	n := len(items)
 	// All tuples descend from root iteration 0: a broadcast expansion, so
 	// the outer bindings carry over without per-tuple indirection arrays,
 	// and the one-item-per-iteration offsets come from the shared table.
-	nf := f.expandBroadcast(n)
-	nf = nf.bind(varName, newBinding(LLSeq{Off: ascOff(n), Items: items}))
+	nf := ev.scrExpandBroadcast(f, n)
+	nf = ev.scrBindSeq(nf, varName, LLSeq{Off: ascOff(n), Items: items})
 	if posName != "" {
-		ps := LLSeq{Off: ascOff(n), Items: make([]Item, n)}
+		pb := ev.scrBuilderCap(n, n)
 		for i := 0; i < n; i++ {
-			ps.Items[i] = Int(basePos + int64(i) + 1)
+			pb.add(Int(basePos + int64(i) + 1))
 		}
-		nf = nf.bind(posName, newBinding(ps))
+		nf = ev.scrBindSeq(nf, posName, pb.done())
 	}
 	return nf
 }
@@ -137,6 +139,45 @@ func (ev *Evaluator) PathPrefix(p *xqast.Path, f *Frame) (LLSeq, *xqplan.StepPla
 	return cur, prog[len(prog)-1], nil
 }
 
+// PathPrefixStream evaluates a path's start and the steps before its longest
+// chunk-streamable suffix, returning the context sequence plus the remaining
+// compiled steps. The suffix always includes the final step (whatever its
+// class); earlier steps join it only while they classify StreamChunked or
+// StreamChunkedReject — the executor runs those through composed pres-based
+// cursors instead of the bulk evaluator. An empty step slice means the
+// program is empty and the returned sequence is already the path's result.
+func (ev *Evaluator) PathPrefixStream(p *xqast.Path, f *Frame) (LLSeq, []*xqplan.StepPlan, error) {
+	cur, err := ev.pathStart(p, f)
+	if err != nil {
+		return LLSeq{}, nil, err
+	}
+	prog := ev.Plan.Program(p)
+	if len(prog) == 0 {
+		return cur, nil, nil
+	}
+	cut := len(prog) - 1
+	for cut > 0 {
+		s := prog[cut-1].Streamability()
+		if s != xqplan.StreamChunked && s != xqplan.StreamChunkedReject {
+			break
+		}
+		cut--
+	}
+	for _, sp := range prog[:cut] {
+		cur, err = ev.evalStep(sp, cur, f)
+		if err != nil {
+			return LLSeq{}, nil, err
+		}
+	}
+	return cur, prog[cut:], nil
+}
+
+// GroupSeq wraps a flat item slice as a single-group sequence — the shape a
+// root frame's context takes. items is aliased, not copied.
+func GroupSeq(items []Item) LLSeq {
+	return LLSeq{Off: []int32{0, int32(len(items))}, Items: items}
+}
+
 // EvalStepBulk applies one compiled step to a context sequence with the
 // materialising machinery (the executor's fallback when a final step is not
 // order-safe to stream).
@@ -186,13 +227,15 @@ func ErrRangeTooLarge(lo, hi int64) error {
 }
 
 // StandOffStream is the chunked execution handle of a pipelined StandOff
-// select final step: the per-document residue — region index, candidate
-// sequence, pushdown post-filter, join strategy — resolved once, after which
-// the executor runs one loop-lifted join per chunk of context nodes and
-// gates emission on the candidate-interval watermark. Only the two select
-// operators stream this way; the reject operators are anti-joins over the
-// whole context sequence, where a union of per-chunk complements would be
-// wrong.
+// step: the per-document residue — region index, candidate sequence,
+// pushdown post-filter, join strategy — resolved once. For the two select
+// operators the executor runs one loop-lifted join per chunk of context
+// nodes (JoinChunkPres) and gates emission on the candidate-interval
+// watermark. For the two reject operators — anti-joins over the whole
+// context, where a union of per-chunk complements would be wrong — each
+// chunk's select-side join marks matched candidates in a bitset (MarkChunk)
+// and the executor complements once at the end, emitting the unmatched
+// candidates (Areas, Keep) in document order.
 type StandOffStream struct {
 	ev         *Evaluator
 	sp         *xqplan.StepPlan
@@ -234,7 +277,7 @@ func (ev *Evaluator) NewStandOffStream(sp *xqplan.StepPlan, d *tree.Doc, ctxRows
 	}
 	s := &StandOffStream{
 		ev: ev, sp: sp, d: d, ix: ix, cand: cand, postFilter: postFilter,
-		wide:  sp.SO.Op == core.SelectWide,
+		wide:  sp.SO.Op == core.SelectWide || sp.SO.Op == core.RejectWide,
 		strat: ev.strategyFor(sp, ix, ctxRows),
 	}
 	if postFilter {
@@ -251,7 +294,14 @@ func (s *StandOffStream) CtxStart(it Item) (int64, bool) {
 	if it.Kind != KNode || it.D != s.d {
 		return 0, false
 	}
-	regs := s.ix.RegionsOf(it.Pre)
+	return s.CtxStartPre(it.Pre)
+}
+
+// CtxStartPre is CtxStart for a bare pre rank of the stream's document — the
+// composed-cursor path, where upstream stages hand pres across without ever
+// materialising items.
+func (s *StandOffStream) CtxStartPre(pre int32) (int64, bool) {
+	regs := s.ix.RegionsOf(pre)
 	if len(regs) == 0 {
 		return 0, false
 	}
@@ -271,8 +321,9 @@ func (s *StandOffStream) JoinChunkPres(chunk []int32) []int32 {
 	for i, pre := range chunk {
 		ctx[i] = core.CtxNode{Iter: 0, Pre: pre}
 	}
-	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat)
+	t0 := statsNow(s.ev.Stats)
 	pairs := core.Join(s.ix, s.sp.SO.Op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
+	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat, int64(len(chunk)), statsSince(s.ev.Stats, t0))
 	out := s.outPres[:0]
 	if cap(out) < len(pairs) {
 		out = make([]int32, 0, len(pairs))
@@ -285,6 +336,52 @@ func (s *StandOffStream) JoinChunkPres(chunk []int32) []int32 {
 	}
 	s.outPres = out
 	return out
+}
+
+// Areas returns the candidate area pres in document order — the universe a
+// reject stream complements over.
+func (s *StandOffStream) Areas() []int32 { return s.cand.AreaPres() }
+
+// Keep applies the step's node test to a candidate pre when the test was not
+// pushed down into the candidate sequence. The bulk reject applies the same
+// post-filter after its complement, so the chunked complement must too.
+func (s *StandOffStream) Keep(pre int32) bool {
+	return !s.postFilter || s.test.Matches(s.d, pre)
+}
+
+// MarkChunk runs the step's select-side join over one chunk of context node
+// pres and marks the matched candidate positions in bits, returning how many
+// were newly marked. The select-side matches of a context union are the
+// union of per-chunk matches (semi-joins distribute over the context), so
+// after the last chunk the unmarked candidates are exactly the bulk
+// anti-join's complement. One ANALYZE join invocation is recorded per chunk.
+func (s *StandOffStream) MarkChunk(chunk []int32, bits *core.MatchBits) int {
+	if cap(s.ctxBuf) < len(chunk) {
+		s.ctxBuf = make([]core.CtxNode, len(chunk))
+	}
+	ctx := s.ctxBuf[:len(chunk)]
+	for i, pre := range chunk {
+		ctx[i] = core.CtxNode{Iter: 0, Pre: pre}
+	}
+	op := core.SelectNarrow
+	if s.wide {
+		op = core.SelectWide
+	}
+	t0 := statsNow(s.ev.Stats)
+	pairs := core.Join(s.ix, op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
+	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat, int64(len(chunk)), statsSince(s.ev.Stats, t0))
+	return core.MarkMatched(bits, s.cand.AreaPres(), pairs)
+}
+
+// MatchBits borrows a zeroed candidate bitmap from the evaluator's join
+// arena (plain allocation without one); hand it back with ReleaseMatchBits.
+func (ev *Evaluator) MatchBits(n int) *core.MatchBits {
+	return ev.JoinCfg.Arena.GetMatchBits(n)
+}
+
+// ReleaseMatchBits parks a bitmap's storage back in the join arena.
+func (ev *Evaluator) ReleaseMatchBits(b *core.MatchBits) {
+	ev.JoinCfg.Arena.PutMatchBits(b)
 }
 
 // Watermark returns the exclusive emission bound once every unprocessed
@@ -309,6 +406,7 @@ func (ev *Evaluator) Fork() *Evaluator {
 	nev.depth = 0
 	nev.JoinCfg.Arena = nil
 	nev.stepPres = nil // scratch is single-goroutine too
+	nev.seqs = nil     // and so is the seq arena
 	return &nev
 }
 

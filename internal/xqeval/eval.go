@@ -46,6 +46,10 @@ type Evaluator struct {
 	// algorithm run, FLWOR tuples). Nil disables collection; every record
 	// call is nil-safe, so the hot paths pay one pointer check.
 	Stats *xqplan.ExecStats
+	// Cal is the engine-wide setup-cost calibration the strategy choices
+	// price with; nil prices with the static default. Analyzed executions
+	// feed it through Stats (ExecStats.Cal is the same pointer).
+	Cal *xqplan.Calibration
 	// MaxRecursion bounds user-defined function recursion.
 	MaxRecursion int
 
@@ -54,6 +58,11 @@ type Evaluator struct {
 	// stepPres is the recycled per-context-node pre buffer of the fast
 	// tree-step path (single-goroutine, like the evaluator itself).
 	stepPres []int32
+
+	// seqs is the scoped scratch arena of the streaming pipeline (see
+	// seqarena.go); nil outside a streaming run, in which case every
+	// arena-aware helper allocates plainly.
+	seqs *seqArena
 }
 
 // Run executes the compiled plan and returns the result sequence.
@@ -78,11 +87,11 @@ func (ev *Evaluator) Run() ([]Item, error) {
 func (ev *Evaluator) eval(e xqast.Expr, f *frame) (LLSeq, error) {
 	switch v := e.(type) {
 	case *xqast.StringLit:
-		return constLL(f.n, Str(v.V)), nil
+		return ev.scrConstLL(f.n, Str(v.V)), nil
 	case *xqast.IntLit:
-		return constLL(f.n, Int(v.V)), nil
+		return ev.scrConstLL(f.n, Int(v.V)), nil
 	case *xqast.FloatLit:
-		return constLL(f.n, Float(v.V)), nil
+		return ev.scrConstLL(f.n, Float(v.V)), nil
 	case *xqast.EmptySeq:
 		return NewLL(f.n), nil
 	case *xqast.VarRef:
@@ -90,12 +99,12 @@ func (ev *Evaluator) eval(e xqast.Expr, f *frame) (LLSeq, error) {
 		if b == nil {
 			return LLSeq{}, errf(codeUndefVar, "undeclared variable $%s", v.Name)
 		}
-		return b.materialize(), nil
+		return ev.scrMaterialize(b), nil
 	case *xqast.ContextItem:
 		if f.ctx == nil {
 			return LLSeq{}, errf(codeNoContext, "context item is absent")
 		}
-		return f.ctx.materialize(), nil
+		return ev.scrMaterialize(f.ctx), nil
 	case *xqast.Binary:
 		return ev.evalBinary(v, f)
 	case *xqast.Unary:
@@ -138,7 +147,7 @@ func (ev *Evaluator) evalBinary(v *xqast.Binary, f *frame) (LLSeq, error) {
 		if err != nil {
 			return LLSeq{}, err
 		}
-		b := newLLBuilderCap(f.n, l.Total()+r.Total())
+		b := ev.scrBuilderCap(f.n, l.Total()+r.Total())
 		for i := 0; i < f.n; i++ {
 			b.add2(l.Group(i), r.Group(i))
 		}
@@ -169,7 +178,7 @@ func (ev *Evaluator) evalLogical(v *xqast.Binary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilderCap(f.n, f.n)
+	b := ev.scrBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		lb, err := ebv(l.Group(i))
 		if err != nil {
@@ -197,7 +206,7 @@ func (ev *Evaluator) evalRange(v *xqast.Binary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilder(f.n)
+	b := ev.scrBuilderCap(f.n, 0)
 	for i := 0; i < f.n; i++ {
 		lo, loOK, err := singletonInt(l.Group(i))
 		if err != nil {
@@ -230,7 +239,9 @@ func singletonInt(items []Item) (int64, bool, error) {
 	if len(items) > 1 {
 		return 0, false, errf(codeType, "expected a single integer, got %d items", len(items))
 	}
-	a := items[0].Atomize()
+	// No Atomize: the default branch coerces nodes through NumericValue,
+	// which parses attribute values from bytes without a string conversion.
+	a := items[0]
 	switch a.Kind {
 	case KInt:
 		return a.I, true, nil
@@ -257,7 +268,7 @@ func (ev *Evaluator) evalArith(v *xqast.Binary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilderCap(f.n, f.n)
+	b := ev.scrBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		lg, rg := l.Group(i), r.Group(i)
 		if len(lg) == 0 || len(rg) == 0 {
@@ -267,7 +278,10 @@ func (ev *Evaluator) evalArith(v *xqast.Binary, f *frame) (LLSeq, error) {
 		if len(lg) > 1 || len(rg) > 1 {
 			return LLSeq{}, errf(codeType, "arithmetic on a sequence of more than one item")
 		}
-		res, err := arith(v.Op, lg[0].Atomize(), rg[0].Atomize())
+		// Raw items go straight to arith: it only type-switches on KInt and
+		// otherwise coerces via NumericValue, which parses attribute nodes
+		// from their value bytes — no per-row untypedAtomic string.
+		res, err := arith(v.Op, lg[0], rg[0])
 		if err != nil {
 			return LLSeq{}, err
 		}
@@ -342,7 +356,7 @@ func (ev *Evaluator) evalUnary(v *xqast.Unary, f *frame) (LLSeq, error) {
 	if err != nil {
 		return LLSeq{}, err
 	}
-	b := newLLBuilderCap(f.n, f.n)
+	b := ev.scrBuilderCap(f.n, f.n)
 	for i := 0; i < f.n; i++ {
 		g := x.Group(i)
 		if len(g) == 0 {
@@ -480,14 +494,14 @@ func expandFor(seq LLSeq) (inner int, outerOf []int32, varB *binding) {
 
 // flworClauses applies a FLWOR's for/let clauses to f, returning the expanded
 // tuple frame and the mapping from tuples back to f's iterations. The mapping
-// is always non-decreasing: tuples expand in iteration order.
+// is always non-decreasing: tuples expand in iteration order. A nil mapping
+// means identity (no for clause expanded) — the executor's chunk tails hit
+// this every chunk, so the identity is never materialised.
 func (ev *Evaluator) flworClauses(clauses []xqast.Clause, f *frame) (*frame, []int32, error) {
 	cur := f
-	// rootOf maps the current tuple space back to f's iterations.
-	rootOf := make([]int32, f.n)
-	for i := range rootOf {
-		rootOf[i] = int32(i)
-	}
+	// rootOf maps the current tuple space back to f's iterations; nil is the
+	// identity mapping.
+	var rootOf []int32
 	// Positional vars are bound as the tuples expand.
 	for _, cl := range clauses {
 		switch c := cl.(type) {
@@ -520,7 +534,7 @@ func (ev *Evaluator) flworClauses(clauses []xqast.Clause, f *frame) (*frame, []i
 			if err != nil {
 				return nil, nil, err
 			}
-			cur = cur.bind(c.Var, newBinding(seq))
+			cur = ev.scrBindSeq(cur, c.Var, seq)
 		}
 	}
 	return cur, rootOf, nil
@@ -588,8 +602,8 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 		var sortErr error
 		sort.SliceStable(perm, func(a, b int) bool {
 			ia, ib := perm[a], perm[b]
-			if rootOf[ia] != rootOf[ib] {
-				return rootOf[ia] < rootOf[ib]
+			if ra, rb := rootAt(rootOf, int(ia)), rootAt(rootOf, int(ib)); ra != rb {
+				return ra < rb
 			}
 			for k, spec := range v.OrderBy {
 				ka, kb := keys[k][ia], keys[k][ib]
@@ -625,7 +639,7 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 	t := 0
 	for i := 0; i < f.n; i++ {
 		t0 := t
-		for t < cur.n && rootOf[t] == int32(i) {
+		for t < cur.n && rootAt(rootOf, t) == int32(i) {
 			t++
 		}
 		b.add(ret.Items[ret.Off[t0]:ret.Off[t]]...)
@@ -636,12 +650,25 @@ func (ev *Evaluator) evalFLWOR(v *xqast.FLWOR, f *frame) (LLSeq, error) {
 }
 
 // composeMap composes two iteration mappings: result[j] = outer[inner[j]].
+// A nil outer is the identity, so the composition is inner itself (aliased —
+// mappings are read-only once built).
 func composeMap(outer []int32, inner []int32) []int32 {
+	if outer == nil {
+		return inner
+	}
 	out := make([]int32, len(inner))
 	for j, o := range inner {
 		out[j] = outer[o]
 	}
 	return out
+}
+
+// rootAt reads an iteration mapping with nil-as-identity semantics.
+func rootAt(rootOf []int32, t int) int32 {
+	if rootOf == nil {
+		return int32(t)
+	}
+	return rootOf[t]
 }
 
 // orderCompare compares two atomized order-by keys. The 255 kind marks an

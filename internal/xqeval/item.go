@@ -173,7 +173,9 @@ func (it Item) Atomize() Item {
 }
 
 // NumericValue coerces the item to a double; ok is false when it does not
-// parse.
+// parse. Attribute nodes parse straight from the document's value bytes, so
+// arithmetic over @start/@end-style stand-off attributes costs no string
+// conversion per row.
 func (it Item) NumericValue() (float64, bool) {
 	switch it.Kind {
 	case KInt:
@@ -185,6 +187,8 @@ func (it Item) NumericValue() (float64, bool) {
 			return 1, true
 		}
 		return 0, true
+	case KAttr:
+		return parseNumericBytes(it.D.AttrValueBytes(it.Att))
 	default:
 		s := strings.TrimSpace(it.StringValue())
 		f, err := strconv.ParseFloat(s, 64)
@@ -193,6 +197,55 @@ func (it Item) NumericValue() (float64, bool) {
 		}
 		return f, true
 	}
+}
+
+// parseNumericBytes parses a numeric literal from raw bytes without
+// allocating. The common stand-off case — an optionally signed decimal
+// integer — is parsed by hand; anything else (decimal point, exponent,
+// INF/NaN spellings) falls back to strconv.ParseFloat on a transient string.
+func parseNumericBytes(b []byte) (float64, bool) {
+	// xs:double whitespace trim.
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for n := len(b); n > 0 && (b[n-1] == ' ' || b[n-1] == '\t' || b[n-1] == '\n' || b[n-1] == '\r'); n = len(b) {
+		b = b[:n-1]
+	}
+	if len(b) == 0 {
+		return math.NaN(), false
+	}
+	i, neg := 0, false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i = 1
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			// Not a plain integer: full ParseFloat semantics.
+			f, err := strconv.ParseFloat(string(b), 64)
+			if err != nil {
+				return math.NaN(), false
+			}
+			return f, true
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<53 {
+			f, err := strconv.ParseFloat(string(b), 64)
+			if err != nil {
+				return math.NaN(), false
+			}
+			return f, true
+		}
+	}
+	if i == 1 && (b[0] == '+' || b[0] == '-') {
+		return math.NaN(), false // sign with no digits
+	}
+	if neg {
+		return -float64(v), true
+	}
+	return float64(v), true
 }
 
 func (it Item) String() string {

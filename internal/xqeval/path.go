@@ -1,6 +1,8 @@
 package xqeval
 
 import (
+	"time"
+
 	"soxq/internal/core"
 	"soxq/internal/tree"
 	"soxq/internal/xpath"
@@ -44,7 +46,7 @@ func (ev *Evaluator) pathStart(p *xqast.Path, f *frame) (LLSeq, error) {
 		if f.ctx == nil {
 			return LLSeq{}, errf(codeNoContext, "path expression needs a context item")
 		}
-		cur = f.ctx.materialize()
+		cur = ev.scrMaterialize(f.ctx)
 	}
 	if p.Absolute {
 		b := newLLBuilder(f.n)
@@ -165,10 +167,12 @@ func (ev *Evaluator) evalStep(sp *xqplan.StepPlan, ctx LLSeq, f *frame) (LLSeq, 
 // per-row pre scratch lives on the evaluator (the loop below never re-enters
 // eval, so the buffer cannot be in use twice).
 func (ev *Evaluator) evalStepTreeFast(sp *xqplan.StepPlan, ctx LLSeq) (LLSeq, error) {
-	out := LLSeq{
-		Off:   make([]int32, 1, ctx.N()+1),
-		Items: make([]Item, 0, ctx.Total()),
-	}
+	// The output buffers come from the scoped arena during streaming runs (a
+	// builder loan — its reclaim reads the final headers, so growth past the
+	// context-size hint is safe); the builder is only used as a buffer pair,
+	// the segments below are written directly.
+	ob := ev.scrBuilderCap(ctx.N(), ctx.Total())
+	out := ob.seq
 	for i := 0; i < ctx.N(); i++ {
 		segStart := len(out.Items)
 		for _, it := range ctx.Group(i) {
@@ -194,6 +198,7 @@ func (ev *Evaluator) evalStepTreeFast(sp *xqplan.StepPlan, ctx LLSeq) (LLSeq, er
 		out.Items = out.Items[:segStart+len(seg)]
 		out.Off = append(out.Off, int32(len(out.Items)))
 	}
+	ob.seq = out // write the final headers back so the reclaim sees growth
 	ev.Stats.RecordStep(sp, int64(ctx.Total()), int64(len(out.Items)))
 	return out, nil
 }
@@ -207,7 +212,23 @@ func (ev *Evaluator) strategyFor(sp *xqplan.StepPlan, ix *core.RegionIndex, ctxR
 	if ev.Strategy != core.StrategyAuto {
 		return ev.Strategy
 	}
-	return sp.StrategyFor(ix, ev.Pushdown, ctxRows)
+	return sp.StrategyFor(ix, ev.Pushdown, ctxRows, ev.Cal)
+}
+
+// statsNow and statsSince time a join only when an ANALYZE collector is
+// attached — the plain execution paths pay a nil check, not a clock read.
+func statsNow(st *xqplan.ExecStats) time.Time {
+	if st == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func statsSince(st *xqplan.ExecStats, t0 time.Time) int64 {
+	if st == nil {
+		return 0
+	}
+	return time.Since(t0).Nanoseconds()
 }
 
 // treeStep evaluates a standard axis per context node, using the step's
@@ -332,8 +353,9 @@ func (ev *Evaluator) standOffStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item
 		// over — the Basic variant re-scans the candidate sequence once per
 		// iteration, empty iterations included.
 		strat := ev.strategyFor(sp, ix, len(rows))
-		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat)
+		t0 := statsNow(ev.Stats)
 		pairs := core.Join(ix, op, strat, byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
+		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat, int64(len(rows)), statsSince(ev.Stats, t0))
 		var test xpath.Compiled
 		if postFilter {
 			test = sp.CompiledTest(d)
@@ -389,8 +411,9 @@ func (ev *Evaluator) standOffRejectStep(sp *xqplan.StepPlan, ctx LLSeq) ([][]Ite
 			continue
 		}
 		strat := ev.strategyFor(sp, ix, ctx.N())
-		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat)
+		t0 := statsNow(ev.Stats)
 		pairs := core.Join(ix, op, strat, byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
+		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat, int64(ctx.N()), statsSince(ev.Stats, t0))
 		var test xpath.Compiled
 		if postFilter {
 			test = sp.CompiledTest(d)

@@ -80,8 +80,13 @@ func Build(ev *xqeval.Evaluator, cfg Config) (Cursor, error) {
 	// every chunk join); the wrapping cursor hands it back on Close.
 	// Forked parallel workers attach their own — see parallelFLWOR.
 	ev.AttachArena()
+	// The seq arena recycles frames, bindings, and sequence buffers across
+	// the pipeline's chunk scopes; workers fork without one and allocate
+	// plainly, since their results outlive any scope the worker could close.
+	ev.AttachSeqArena()
 	root, err := ev.NewRootFrame()
 	if err != nil {
+		ev.DetachSeqArena()
 		ev.DetachArena()
 		return nil, err
 	}
@@ -101,6 +106,7 @@ type pipelineCursor struct {
 func (c *pipelineCursor) Close() {
 	c.Cursor.Close()
 	c.ev.DetachArena()
+	c.ev.DetachSeqArena()
 }
 
 // Unwrap exposes the wrapped root cursor (tests inspect its concrete type).
@@ -152,7 +158,7 @@ func (x *executor) build(e xqast.Expr, f *xqeval.Frame) Cursor {
 		case ",":
 			return &seqCursor{x: x, f: f, exprs: flattenSeq(v)}
 		case "to":
-			return &rangeCursor{x: x, v: v, f: f}
+			return newRangeCursor(x, v, f)
 		}
 	case *xqast.Enclosed:
 		return x.build(v.X, f)
@@ -173,6 +179,33 @@ func streamableFLWOR(v *xqast.FLWOR) bool {
 		}
 	}
 	return false
+}
+
+// buildReuse rebuilds a reset level's binding cursor, reusing the shelved
+// sibling's cursor in place when it was built for the same expression (the
+// common shape: every parent tuple re-binds the same inner `1 to N` range).
+func (x *executor) buildReuse(e xqast.Expr, f *xqeval.Frame, old Cursor) Cursor {
+	if rc, ok := old.(*rangeCursor); ok {
+		if v, ok2 := unwrapRange(e); ok2 && v == rc.v {
+			rc.reset(f)
+			return rc
+		}
+	}
+	return x.build(e, f)
+}
+
+// unwrapRange peels Enclosed wrappers down to a `to` binary, if that is what
+// the expression is.
+func unwrapRange(e xqast.Expr) (*xqast.Binary, bool) {
+	switch v := e.(type) {
+	case *xqast.Binary:
+		if v.Op == "to" {
+			return v, true
+		}
+	case *xqast.Enclosed:
+		return unwrapRange(v.X)
+	}
+	return nil, false
 }
 
 // flattenSeq collects the operands of a (left-leaning) `,` chain in order.
@@ -312,32 +345,65 @@ type rangeCursor struct {
 	next    int64
 	hi      int64
 	cur     xqeval.Item
-	err     error
+	// lit caches bounds recognised as integer literals at build time, so a
+	// reset-reused cursor (`for $x in 1 to N` under a nested loop) re-arms
+	// without re-evaluating — and thus without allocating — anything.
+	lit          bool
+	litLo, litHi int64
+	err          error
+}
+
+// newRangeCursor builds a range cursor, pre-resolving literal bounds.
+func newRangeCursor(x *executor, v *xqast.Binary, f *xqeval.Frame) *rangeCursor {
+	c := &rangeCursor{x: x, v: v, f: f}
+	if l, ok := v.L.(*xqast.IntLit); ok {
+		if r, ok2 := v.R.(*xqast.IntLit); ok2 {
+			c.lit, c.litLo, c.litHi = true, l.V, r.V
+		}
+	}
+	return c
+}
+
+// reset re-arms the cursor under a fresh frame for reuse by buildReuse.
+func (c *rangeCursor) reset(f *xqeval.Frame) {
+	c.f = f
+	c.started, c.done = false, false
+	c.err = nil
 }
 
 func (c *rangeCursor) init() {
 	c.started = true
-	l, err := c.x.ev.EvalExpr(c.v.L, c.f)
-	if err != nil {
-		c.err = err
-		return
+	var lo, hi int64
+	if c.lit {
+		lo, hi = c.litLo, c.litHi
+	} else {
+		l, err := c.x.ev.EvalExpr(c.v.L, c.f)
+		if err != nil {
+			c.err = err
+			return
+		}
+		r, err := c.x.ev.EvalExpr(c.v.R, c.f)
+		if err != nil {
+			c.err = err
+			return
+		}
+		var loOK, hiOK bool
+		lo, loOK, err = xqeval.SingletonInt(l.Group(0))
+		if err != nil {
+			c.err = err
+			return
+		}
+		hi, hiOK, err = xqeval.SingletonInt(r.Group(0))
+		if err != nil {
+			c.err = err
+			return
+		}
+		if !loOK || !hiOK {
+			c.done = true
+			return
+		}
 	}
-	r, err := c.x.ev.EvalExpr(c.v.R, c.f)
-	if err != nil {
-		c.err = err
-		return
-	}
-	lo, loOK, err := xqeval.SingletonInt(l.Group(0))
-	if err != nil {
-		c.err = err
-		return
-	}
-	hi, hiOK, err := xqeval.SingletonInt(r.Group(0))
-	if err != nil {
-		c.err = err
-		return
-	}
-	if !loOK || !hiOK || lo > hi {
+	if lo > hi {
 		c.done = true
 		return
 	}

@@ -53,7 +53,7 @@ func describeExpr(plan *xqplan.Plan, e xqast.Expr) *OpExplain {
 		op := &OpExplain{
 			Kind:      "flwor",
 			Pipelined: true,
-			Detail: fmt.Sprintf("for $%s tuples stream in chunks; loop body loop-lifted per chunk; parallel partitioning eligible",
+			Detail: fmt.Sprintf("for $%s tuples stream in chunks; loop body loop-lifted per chunk; work-stealing parallel eligible",
 				first.Var),
 			Children: []*OpExplain{describeExpr(plan, first.Seq)},
 		}
@@ -102,26 +102,42 @@ func describePath(plan *xqplan.Plan, p *xqast.Path) *OpExplain {
 		return &OpExplain{Kind: "path", Detail: "no steps"}
 	}
 	last := prog[len(prog)-1]
+	// Consecutive chunk-streamable StandOff steps before the final step
+	// compose into chained pres-based stages.
+	chain := 0
+	for i := len(prog) - 2; i >= 0; i-- {
+		s := prog[i].Streamability()
+		if s != xqplan.StreamChunked && s != xqplan.StreamChunkedReject {
+			break
+		}
+		chain++
+	}
+	suffix := ""
+	if chain > 0 {
+		suffix = fmt.Sprintf("; %d StandOff prefix step(s) stream through composed pres-based stages", chain)
+	}
 	switch last.Streamability() {
 	case xqplan.StreamTree:
 		return &OpExplain{Kind: "path", Pipelined: true,
-			Detail: fmt.Sprintf("final step %s::%s streams per context node when context subtrees are disjoint",
-				last.Axis, last.Test)}
+			Detail: fmt.Sprintf("final step %s::%s streams per context node when context subtrees are disjoint%s",
+				last.Axis, last.Test, suffix)}
 	case xqplan.StreamChunked:
 		return &OpExplain{Kind: "path", Pipelined: true,
-			Detail: fmt.Sprintf("final StandOff step %s streams per context chunk through an ordered dedup merge when the context is single-document",
-				last.SO.Op)}
+			Detail: fmt.Sprintf("final StandOff step %s streams per context chunk through an ordered dedup merge when the context is single-document%s",
+				last.SO.Op, suffix)}
+	case xqplan.StreamChunkedReject:
+		return &OpExplain{Kind: "path", Pipelined: true,
+			Detail: fmt.Sprintf("final StandOff step %s streams per context chunk through a matched-candidate bitset and one complement when the context is single-document%s",
+				last.SO.Op, suffix)}
 	}
 	reason := "final step materialises"
 	switch {
-	case last.StandOff:
-		reason = fmt.Sprintf("final StandOff step %s is an anti-join over the whole context and materialises via its merge join", last.SO.Op)
 	case len(last.Predicates) > 0:
 		reason = "predicates on the final step re-rank positions per context group"
 	default:
 		reason = fmt.Sprintf("final axis %s is not order-safe to stream", last.Axis)
 	}
-	return &OpExplain{Kind: "path", Detail: reason}
+	return &OpExplain{Kind: "path", Detail: reason + suffix}
 }
 
 // exprName gives a friendly name for a non-pipelined expression form.

@@ -80,6 +80,17 @@ type flworCursor struct {
 	innerRest []xqast.Clause
 	child     *flworCursor
 	ti        int // next chunk tuple to drive a child with
+	// childFree is the shelved previous child cursor, reset in place for the
+	// next parent tuple (strictly one sibling lives at a time); bindFree is
+	// this cursor's own parked binding cursor across a shelve/reset cycle.
+	childFree *flworCursor
+	bindFree  Cursor
+
+	// scope is the arena scope of the current expanded-mode chunk;
+	// childScope spans the current child cursor's lifetime (its frame and
+	// everything evaluated at its init live exactly that long).
+	scope      *xqeval.SeqScope
+	childScope *xqeval.SeqScope
 
 	par *parallelFLWOR // non-nil once the worker pool engages
 
@@ -146,7 +157,8 @@ func (c *flworCursor) init() {
 			c.f = f
 			c.first = cl
 			c.rest = c.clauses[i+1:]
-			c.bind = c.x.build(cl.Seq, f)
+			c.bind = c.x.buildReuse(cl.Seq, f, c.bindFree)
+			c.bindFree = nil
 			if c.root && c.x.cfg.Parallelism > 1 {
 				c.par = startParallel(c)
 			}
@@ -208,6 +220,15 @@ func streamableBinding(e xqast.Expr) bool {
 // evaluates the FLWOR tail over them at once; in nested mode it only stages
 // the tuples — Next drives a child cursor per tuple.
 func (c *flworCursor) nextChunk() {
+	if c.scope != nil {
+		// Reclaim the previous chunk's scratch before pulling new tuples:
+		// the chunk was fully drained (Next only refills then), and closing
+		// first keeps scope turnover LIFO against the binding cursor's own
+		// scope turnover during the pull below.
+		c.out, c.i = nil, 0
+		c.x.ev.CloseScope(c.scope)
+		c.scope = nil
+	}
 	limit := c.x.chunkSize()
 	if c.chunk == nil && c.memo != nil {
 		// Adopt the level's recycled chunk buffer (returned on Close). The
@@ -236,6 +257,7 @@ func (c *flworCursor) nextChunk() {
 		c.basePos += int64(len(c.chunk))
 		return
 	}
+	c.scope = c.x.ev.OpenScope()
 	out, err := evalFLWORChunk(c.x.ev, c, c.chunk, c.basePos)
 	if err != nil {
 		c.err = err
@@ -249,7 +271,7 @@ func (c *flworCursor) nextChunk() {
 // (expanded mode: remaining clauses unroll loop-lifted into the chunk
 // frame). FLWORTail records the chunk's tuple counters.
 func evalFLWORChunk(ev *xqeval.Evaluator, c *flworCursor, tuples []xqeval.Item, basePos int64) ([]xqeval.Item, error) {
-	nf := c.f.BindChunk(c.first.Var, c.first.Pos, tuples, basePos)
+	nf := ev.BindChunk(c.f, c.first.Var, c.first.Pos, tuples, basePos)
 	ret, err := ev.FLWORTail(c.v, c.rest, nf)
 	if err != nil {
 		return nil, err
@@ -258,21 +280,80 @@ func evalFLWORChunk(ev *xqeval.Evaluator, c *flworCursor, tuples []xqeval.Item, 
 }
 
 // startChild binds the next staged tuple into a one-iteration frame and
-// opens the child cursor of the nested for clause over it.
+// opens the child cursor of the nested for clause over it. The arena scope
+// opened here spans the child's lifetime — the seed frame and everything
+// evaluated at the child's init are reclaimed when the child retires — and
+// the previous sibling's shelved cursor is reset in place instead of
+// allocating a new one.
 func (c *flworCursor) startChild() {
 	t := c.chunk[c.ti]
 	pos := c.basePos - int64(len(c.chunk)) + int64(c.ti)
 	c.ti++
+	c.childScope = c.x.ev.OpenScope()
 	// The 1-tuple buffer is reused across children: BindChunk aliases it, but
-	// the previous child was closed (hence drained — everything it produced
+	// the previous child was retired (hence drained — everything it produced
 	// was copied out as Item values) before this overwrite.
 	if cap(c.seed) == 0 {
 		c.seed = make([]xqeval.Item, 1)
 	}
 	c.seed = c.seed[:1]
 	c.seed[0] = t
-	nf := c.f.BindChunk(c.first.Var, c.first.Pos, c.seed, pos)
-	c.child = newChildCursor(c.x, c.v, c.rest, nf, c.memo.child)
+	nf := c.x.ev.BindChunk(c.f, c.first.Var, c.first.Pos, c.seed, pos)
+	if ch := c.childFree; ch != nil {
+		c.childFree = nil
+		ch.reset(nf)
+		c.child = ch
+	} else {
+		c.child = newChildCursor(c.x, c.v, c.rest, nf, c.memo.child)
+	}
+}
+
+// retireChild shelves a drained (or failed) child for reuse by the next
+// parent tuple and closes the scope that carried its frame and init state.
+func (c *flworCursor) retireChild() {
+	ch := c.child
+	c.child = nil
+	ch.shelve()
+	c.childFree = ch
+	if c.childScope != nil {
+		c.x.ev.CloseScope(c.childScope)
+		c.childScope = nil
+	}
+}
+
+// shelve deactivates a child cursor for in-place reuse: its own scopes
+// close, the binding cursor parks for a reset rebuild, and the chunk/seed
+// buffers and decision memo stay attached to the struct.
+func (c *flworCursor) shelve() {
+	c.started, c.done = true, true
+	if c.child != nil { // error paths can leave a grandchild active
+		c.retireChild()
+	}
+	if c.scope != nil {
+		c.out, c.i = nil, 0
+		c.x.ev.CloseScope(c.scope)
+		c.scope = nil
+	}
+	if c.bind != nil {
+		c.bind.Close()
+		c.bindFree, c.bind = c.bind, nil
+	}
+	c.out, c.i = nil, 0
+	c.pending = nil
+}
+
+// reset re-arms a shelved child under a fresh parent-tuple frame; clause
+// structure, chunk and seed buffers, the decision memo, the parked binding
+// cursor, and any deeper shelved descendants all carry over.
+func (c *flworCursor) reset(f *xqeval.Frame) {
+	c.f = f
+	c.started, c.done = false, false
+	c.err = nil
+	c.first, c.rest = nil, nil
+	c.inner, c.innerRest = nil, nil
+	c.ti = 0
+	c.basePos = 0
+	c.out, c.i = nil, 0
 }
 
 func (c *flworCursor) Next() bool {
@@ -289,8 +370,7 @@ func (c *flworCursor) Next() bool {
 				return true
 			}
 			c.err = c.child.Err()
-			c.child.Close()
-			c.child = nil
+			c.retireChild()
 			continue
 		}
 		if c.inner != nil && c.ti < len(c.chunk) {
@@ -326,6 +406,18 @@ func (c *flworCursor) Close() {
 		c.child.Close()
 		c.child = nil
 	}
+	c.childFree = nil
+	// Scopes close innermost-first: the child's scopes (closed above via its
+	// Close) sit on top of childScope, which sits on top of this chunk scope.
+	if c.childScope != nil {
+		c.x.ev.CloseScope(c.childScope)
+		c.childScope = nil
+	}
+	if c.scope != nil {
+		c.x.ev.CloseScope(c.scope)
+		c.scope = nil
+	}
+	c.bindFree = nil // already closed when parked by shelve
 	if c.par != nil {
 		// The producer goroutine owns (and closes) the binding cursor.
 		c.par.close()
@@ -339,35 +431,162 @@ func (c *flworCursor) Close() {
 	}
 }
 
-// parallelFLWOR partitions the binding stream across a worker pool with an
-// order-preserving merge: a producer goroutine slices the stream into
-// chunks, workers evaluate the FLWOR tail per chunk over forked evaluators
-// (the plan is immutable and race-safe to share), and the consumer hands
-// chunks out strictly in stream order. The orderq capacity bounds the number
-// of chunks in flight, so memory stays proportional to
-// Parallelism x chunk result, not to the loop size. Only the root cursor
-// parallelises — nested levels inside a partitioned loop evaluate on the
-// expanded path within their worker's chunk.
+// parallelFLWOR distributes the binding stream across a work-stealing worker
+// pool with an order-preserving merge. The producer deals sequence-numbered
+// chunk tasks round-robin into one deque per worker; each worker drains its
+// own deque and steals from its siblings when that runs dry, so a skewed
+// chunk (one tuple whose loop body dominates) never idles the other workers
+// the way a static partition would. Workers evaluate the FLWOR tail per
+// chunk over forked evaluators (the plan is immutable and race-safe to
+// share) and send results to a shared channel; the consumer re-orders them
+// through a sequence-keyed min-heap (the same hand-rolled heap as the
+// StandOff merge's preHeap), so the parallel stream is item-for-item the
+// sequential one.
+//
+// The deques are bounded globally rather than per-queue: the producer
+// acquires an in-flight token per chunk and the consumer releases it only
+// when the chunk is emitted, so tasks queued + results waiting in the
+// channel or the heap never exceed the token budget and memory stays
+// proportional to Parallelism x chunk result, not to the loop size. Only
+// the root cursor parallelises — nested levels inside a distributed loop
+// evaluate on the expanded path within their worker's chunk.
 type parallelFLWOR struct {
-	orderq chan chan chunkResult
-	jobs   chan chunkJob
+	deqs   []workDeque
+	resch  chan chunkResult
+	slots  chan struct{} // in-flight tokens: producer acquires, merge releases
 	donech chan struct{}
-	wg     sync.WaitGroup // producer + workers; close joins them
-	closed bool
+	wg     sync.WaitGroup // producer + workers; a closer joins them and closes resch
 
-	out []xqeval.Item
-	i   int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queued   int  // tasks dealt to deques and not yet claimed
+	prodDone bool // producer exhausted the binding stream
+	stopped  bool // close() called; workers must not start new tasks
+
+	// Consumer-side merge state (single goroutine, never shared).
+	closed  bool
+	heap    resultHeap
+	nextSeq int64
+	iev     *xqeval.Evaluator // evaluates cost-gated inline chunks at the merge
+	out     []xqeval.Item
+	i       int
 }
 
-type chunkJob struct {
+// chunkTask is one sequence-numbered slice of the binding stream, ready for
+// a worker (or a thief) to evaluate.
+type chunkTask struct {
+	seq     int64
 	tuples  []xqeval.Item
 	basePos int64
-	res     chan chunkResult
 }
 
+// chunkResult carries one chunk's outcome back to the merge. An inline
+// result carries the unevaluated tuples instead: the producer decided the
+// chunk was too small to amortise a dispatch (the per-chunk cost gate) and
+// the consumer evaluates it itself when its sequence number comes up.
 type chunkResult struct {
-	items []xqeval.Item
-	err   error
+	seq     int64
+	items   []xqeval.Item
+	err     error
+	inline  []xqeval.Item
+	basePos int64
+}
+
+// workDeque is one worker's chunk-task queue. The owner pops newest-first
+// (its cache is warm with the producer's latest tuples), thieves steal
+// oldest-first — the classic work-stealing discipline. A plain mutex guards
+// each deque: at chunk granularity the lock is all but uncontended, and the
+// pool's in-flight token budget bounds every deque's length.
+type workDeque struct {
+	mu    sync.Mutex
+	tasks []chunkTask
+	head  int
+}
+
+func (d *workDeque) push(t chunkTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// pop removes the newest task (owner side).
+func (d *workDeque) pop() (chunkTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return chunkTask{}, false
+	}
+	n := len(d.tasks) - 1
+	t := d.tasks[n]
+	d.tasks[n] = chunkTask{} // release the tuple slice
+	d.tasks = d.tasks[:n]
+	if d.head >= len(d.tasks) {
+		d.tasks, d.head = d.tasks[:0], 0
+	}
+	return t, true
+}
+
+// steal removes the oldest task (thief side).
+func (d *workDeque) steal() (chunkTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return chunkTask{}, false
+	}
+	t := d.tasks[d.head]
+	d.tasks[d.head] = chunkTask{}
+	d.head++
+	if d.head >= len(d.tasks) {
+		d.tasks, d.head = d.tasks[:0], 0
+	}
+	return t, true
+}
+
+// resultHeap orders out-of-sequence chunk results by producer sequence
+// number — the same hand-rolled binary min-heap as the StandOff merge's
+// preHeap, keyed on seq instead of pre rank.
+type resultHeap struct {
+	rs []chunkResult
+}
+
+func (h *resultHeap) len() int { return len(h.rs) }
+
+func (h *resultHeap) push(r chunkResult) {
+	h.rs = append(h.rs, r)
+	i := len(h.rs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.rs[p].seq <= h.rs[i].seq {
+			break
+		}
+		h.rs[p], h.rs[i] = h.rs[i], h.rs[p]
+		i = p
+	}
+}
+
+func (h *resultHeap) pop() chunkResult {
+	r := h.rs[0]
+	n := len(h.rs) - 1
+	h.rs[0] = h.rs[n]
+	h.rs[n] = chunkResult{}
+	h.rs = h.rs[:n]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.rs[l].seq < h.rs[s].seq {
+			s = l
+		}
+		if rt < n && h.rs[rt].seq < h.rs[s].seq {
+			s = rt
+		}
+		if s == i {
+			break
+		}
+		h.rs[i], h.rs[s] = h.rs[s], h.rs[i]
+		i = s
+	}
+	return r
 }
 
 // startParallel decides the partition size, applies the small-loop gate, and
@@ -397,40 +616,74 @@ func startParallel(c *flworCursor) *parallelFLWOR {
 	}
 
 	workers := c.x.cfg.Parallelism
+	inflight := 2 * workers
 	p := &parallelFLWOR{
-		orderq: make(chan chan chunkResult, workers),
-		jobs:   make(chan chunkJob, workers),
+		deqs:   make([]workDeque, workers),
+		resch:  make(chan chunkResult, inflight),
+		slots:  make(chan struct{}, inflight),
 		donech: make(chan struct{}),
+		iev:    c.x.ev.Fork(),
 	}
+	p.cond = sync.NewCond(&p.mu)
+	p.iev.AttachArena()
 	p.wg.Add(workers + 1)
 	for w := 0; w < workers; w++ {
-		go p.worker(c)
+		go p.worker(c, w)
 	}
 	go p.produce(c, c.bind, prefix, pchunk)
+	// The closer shuts the result channel once the producer and every
+	// worker has exited — the merge reads end-of-stream from the close.
+	go func() {
+		p.wg.Wait()
+		close(p.resch)
+	}()
 	return p
 }
 
-// produce slices the binding stream into jobs. It owns the binding cursor
-// exclusively — no other goroutine touches it once the pool starts.
+// produce slices the binding stream into sequence-numbered chunk tasks and
+// deals them round-robin into the worker deques. It owns the binding cursor
+// exclusively — no other goroutine touches it once the pool starts. Each
+// chunk first acquires an in-flight token (released by the merge when the
+// chunk is emitted), which is what bounds the deques and the result heap.
 func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Item, pchunk int) {
 	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		p.prodDone = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}()
 	defer bind.Close()
-	defer close(p.jobs)
-	defer close(p.orderq)
-	var basePos int64
+	// The per-chunk cost gate: dispatching a chunk costs a queue round trip
+	// and a forked evaluation — the same order of machinery the cost model
+	// prices as the loop-lifted setup cost. A trailing partial chunk below
+	// that many tuples is cheaper to evaluate inline at the merge. Full
+	// chunks are never gated, so the gate cannot serialise a configuration
+	// whose ChunkSize is small.
+	inlineRows := xqplan.SetupRows()
+	var seq, basePos int64
 	emit := func(tuples []xqeval.Item) bool {
-		job := chunkJob{tuples: tuples, basePos: basePos, res: make(chan chunkResult, 1)}
+		select {
+		case p.slots <- struct{}{}:
+		case <-p.donech:
+			return false
+		}
+		t := chunkTask{seq: seq, tuples: tuples, basePos: basePos}
+		seq++
 		basePos += int64(len(tuples))
-		select {
-		case p.orderq <- job.res:
-		case <-p.donech:
-			return false
+		if len(tuples) < pchunk && len(tuples) < inlineRows {
+			select {
+			case p.resch <- chunkResult{seq: t.seq, inline: t.tuples, basePos: t.basePos}:
+				return true
+			case <-p.donech:
+				return false
+			}
 		}
-		select {
-		case p.jobs <- job:
-		case <-p.donech:
-			return false
-		}
+		p.deqs[int(t.seq)%len(p.deqs)].push(t)
+		p.mu.Lock()
+		p.queued++
+		p.mu.Unlock()
+		p.cond.Signal()
 		return true
 	}
 	for len(prefix) > 0 {
@@ -446,10 +699,16 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 			tuples = append(tuples, bind.Item())
 		}
 		if err := bind.Err(); err != nil {
-			res := make(chan chunkResult, 1)
-			res <- chunkResult{err: err}
+			// The error occupies the next sequence slot, so the merge
+			// surfaces it only after every preceding chunk — exactly where
+			// the sequential stream would have failed.
 			select {
-			case p.orderq <- res:
+			case p.slots <- struct{}{}:
+			case <-p.donech:
+				return
+			}
+			select {
+			case p.resch <- chunkResult{seq: seq, err: err}:
 			case <-p.donech:
 			}
 			return
@@ -463,7 +722,7 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 	}
 }
 
-func (p *parallelFLWOR) worker(c *flworCursor) {
+func (p *parallelFLWOR) worker(c *flworCursor, w int) {
 	defer p.wg.Done()
 	// One fork per worker goroutine, with its own join arena (arenas are
 	// single-goroutine; Fork drops the parent's). The fork's per-chunk
@@ -473,21 +732,64 @@ func (p *parallelFLWOR) worker(c *flworCursor) {
 	ev.AttachArena()
 	defer ev.DetachArena()
 	for {
+		t, ok := p.takeTask(w)
+		if !ok {
+			return
+		}
+		items, err := evalFLWORChunk(ev, c, t.tuples, t.basePos)
 		select {
-		case job, ok := <-p.jobs:
-			if !ok {
-				return
-			}
-			items, err := evalFLWORChunk(ev, c, job.tuples, job.basePos)
-			job.res <- chunkResult{items: items, err: err}
+		case p.resch <- chunkResult{seq: t.seq, items: items, err: err}:
 		case <-p.donech:
 			return
 		}
 	}
 }
 
-// next is the order-preserving merge: chunk results are consumed strictly in
-// the order the producer emitted them, so the parallel stream is
+// takeTask is the work-stealing loop for worker w: drain the own deque
+// (newest first), then sweep the siblings' deques (oldest first), then sleep
+// on the pool condition until the producer deals more work or the pool shuts
+// down. Returns false when no task will ever arrive again.
+func (p *parallelFLWOR) takeTask(w int) (chunkTask, bool) {
+	for {
+		select {
+		case <-p.donech:
+			return chunkTask{}, false
+		default:
+		}
+		if t, ok := p.deqs[w].pop(); ok {
+			p.claim()
+			return t, true
+		}
+		for d := 1; d < len(p.deqs); d++ {
+			if t, ok := p.deqs[(w+d)%len(p.deqs)].steal(); ok {
+				p.claim()
+				return t, true
+			}
+		}
+		p.mu.Lock()
+		if p.queued == 0 {
+			if p.prodDone || p.stopped {
+				p.mu.Unlock()
+				return chunkTask{}, false
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// claim accounts one task leaving the deques. queued is incremented only
+// after the task is pushed, so a sleeping worker woken by the signal always
+// finds the task it was woken for (or sleeps again after a failed sweep).
+func (p *parallelFLWOR) claim() {
+	p.mu.Lock()
+	p.queued--
+	p.mu.Unlock()
+}
+
+// next is the order-preserving merge: results arrive in completion order and
+// are re-sequenced through the min-heap, so chunks are emitted strictly in
+// the order the producer numbered them and the parallel stream is
 // item-for-item the sequential stream.
 func (p *parallelFLWOR) next(c *flworCursor) bool {
 	for c.err == nil {
@@ -496,18 +798,50 @@ func (p *parallelFLWOR) next(c *flworCursor) bool {
 			p.i++
 			return true
 		}
-		res, ok := <-p.orderq
+		if p.heap.len() > 0 && p.heap.rs[0].seq == p.nextSeq {
+			if !p.take(c, p.heap.pop()) {
+				return false
+			}
+			continue
+		}
+		r, ok := <-p.resch
 		if !ok {
+			// Producer and workers are done and every result was taken:
+			// sequence numbers are contiguous, so the heap is empty too.
 			return false
 		}
-		r := <-res
-		if r.err != nil {
-			c.err = r.err
+		if r.seq != p.nextSeq {
+			p.heap.push(r)
+			continue
+		}
+		if !p.take(c, r) {
 			return false
 		}
-		p.out, p.i = r.items, 0
 	}
 	return false
+}
+
+// take emits one in-sequence chunk result: releases its in-flight token (the
+// producer may now deal the next chunk), surfaces its error, evaluates it
+// here if the producer's cost gate kept it inline, and stages its items.
+func (p *parallelFLWOR) take(c *flworCursor, r chunkResult) bool {
+	p.nextSeq++
+	<-p.slots
+	if r.err != nil {
+		c.err = r.err
+		return false
+	}
+	if r.inline != nil {
+		items, err := evalFLWORChunk(p.iev, c, r.inline, r.basePos)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		p.out, p.i = items, 0
+		return true
+	}
+	p.out, p.i = r.items, 0
+	return true
 }
 
 func (p *parallelFLWOR) close() {
@@ -516,13 +850,17 @@ func (p *parallelFLWOR) close() {
 	}
 	p.closed = true
 	close(p.donech)
-	// Drain the order queue so the producer and workers observe donech or
-	// queue space and exit; pending results are discarded.
-	for range p.orderq {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	// Drain the result channel until the closer shuts it: that happens only
+	// after the producer and every worker has exited, and the caller
+	// releases the parent evaluator's join arena right after Close, so no
+	// goroutine that reads the evaluator (Fork) or evaluates over it (the
+	// producer's binding cursor) may outlive this loop.
+	for range p.resch {
 	}
-	// Join the pool before returning: the caller releases the parent
-	// evaluator's join arena right after Close, so no goroutine that reads
-	// the evaluator (Fork) or evaluates over it (the producer's binding
-	// cursor) may outlive this call.
-	p.wg.Wait()
+	p.iev.DetachArena()
+	p.heap.rs = nil
 }

@@ -6,11 +6,10 @@ import (
 	"soxq/internal/xqplan"
 )
 
-// pathCursor pipelines the final step of a path expression. The prefix —
-// starting context and all steps but the last — evaluates in bulk exactly as
-// the materialising path does (StandOff steps inside the prefix need the
-// bulk context for their loop-lifted joins), but the final step streams when
-// its compiled plan classifies as streamable (xqplan.Streamability):
+// pathCursor pipelines the chunk-streamable suffix of a path expression. The
+// prefix — starting context and the steps before the suffix — evaluates in
+// bulk exactly as the materialising path does; the suffix streams when the
+// compiled plans classify as streamable (xqplan.Streamability):
 //
 //   - StreamTree: an order-safe tree step streams one context node at a
 //     time, so `//a/b`-style scans emit b-nodes as the cursor walks the
@@ -24,9 +23,20 @@ import (
 //     chunk outputs merge through the watermark-gated document-order heap
 //     (see standoffCursor). Requires a single-document context at run time.
 //
+//   - StreamChunkedReject: a StandOff reject step — each chunk's select-side
+//     join marks matched candidates in a bitset and one complement at the
+//     end emits the unmatched candidates (see rejectCursor). Blocking but
+//     memory-bounded; requires a single-document context at run time.
+//
+// Chunk-capable StandOff steps in the path *prefix* stream too: consecutive
+// StreamChunked/StreamChunkedReject steps before the final step compose into
+// chained stages, each draining its upstream's pre ranks (12 bytes per
+// intermediate row) into its own start-sorted context — intermediate results
+// never materialise as item sequences.
+//
 // Contexts that fail the run-time condition — nested tree contexts,
 // multi-document join contexts — and the remaining step forms (reverse
-// axes, predicates, reject joins) fall back to the bulk step.
+// axes, predicates) fall back to the bulk step.
 type pathCursor struct {
 	x *executor
 	p *xqast.Path
@@ -41,8 +51,10 @@ type pathCursor struct {
 	ctx  []xqeval.Item
 	buf  []xqeval.Item
 
-	// StandOff chunked mode: the chunk-join-merge cursor.
-	soc *standoffCursor
+	// StandOff chunked mode: the final chunked stage — a select
+	// chunk-join-merge cursor or a reject bitset cursor, possibly fed by a
+	// chain of upstream chunked stages it already drained at init.
+	soc soStage
 
 	// Fallback mode: the fully evaluated result.
 	items []xqeval.Item
@@ -59,13 +71,13 @@ type pathCursor struct {
 
 func (c *pathCursor) init() {
 	c.started = true
-	ctxSeq, last, err := c.x.ev.PathPrefix(c.p, c.f)
+	ctxSeq, steps, err := c.x.ev.PathPrefixStream(c.p, c.f)
 	if err != nil {
 		c.err = err
 		return
 	}
 	g := ctxSeq.Group(0)
-	if last == nil {
+	if len(steps) == 0 {
 		c.items = g
 		return
 	}
@@ -77,6 +89,55 @@ func (c *pathCursor) init() {
 			return
 		}
 	}
+	// Compose the chunk-streamable prefix steps into chained pres-based
+	// cursors. A step whose context defeats chunking (multiple documents)
+	// runs in bulk instead, and the chain restarts after it; step outputs
+	// are always nodes, so the atomic-context check never recurs.
+	var up soStage
+	for len(steps) > 1 {
+		sp := steps[0]
+		var st soStage
+		if up != nil {
+			st, err = newStageFromUpstream(c.x, sp, up)
+		} else {
+			st, err = newStage(c.x, sp, g)
+		}
+		if err != nil {
+			c.err = err
+			return
+		}
+		if st == nil {
+			out, err := c.x.ev.EvalStepBulk(sp, ctxSeq, c.f)
+			if err != nil {
+				c.err = err
+				return
+			}
+			ctxSeq = out
+			g = out.Group(0)
+			steps = steps[1:]
+			continue
+		}
+		up = st
+		steps = steps[1:]
+	}
+	last := steps[0]
+	if up != nil {
+		switch last.Streamability() {
+		case xqplan.StreamChunked, xqplan.StreamChunkedReject:
+			st, err := newStageFromUpstream(c.x, last, up)
+			if err != nil {
+				c.err = err
+				return
+			}
+			c.soc = st
+			return
+		}
+		// The final step is not chunk-capable: materialise the chain output
+		// (exactly the context the bulk prefix would have built) and take
+		// the per-node or bulk final-step paths below.
+		g = drainStageItems(up)
+		ctxSeq = xqeval.GroupSeq(g)
+	}
 	switch last.Streamability() {
 	case xqplan.StreamTree:
 		if disjointContext(g) {
@@ -84,14 +145,14 @@ func (c *pathCursor) init() {
 			c.ctx = g
 			return
 		}
-	case xqplan.StreamChunked:
-		soc, err := newStandoffCursor(c.x, last, g)
+	case xqplan.StreamChunked, xqplan.StreamChunkedReject:
+		st, err := newStage(c.x, last, g)
 		if err != nil {
 			c.err = err
 			return
 		}
-		if soc != nil {
-			c.soc = soc
+		if st != nil {
+			c.soc = st
 			return
 		}
 	}
@@ -101,6 +162,63 @@ func (c *pathCursor) init() {
 		return
 	}
 	c.items = out.Group(0)
+}
+
+// newStage builds the chunked stage for one StandOff step over an item
+// context, dispatching on the step's class. A nil stage (with nil error)
+// means the context is not chunkable and the caller must run the bulk step.
+func newStage(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (soStage, error) {
+	if sp.Streamability() == xqplan.StreamChunkedReject {
+		rc, err := newRejectCursor(x, sp, g)
+		if rc == nil || err != nil {
+			return nil, err
+		}
+		return rc, nil
+	}
+	sc, err := newStandoffCursor(x, sp, g)
+	if sc == nil || err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// newStageFromUpstream drains the upstream stage into a pres context — 12
+// bytes per row, never a materialised item sequence — and builds the next
+// chunked stage over it. The drain is what composition costs: a chunked
+// stage needs its whole context sorted by region start before its first
+// join, which is exactly the materialisation point the bulk prefix would
+// have had, minus the items.
+func newStageFromUpstream(x *executor, sp *xqplan.StepPlan, up soStage) (soStage, error) {
+	var pres []int32
+	for {
+		p, ok := up.nextPre()
+		if !ok {
+			break
+		}
+		pres = append(pres, p)
+	}
+	d := up.streamDoc()
+	up.Close()
+	if sp.Streamability() == xqplan.StreamChunkedReject {
+		return newRejectCursorFromPres(x, sp, d, pres)
+	}
+	return newStandoffCursorFromPres(x, sp, d, pres)
+}
+
+// drainStageItems materialises a chain stage's remaining output as items,
+// for final steps that need the full context sequence anyway.
+func drainStageItems(st soStage) []xqeval.Item {
+	var out []xqeval.Item
+	d := st.streamDoc()
+	for {
+		p, ok := st.nextPre()
+		if !ok {
+			break
+		}
+		out = append(out, xqeval.NodeItem(d, p))
+	}
+	st.Close()
+	return out
 }
 
 // disjointContext reports whether the context nodes are strictly ascending

@@ -4,10 +4,26 @@ import (
 	"slices"
 	"sort"
 
+	"soxq/internal/core"
 	"soxq/internal/tree"
 	"soxq/internal/xqeval"
 	"soxq/internal/xqplan"
 )
+
+// soStage is one chunked StandOff pipeline stage: a document-order stream of
+// candidate pre ranks over a single document. Both the select cursor and the
+// reject cursor implement it; the path cursor composes consecutive
+// chunk-streamable steps by draining each stage's pres into the next one's
+// context — 12 bytes per intermediate row, never a materialised item
+// sequence.
+type soStage interface {
+	Cursor
+	// nextPre advances the pre-rank stream (the item-free form of Next).
+	nextPre() (int32, bool)
+	// streamDoc returns the stage's single document; nil when the stage is
+	// statically empty.
+	streamDoc() *tree.Doc
+}
 
 // standoffCursor pipelines a StandOff select final step per context-node
 // chunk. The bulk step runs one loop-lifted join over the whole context and
@@ -55,6 +71,15 @@ type standoffCursor struct {
 	i       int     // next unprocessed context index
 	scratch []int32 // reused per-chunk context pre buffer
 
+	// chunk is the adaptive per-refill context chunk size, re-sized between
+	// chunks from the merge heap's occupancy (see adaptChunk) within
+	// [configured/4, configured*4]. chunkMin/chunkMax/chunks feed the step's
+	// ANALYZE record.
+	chunk    int
+	chunkMin int
+	chunkMax int
+	chunks   int64
+
 	heap preHeap
 	out  []int32 // pres proven final, in document order
 	oi   int
@@ -93,7 +118,7 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 			return nil, nil
 		}
 	}
-	c := &standoffCursor{x: x, sp: sp, rowsIn: int64(len(g))}
+	c := &standoffCursor{x: x, sp: sp, rowsIn: int64(len(g)), chunk: x.chunkSize()}
 	if d == nil {
 		// No element context at all: the step is empty, but still streams
 		// (and still reports its ANALYZE row counts).
@@ -114,7 +139,47 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 			c.ctx = append(c.ctx, soCtx{start: s, pre: it.Pre})
 		}
 	}
-	slices.SortFunc(c.ctx, func(a, b soCtx) int {
+	sortCtxByStart(c.ctx)
+	return c, nil
+}
+
+// newStandoffCursorFromPres builds the chunked select cursor over an
+// upstream chain stage's drained output: pres of a single document, already
+// deduplicated and in document order. Unlike the item form this never fails
+// over to the bulk step — a single document is guaranteed by construction.
+func newStandoffCursorFromPres(x *executor, sp *xqplan.StepPlan, d *tree.Doc, pres []int32) (*standoffCursor, error) {
+	c := &standoffCursor{x: x, sp: sp, rowsIn: int64(len(pres)), chunk: x.chunkSize()}
+	if d == nil || len(pres) == 0 {
+		return c, nil
+	}
+	so, err := x.ev.NewStandOffStream(sp, d, len(pres))
+	if err != nil {
+		return nil, err
+	}
+	if so == nil {
+		return c, nil
+	}
+	c.so = so
+	c.d = so.Doc()
+	c.ctx = ctxFromPres(so, pres)
+	return c, nil
+}
+
+// ctxFromPres builds the start-sorted context table from bare pres (the
+// composed-cursor handoff). Pres without regions can never match and drop.
+func ctxFromPres(so *xqeval.StandOffStream, pres []int32) []soCtx {
+	ctx := make([]soCtx, 0, len(pres))
+	for _, pre := range pres {
+		if s, ok := so.CtxStartPre(pre); ok {
+			ctx = append(ctx, soCtx{start: s, pre: pre})
+		}
+	}
+	sortCtxByStart(ctx)
+	return ctx
+}
+
+func sortCtxByStart(ctx []soCtx) {
+	slices.SortFunc(ctx, func(a, b soCtx) int {
 		switch {
 		case a.start < b.start:
 			return -1
@@ -124,7 +189,6 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 			return 0
 		}
 	})
-	return c, nil
 }
 
 // refill processes context chunks until at least one pending item is proven
@@ -134,13 +198,13 @@ func newStandoffCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*stan
 // heap at all; the heap only engages for runs that genuinely interleave
 // across chunks.
 func (c *standoffCursor) refill() {
-	chunkSize := c.x.chunkSize()
 	for {
 		if c.i >= len(c.ctx) {
 			c.flush()
 			return
 		}
-		n := min(chunkSize, len(c.ctx)-c.i)
+		n := min(c.chunk, len(c.ctx)-c.i)
+		c.noteChunk(n)
 		if cap(c.scratch) < n {
 			c.scratch = make([]int32, 0, n)
 		}
@@ -190,6 +254,7 @@ func (c *standoffCursor) refill() {
 				c.emit(c.heap.pop())
 			}
 		}
+		c.adaptChunk(c.heap.len())
 		if c.oi < len(c.out) {
 			// The cursor drains c.out completely before the next refill, so
 			// returning here is what makes reusing the stream's joined
@@ -197,6 +262,39 @@ func (c *standoffCursor) refill() {
 			// been copied out or consumed.
 			return
 		}
+	}
+}
+
+// noteChunk records one executed chunk's size for the ANALYZE counters.
+func (c *standoffCursor) noteChunk(n int) {
+	c.chunks++
+	if c.chunkMin == 0 || n < c.chunkMin {
+		c.chunkMin = n
+	}
+	if n > c.chunkMax {
+		c.chunkMax = n
+	}
+}
+
+// adaptChunk re-sizes the next chunk from the merge heap's occupancy after
+// this one. A heap well below the chunk size means region order is tracking
+// document order (the watermark releases chunk outputs as they come), so
+// larger chunks amortise the per-chunk join setup over more context rows; a
+// heap outgrowing the chunk means the two orders diverge and smaller chunks
+// keep the pending set — the stream's memory bound — tight. Bounded to
+// [configured/4, configured*4] so a transient spike cannot run the size away
+// from what the user asked for; an unbounded (Exec) run never adapts, it
+// already joins everything in one chunk.
+func (c *standoffCursor) adaptChunk(heapLen int) {
+	cfg := c.x.cfg.ChunkSize
+	if cfg <= 0 {
+		return
+	}
+	switch {
+	case heapLen > 2*c.chunk:
+		c.chunk = max(c.chunk/2, max(cfg/4, 1))
+	case heapLen < c.chunk/4:
+		c.chunk = min(c.chunk*2, cfg*4)
 	}
 }
 
@@ -232,20 +330,33 @@ func (c *standoffCursor) emit(pre int32) {
 }
 
 func (c *standoffCursor) Next() bool {
+	pre, ok := c.nextPre()
+	if !ok {
+		return false
+	}
+	c.cur = xqeval.NodeItem(c.d, pre)
+	return true
+}
+
+// nextPre advances the stream one pre rank without materialising an item —
+// the form downstream chain stages drain.
+func (c *standoffCursor) nextPre() (int32, bool) {
 	for {
 		if c.oi < len(c.out) {
-			c.cur = xqeval.NodeItem(c.d, c.out[c.oi])
+			pre := c.out[c.oi]
 			c.oi++
-			return true
+			return pre, true
 		}
 		if c.done {
 			c.record()
-			return false
+			return 0, false
 		}
 		c.out, c.oi = c.out[:0], 0
 		c.refill()
 	}
 }
+
+func (c *standoffCursor) streamDoc() *tree.Doc { return c.d }
 
 // record reports the step's ANALYZE row counts, once — a cursor closed
 // before it is drained reports what it produced.
@@ -255,6 +366,7 @@ func (c *standoffCursor) record() {
 	}
 	c.recorded = true
 	c.x.ev.Stats.RecordStep(c.sp, c.rowsIn, c.produced)
+	c.x.ev.Stats.RecordStepStream(c.sp, c.chunks, c.chunkMin, c.chunkMax)
 }
 
 func (c *standoffCursor) Item() xqeval.Item { return c.cur }
@@ -265,6 +377,183 @@ func (c *standoffCursor) Close() {
 	c.done = true
 	c.ctx, c.out, c.heap.pres, c.scratch = nil, nil, nil, nil
 	c.i, c.oi = 0, 0
+}
+
+// rejectCursor pipelines a StandOff reject step per context chunk. Reject is
+// an anti-join over the whole context (section 3.1: not contained in /
+// overlapping ANY context area), so per-chunk complements cannot union;
+// instead each chunk's select-side join marks the candidates it matches in
+// an arena-recycled bitset, and after the last chunk one complement pass
+// emits the unmarked candidates in document order. The stream is therefore
+// blocking — first emission after the last chunk — but memory-bounded: one
+// bit per candidate plus a single chunk's join state, against the bulk
+// step's full pair materialisation. Chunks stop early once every candidate
+// is marked (the result is fixed empty).
+//
+// Semantics mirror the bulk standOffRejectStep exactly: only element nodes
+// of the stream's document make the iteration "touch" it (attributes never
+// do), an untouched document contributes nothing, a touched document with an
+// unmatched candidate set emits the full (post-filtered) candidate list, and
+// a node test that cannot match any area yields an empty result.
+type rejectCursor struct {
+	x  *executor
+	sp *xqplan.StepPlan
+	so *xqeval.StandOffStream
+	d  *tree.Doc // nil when the step is statically empty
+
+	ctx     []soCtx // area context nodes, ascending by region start
+	i       int
+	chunk   int
+	scratch []int32
+
+	bits   *core.MatchBits
+	areas  []int32 // candidate pres in document order; the complement universe
+	ai     int     // next complement position
+	chunks int64   // marking chunks executed, for the step's ANALYZE stream counters
+
+	started  bool
+	rowsIn   int64
+	produced int64
+	recorded bool
+	cur      xqeval.Item
+}
+
+// newRejectCursor builds the chunked reject cursor over the evaluated
+// context g. Returns (nil, nil) when the context spans documents — the bulk
+// anti-join partitions per document; the caller falls back.
+func newRejectCursor(x *executor, sp *xqplan.StepPlan, g []xqeval.Item) (*rejectCursor, error) {
+	var d *tree.Doc
+	for _, it := range g {
+		if it.Kind != xqeval.KNode {
+			continue // attributes and atomics never touch a document
+		}
+		if d == nil {
+			d = it.D
+		} else if it.D != d {
+			return nil, nil
+		}
+	}
+	c := &rejectCursor{x: x, sp: sp, rowsIn: int64(len(g)), chunk: x.chunkSize()}
+	if d == nil {
+		return c, nil // no element context: no document touched, empty result
+	}
+	// ctxRows 1 mirrors the bulk anti-join's cost input: it prices the merge
+	// per iteration, and the pipeline is a single root iteration.
+	so, err := x.ev.NewStandOffStream(sp, d, 1)
+	if err != nil {
+		return nil, err
+	}
+	if so == nil {
+		return c, nil // no candidate exists: complement universe is empty
+	}
+	c.so = so
+	c.d = so.Doc()
+	c.ctx = make([]soCtx, 0, len(g))
+	for _, it := range g {
+		if s, ok := so.CtxStart(it); ok {
+			c.ctx = append(c.ctx, soCtx{start: s, pre: it.Pre})
+		}
+	}
+	sortCtxByStart(c.ctx)
+	return c, nil
+}
+
+// newRejectCursorFromPres builds the chunked reject cursor over an upstream
+// chain stage's drained pres (single document, document order).
+func newRejectCursorFromPres(x *executor, sp *xqplan.StepPlan, d *tree.Doc, pres []int32) (*rejectCursor, error) {
+	c := &rejectCursor{x: x, sp: sp, rowsIn: int64(len(pres)), chunk: x.chunkSize()}
+	if d == nil || len(pres) == 0 {
+		return c, nil // empty upstream: the document is not touched
+	}
+	so, err := x.ev.NewStandOffStream(sp, d, 1)
+	if err != nil {
+		return nil, err
+	}
+	if so == nil {
+		return c, nil
+	}
+	c.so = so
+	c.d = so.Doc()
+	c.ctx = ctxFromPres(so, pres)
+	return c, nil
+}
+
+// run executes the blocking phase: every context chunk's select-side join
+// marks matched candidates, stopping early once all candidates are marked.
+func (c *rejectCursor) run() {
+	c.started = true
+	if c.so == nil {
+		return
+	}
+	c.areas = c.so.Areas()
+	c.bits = c.x.ev.MatchBits(len(c.areas))
+	for c.i < len(c.ctx) && c.bits.Marked() < len(c.areas) {
+		n := min(c.chunk, len(c.ctx)-c.i)
+		if cap(c.scratch) < n {
+			c.scratch = make([]int32, 0, n)
+		}
+		c.scratch = c.scratch[:0]
+		for j := 0; j < n; j++ {
+			c.scratch = append(c.scratch, c.ctx[c.i+j].pre)
+		}
+		c.i += n
+		c.chunks++
+		c.so.MarkChunk(c.scratch, c.bits)
+	}
+}
+
+func (c *rejectCursor) Next() bool {
+	pre, ok := c.nextPre()
+	if !ok {
+		return false
+	}
+	c.cur = xqeval.NodeItem(c.d, pre)
+	return true
+}
+
+func (c *rejectCursor) nextPre() (int32, bool) {
+	if !c.started {
+		c.run()
+	}
+	for c.ai < len(c.areas) {
+		i := c.ai
+		c.ai++
+		if c.bits.Get(i) {
+			continue
+		}
+		pre := c.areas[i]
+		if !c.so.Keep(pre) {
+			continue
+		}
+		c.produced++
+		return pre, true
+	}
+	c.record()
+	return 0, false
+}
+
+func (c *rejectCursor) record() {
+	if c.recorded {
+		return
+	}
+	c.recorded = true
+	c.x.ev.Stats.RecordStep(c.sp, c.rowsIn, c.produced)
+	c.x.ev.Stats.RecordStepStream(c.sp, c.chunks, c.chunk, c.chunk)
+}
+
+func (c *rejectCursor) streamDoc() *tree.Doc { return c.d }
+func (c *rejectCursor) Item() xqeval.Item    { return c.cur }
+func (c *rejectCursor) Err() error           { return nil }
+
+func (c *rejectCursor) Close() {
+	c.record()
+	c.started = true
+	c.ai = len(c.areas)
+	if c.bits != nil {
+		c.x.ev.ReleaseMatchBits(c.bits)
+		c.bits = nil
+	}
+	c.ctx, c.scratch, c.areas = nil, nil, nil
 }
 
 // preHeap is a binary min-heap of pre ranks — the document-order heap of the

@@ -1,0 +1,122 @@
+package xqplan
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"soxq/internal/core"
+)
+
+// Calibration auto-recalibrates the cost model's llSetupRows constant from
+// joins timed under EXPLAIN ANALYZE. The static constant was measured once
+// with `sobench -calibrate` on a reference container; the calibrated value
+// tracks the machine the engine actually runs on. Basic joins reveal the
+// per-row scan cost — their time is almost purely rows visited
+// (ctx·cand + ctx) — and Loop-Lifted joins then reveal the fixed machinery
+// cost as the residue of their time over their linear rows (cand + ctx).
+//
+// One Calibration is engine-wide and lives as long as the engine; all
+// fields are atomics, so concurrent analyzed executions feed it without
+// locks, and every method is nil-safe (an evaluator without a calibration
+// prices with the static default).
+type Calibration struct {
+	perRow  atomic.Uint64 // EWMA ns per scanned row, float64 bits; 0 = unseen
+	setup   atomic.Uint64 // EWMA setup cost in row equivalents, float64 bits; 0 = unseen
+	samples atomic.Uint32 // setup samples folded in so far
+	gen     atomic.Uint32 // bumped when the reported value changes band
+}
+
+const (
+	// calMinRows: joins below this many scanned rows are timer granularity
+	// and fixed overhead, not signal; they never feed the calibration.
+	calMinRows = 64
+	// calAlpha is the EWMA weight of a new sample.
+	calAlpha = 0.25
+	// calMinSamples is how many setup samples must accumulate before the
+	// calibrated value replaces the static default. A handful of joins says
+	// more about scheduler noise than about the join machinery — and the
+	// threshold keeps short analyzed runs (tests, one-off EXPLAINs) from
+	// perturbing the memoized strategy choices nondeterministically.
+	calMinSamples = 32
+	// calMinSetup/calMaxSetup clamp the calibrated setup cost; estimates
+	// outside [8,256] row equivalents are artefacts of mis-measured
+	// baselines, not plausible machinery costs.
+	calMinSetup = 8
+	calMaxSetup = 256
+)
+
+// SetupRows returns the calibrated Loop-Lifted setup cost in scanned-row
+// equivalents, or the static default while uncalibrated.
+func (c *Calibration) SetupRows() int {
+	if c == nil || c.samples.Load() < calMinSamples {
+		return llSetupRows
+	}
+	if s := math.Float64frombits(c.setup.Load()); s > 0 {
+		return int(math.Round(s))
+	}
+	return llSetupRows
+}
+
+// Gen returns the calibration generation. The strategy memo keys on it, so
+// a band change re-prices memoized decisions instead of serving estimates
+// computed under a stale setup cost.
+func (c *Calibration) Gen() uint32 {
+	if c == nil {
+		return 0
+	}
+	return c.gen.Load()
+}
+
+// ObserveJoin feeds one timed join invocation into the calibration. Only
+// EXPLAIN ANALYZE executions time joins, so the plain execution paths never
+// pay for the feedback loop.
+func (c *Calibration) ObserveJoin(strat core.Strategy, ctxRows, candidates int, nanos int64) {
+	if c == nil || nanos <= 0 || ctxRows <= 0 || candidates <= 0 {
+		return
+	}
+	switch strat {
+	case core.StrategyBasic:
+		rows := float64(ctxRows)*float64(candidates) + float64(ctxRows)
+		if rows < calMinRows {
+			return
+		}
+		ewma(&c.perRow, float64(nanos)/rows)
+	case core.StrategyLoopLifted:
+		per := math.Float64frombits(c.perRow.Load())
+		linear := float64(candidates) + float64(ctxRows)
+		if per <= 0 || linear < calMinRows {
+			return // no per-row baseline yet, or too small to resolve
+		}
+		setup := float64(nanos)/per - linear
+		setup = math.Min(math.Max(setup, calMinSetup), calMaxSetup)
+		before := c.SetupRows()
+		ewma(&c.setup, setup)
+		c.samples.Add(1)
+		if setupBand(before) != setupBand(c.SetupRows()) {
+			c.gen.Add(1)
+		}
+	}
+}
+
+// setupBand buckets a setup cost the way ctxBand buckets cardinalities: the
+// Basic-vs-Loop-Lifted crossover moves smoothly with the setup cost, so
+// re-pricing the strategy memo is only worth it when the calibrated value
+// moves a power-of-two band.
+func setupBand(s int) int { return bits.Len(uint(s)) }
+
+// ewma folds a sample into an atomic float64 EWMA; the first sample seeds
+// it.
+func ewma(a *atomic.Uint64, sample float64) {
+	for {
+		ob := a.Load()
+		old := math.Float64frombits(ob)
+		nv := sample
+		if old > 0 {
+			nv = (1-calAlpha)*old + calAlpha*sample
+		}
+		if a.CompareAndSwap(ob, math.Float64bits(nv)) {
+			return
+		}
+	}
+}

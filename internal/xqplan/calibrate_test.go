@@ -1,0 +1,182 @@
+package xqplan
+
+import (
+	"math"
+	"testing"
+
+	"soxq/internal/core"
+	"soxq/internal/xpath"
+	"soxq/internal/xqast"
+)
+
+// seedPerRow establishes a per-row baseline of exactly 1ns/row via one Basic
+// observation: rows = ctx·cand + ctx = 1010, nanos = 1010.
+func seedPerRow(c *Calibration) {
+	c.ObserveJoin(core.StrategyBasic, 10, 100, 1010)
+}
+
+// llSample feeds one Loop-Lifted observation whose residue over the linear
+// rows (cand+ctx = 128) implies the given setup cost, assuming the 1ns/row
+// baseline from seedPerRow.
+func llSample(c *Calibration, setup int64) {
+	c.ObserveJoin(core.StrategyLoopLifted, 28, 100, 128+setup)
+}
+
+// TestCalibrationDefaultUntilSampled pins the calMinSamples gate: the
+// calibrated setup cost only replaces the static default once enough samples
+// accumulate, so short analyzed runs never perturb strategy choices.
+func TestCalibrationDefaultUntilSampled(t *testing.T) {
+	var c Calibration
+	seedPerRow(&c)
+	for i := 0; i < calMinSamples-1; i++ {
+		llSample(&c, 64)
+		if got := c.SetupRows(); got != llSetupRows {
+			t.Fatalf("after %d samples SetupRows = %d, want static %d", i+1, got, llSetupRows)
+		}
+	}
+	if g := c.Gen(); g != 0 {
+		t.Fatalf("gen before threshold = %d, want 0", g)
+	}
+	llSample(&c, 64) // sample #calMinSamples crosses the gate
+	if got := c.SetupRows(); got != 64 {
+		t.Fatalf("calibrated SetupRows = %d, want 64", got)
+	}
+	// 64 sits in a different power-of-two band than the static 32, so the
+	// generation bumps exactly when the reported value first changes.
+	if g := c.Gen(); g != 1 {
+		t.Fatalf("gen after threshold = %d, want 1", g)
+	}
+}
+
+// TestCalibrationClamp pins the [calMinSetup, calMaxSetup] clamp: absurd
+// residues (mis-measured baselines) never push the calibrated cost outside
+// the plausible range.
+func TestCalibrationClamp(t *testing.T) {
+	var hi Calibration
+	seedPerRow(&hi)
+	for i := 0; i < calMinSamples; i++ {
+		llSample(&hi, 1_000_000_000)
+	}
+	if got := hi.SetupRows(); got != calMaxSetup {
+		t.Fatalf("huge residue SetupRows = %d, want clamp %d", got, calMaxSetup)
+	}
+	var lo Calibration
+	seedPerRow(&lo)
+	for i := 0; i < calMinSamples; i++ {
+		// nanos below the linear rows: raw residue is negative.
+		lo.ObserveJoin(core.StrategyLoopLifted, 28, 100, 100)
+	}
+	if got := lo.SetupRows(); got != calMinSetup {
+		t.Fatalf("negative residue SetupRows = %d, want clamp %d", got, calMinSetup)
+	}
+}
+
+// TestCalibrationIgnoresNoise pins the significance floors: joins below
+// calMinRows scanned rows, zero timings, and Loop-Lifted joins without a
+// per-row baseline all leave the calibration untouched.
+func TestCalibrationIgnoresNoise(t *testing.T) {
+	var c Calibration
+	c.ObserveJoin(core.StrategyBasic, 2, 4, 1000) // rows = 10 < calMinRows
+	if b := c.perRow.Load(); b != 0 {
+		t.Fatalf("small basic join seeded perRow = %v", math.Float64frombits(b))
+	}
+	c.ObserveJoin(core.StrategyLoopLifted, 28, 100, 192) // no baseline yet
+	if c.samples.Load() != 0 {
+		t.Fatal("loop-lifted join without baseline counted a sample")
+	}
+	seedPerRow(&c)
+	c.ObserveJoin(core.StrategyLoopLifted, 10, 20, 192) // linear = 30 < calMinRows
+	if c.samples.Load() != 0 {
+		t.Fatal("small loop-lifted join counted a sample")
+	}
+	c.ObserveJoin(core.StrategyBasic, 10, 100, 0) // zero nanos
+	var nilCal *Calibration
+	nilCal.ObserveJoin(core.StrategyBasic, 10, 100, 1010) // nil-safe
+	if nilCal.SetupRows() != llSetupRows || nilCal.Gen() != 0 {
+		t.Fatal("nil Calibration must price the static default")
+	}
+}
+
+// TestCalibrationGenRekeysMemo pins that the strategy memo keys on the
+// calibration generation: a band change re-prices the decision instead of
+// serving an estimate computed under a stale setup cost.
+func TestCalibrationGenRekeysMemo(t *testing.T) {
+	ix := indexWith(t, 10, 0)
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	var c Calibration
+	sp.StrategyFor(ix, true, 4, &c)
+	sp.StrategyFor(ix, true, 4, &c) // warm
+	n := 0
+	sp.strategies.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("memo entries = %d, want 1", n)
+	}
+	c.gen.Add(1)
+	sp.StrategyFor(ix, true, 4, &c)
+	n = 0
+	sp.strategies.Range(func(_, _ any) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("memo entries after gen bump = %d, want 2 (re-priced)", n)
+	}
+}
+
+// TestObserveOutputFeedback pins the output-selectivity half of the feedback
+// loop: ANALYZE observations accumulate into an EWMA, a drift beyond
+// selDriftFactor drops the strategy memo, and the next StrategyFor predicts
+// output from the observed selectivity instead of the statistics upper bound.
+func TestObserveOutputFeedback(t *testing.T) {
+	ix := indexWith(t, 10, 0)
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	sp.StrategyFor(ix, true, 64, nil)
+	ce := sp.LastCost()
+	if ce == nil || ce.EstOut != ce.Candidates {
+		t.Fatalf("prior EstOut = %+v, want the candidate upper bound", ce)
+	}
+
+	// Below the significance floor: no observation is recorded.
+	sp.observeOutput(selMinRows-1, selMinRows-1)
+	if _, seen := sp.ObservedSelectivity(); seen {
+		t.Fatal("sub-floor invocation recorded a selectivity")
+	}
+
+	// Every context row produced a row: sel=1.0 against a predicted
+	// 10/64 ≈ 0.16 — beyond the 4x drift, so the memo must drop.
+	sp.observeOutput(64, 64)
+	if sel, seen := sp.ObservedSelectivity(); !seen || sel != 1.0 {
+		t.Fatalf("ObservedSelectivity = %v,%v, want 1.0,true", sel, seen)
+	}
+	n := 0
+	sp.strategies.Range(func(_, _ any) bool { n++; return true })
+	if n != 0 || sp.nStrategies.Load() != 0 {
+		t.Fatalf("memo entries after drift = %d (count %d), want 0", n, sp.nStrategies.Load())
+	}
+
+	// Re-resolving predicts from the observation: round(1.0 × 64).
+	sp.StrategyFor(ix, true, 64, nil)
+	if ce := sp.LastCost(); ce == nil || ce.EstOut != 64 {
+		t.Fatalf("refined EstOut = %+v, want 64", ce)
+	}
+
+	// A second observation folds in by EWMA: 0.75·1.0 + 0.25·0.5 = 0.875.
+	sp.observeOutput(64, 32)
+	if sel, _ := sp.ObservedSelectivity(); math.Abs(sel-0.875) > 1e-9 {
+		t.Fatalf("EWMA selectivity = %v, want 0.875", sel)
+	}
+}
+
+// TestRecordJoinFeedsCalibration pins the wiring: a collector with an
+// attached Calibration forwards its timed joins into it.
+func TestRecordJoinFeedsCalibration(t *testing.T) {
+	sp := CompileStep(&xqast.Step{Axis: xpath.AxisSelectNarrow, Test: xpath.Test{Kind: xpath.TestAnyNode}})
+	st := NewExecStats()
+	var c Calibration
+	st.Cal = &c
+	st.RecordJoin(sp, 100, core.StrategyBasic, 10, 1010)
+	if per := math.Float64frombits(c.perRow.Load()); per != 1.0 {
+		t.Fatalf("perRow after RecordJoin = %v, want 1.0", per)
+	}
+	o, ok := st.StepObs(sp)
+	if !ok || o.JoinRows != 10 || o.JoinNanos != 1010 {
+		t.Fatalf("StepObs join counters = %+v, want rows=10 nanos=1010", o)
+	}
+}

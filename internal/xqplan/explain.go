@@ -357,16 +357,36 @@ func (b *treeBuilder) stepNode(sp *StepPlan) *Node {
 			se.Op, PolicyString(se.PushPolicy, se.Name), PolicyString(se.NoPushPolicy, se.Name), se.Strategy())
 		if ce := sp.LastCost(); ce != nil {
 			n.Est = ce
-			fmt.Fprintf(&sb, " est{cand=%d ctx=%d basic=%s ll=%s}",
-				ce.Candidates, ce.CtxRows, renderCost(ce.Basic), renderCost(ce.LoopLifted))
+			fmt.Fprintf(&sb, " est{cand=%d ctx=%d out=%d basic=%s ll=%s}",
+				ce.Candidates, ce.CtxRows, ce.EstOut, renderCost(ce.Basic), renderCost(ce.LoopLifted))
 		}
 	}
 	if o, ok := b.st.StepObs(sp); ok {
 		n.StepObs = &o
 		sb.WriteString(" " + renderStepObs(&o, se.StandOff))
+		if se.StandOff {
+			sb.WriteString(renderDrift(sp.LastCost(), &o))
+		}
 	}
 	n.Label = sb.String()
 	return n
+}
+
+// renderDrift flags a step whose observed output selectivity strayed at
+// least selDriftFactor from the cost model's prediction — the same test that
+// invalidates the strategy memo, so EXPLAIN ANALYZE shows exactly the
+// feedback the planner acted on. Everything here is row counts, never
+// timings, so analyzed plans stay deterministic.
+func renderDrift(ce *CostEstimate, o *StepObs) string {
+	if ce == nil || ce.EstOut <= 0 || ce.CtxRows <= 0 || o.RowsIn < selMinRows {
+		return ""
+	}
+	est := float64(ce.EstOut) / float64(ce.CtxRows)
+	obs := float64(o.RowsOut) / float64(o.RowsIn)
+	if obs > est*selDriftFactor || obs < est/selDriftFactor {
+		return fmt.Sprintf(" drift{est=%s obs=%s}", renderCost(est), renderCost(obs))
+	}
+	return ""
 }
 
 // PolicyString renders a candidate policy with its element name attached
@@ -395,6 +415,9 @@ func renderStepObs(o *StepObs, standoff bool) string {
 		s += fmt.Sprintf(" cand=%d", o.Candidates)
 		if joins := o.JoinsString(); joins != "" {
 			s += " joins=" + joins
+		}
+		if o.StreamChunks > 0 {
+			s += fmt.Sprintf(" stream{chunks=%d chunk=%d..%d}", o.StreamChunks, o.ChunkMin, o.ChunkMax)
 		}
 	}
 	return s + ")"

@@ -25,6 +25,11 @@ type ExecStats struct {
 	mu    sync.Mutex
 	steps map[*StepPlan]*StepObs
 	ops   map[xqast.Expr]*OpObs
+
+	// Cal, when set, receives every timed join observation this collector
+	// records — the engine hangs its engine-wide Calibration here, so
+	// analyzed executions feed the cost model's setup-cost feedback loop.
+	Cal *Calibration
 }
 
 // NewExecStats returns an empty collector for one execution.
@@ -52,6 +57,17 @@ type StepObs struct {
 	// the observed counterpart of the plan's chosen strategy (a forced
 	// mode shows up here even though the memoized choice stays untouched).
 	Joins map[core.Strategy]int64
+	// JoinRows and JoinNanos total the context rows and the wall time of
+	// the step's StandOff joins (joins are timed only under ANALYZE); they
+	// are what the setup-cost calibration consumes.
+	JoinRows  int64
+	JoinNanos int64
+	// StreamChunks, ChunkMin and ChunkMax describe a chunk-streamed run of
+	// the step: how many chunk refills executed and the smallest/largest
+	// chunk size the adaptive sizing used (zero when the step ran in bulk).
+	StreamChunks int64
+	ChunkMin     int
+	ChunkMax     int
 }
 
 // OpObs aggregates the observed counters of one structural operator (FLWOR,
@@ -69,7 +85,8 @@ type OpObs struct {
 	Chunks int64
 }
 
-// RecordStep accumulates one step invocation's row counts.
+// RecordStep accumulates one step invocation's row counts and feeds the
+// observed output selectivity back into the plan's feedback loop.
 func (s *ExecStats) RecordStep(sp *StepPlan, rowsIn, rowsOut int64) {
 	if s == nil {
 		return
@@ -84,11 +101,14 @@ func (s *ExecStats) RecordStep(sp *StepPlan, rowsIn, rowsOut int64) {
 	o.RowsIn += rowsIn
 	o.RowsOut += rowsOut
 	s.mu.Unlock()
+	sp.observeOutput(rowsIn, rowsOut)
 }
 
-// RecordJoin accumulates one StandOff join invocation: the candidate
-// cardinality it scanned and the algorithm that actually ran.
-func (s *ExecStats) RecordJoin(sp *StepPlan, candidates int64, strat core.Strategy) {
+// RecordJoin accumulates one StandOff join invocation — the candidate
+// cardinality it scanned, the algorithm that actually ran, the context rows
+// it joined, and its wall time — and forwards the timing to the engine's
+// setup-cost calibration when one is attached.
+func (s *ExecStats) RecordJoin(sp *StepPlan, candidates int64, strat core.Strategy, ctxRows, nanos int64) {
 	if s == nil {
 		return
 	}
@@ -103,6 +123,31 @@ func (s *ExecStats) RecordJoin(sp *StepPlan, candidates int64, strat core.Strate
 		o.Joins = map[core.Strategy]int64{}
 	}
 	o.Joins[strat]++
+	o.JoinRows += ctxRows
+	o.JoinNanos += nanos
+	s.mu.Unlock()
+	s.Cal.ObserveJoin(strat, int(ctxRows), int(candidates), nanos)
+}
+
+// RecordStepStream accumulates the chunk counters of one chunk-streamed run
+// of a step: refills executed and the adaptive chunk-size extremes.
+func (s *ExecStats) RecordStepStream(sp *StepPlan, chunks int64, chunkMin, chunkMax int) {
+	if s == nil || chunks == 0 {
+		return
+	}
+	s.mu.Lock()
+	o := s.steps[sp]
+	if o == nil {
+		o = &StepObs{}
+		s.steps[sp] = o
+	}
+	o.StreamChunks += chunks
+	if o.ChunkMin == 0 || (chunkMin > 0 && chunkMin < o.ChunkMin) {
+		o.ChunkMin = chunkMin
+	}
+	if chunkMax > o.ChunkMax {
+		o.ChunkMax = chunkMax
+	}
 	s.mu.Unlock()
 }
 

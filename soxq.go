@@ -143,6 +143,13 @@ type Engine struct {
 	indexes map[indexKey]*core.RegionIndex
 	options core.Options
 	plans   *plancache.Cache[planKey, *xqplan.Plan]
+
+	// cal is the engine-wide join-cost calibration: EXPLAIN ANALYZE runs
+	// feed timed join observations into it, and every strategy decision
+	// prices loop-lifted setup with the calibrated value instead of the
+	// static default once enough samples accumulate. Internally atomic —
+	// shared freely across concurrent queries.
+	cal xqplan.Calibration
 }
 
 type indexKey struct {
@@ -351,6 +358,7 @@ func (p *Prepared) Exec(cfg Config) (*Result, error) {
 // so the chunk counters reflect streamed execution.
 func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
 	st := xqplan.NewExecStats()
+	st.Cal = &p.eng.cal
 	ev := p.evaluator(cfg)
 	ev.Stats = st
 	chunk := 0
@@ -381,6 +389,7 @@ func (p *Prepared) evaluator(cfg Config) *xqeval.Evaluator {
 		Strategy: cfg.Mode.strategy(),
 		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
 		Pushdown: !cfg.NoPushdown,
+		Cal:      &e.cal,
 	}
 }
 
