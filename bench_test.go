@@ -672,3 +672,63 @@ func BenchmarkStandOffConversion(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPreparedExecTelemetry measures the instrumentation overhead the
+// telemetry subsystem adds to the prepared hot path, against the same plan
+// and corpus as BenchmarkPreparedExec:
+//
+//	off      telemetry disabled entirely (the no-instrumentation baseline)
+//	metrics  the default engine: always-on counters and latency histograms
+//	trace    Config.Trace on top — the per-operator ExecStats collector
+//
+// CI's overhead guard (scripts/benchguard) compares off vs metrics and fails
+// when the delta exceeds the <5% acceptance budget; trace is reported for
+// visibility (tracing is opt-in per run, not a hot-path cost).
+func BenchmarkPreparedExecTelemetry(b *testing.B) {
+	raw, err := xmark.GenerateBytes(xmark.Config{Scale: pipelineBenchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain, err := xmlparse.Parse("plain.xml", raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := xmark.DefaultStandOffConfig()
+	cfg.Seed = 42
+	res, err := xmark.StandOffize(plain, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name  string
+		setup func(*Engine)
+		cfg   Config
+	}{
+		{"off", func(e *Engine) { e.disableTelemetry() }, Config{}},
+		{"metrics", func(e *Engine) {}, Config{}},
+		{"trace", func(e *Engine) {}, Config{Trace: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			eng := New()
+			v.setup(eng)
+			if err := eng.LoadXML("so.xml", res.XML); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.BuildIndex("so.xml"); err != nil {
+				b.Fatal(err)
+			}
+			prep, err := eng.Prepare(pipelineBenchQuery())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Exec(v.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

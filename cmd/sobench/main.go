@@ -59,6 +59,8 @@ func main() {
 		"write a CPU profile of each cell's measured run to this path plus a .qN.variant suffix")
 	memProfile := flag.String("memprofile", "",
 		"write a post-run heap profile of each cell to this path plus a .qN.variant suffix")
+	metrics := flag.Bool("metrics", false,
+		"dump each cell engine's metrics registry (Prometheus text: join counts, latency histograms, cache and pool counters) to stderr after the run")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -67,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	if *cellDoc != "" {
-		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk, *cpuProfile, *memProfile)
+		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk, *cpuProfile, *memProfile, *metrics)
 		return
 	}
 	if *calibrate {
@@ -104,7 +106,7 @@ func main() {
 		}
 		for _, q := range queryList {
 			for _, variant := range variantList {
-				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk, *cpuProfile, *memProfile)
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk, *cpuProfile, *memProfile, *metrics)
 				k := key{scale, q, variant}
 				if !ok {
 					results[k] = "DNF"
@@ -213,7 +215,7 @@ func ensureData(dir string, scale float64, seed uint64) (string, error) {
 
 // runCellSubprocess executes one measurement in a child process and kills it
 // at the timeout (DNF).
-func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int, cpuProfile, memProfile string) (float64, bool) {
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int, cpuProfile, memProfile string, metrics bool) (float64, bool) {
 	args := []string{
 		"-run-cell-doc", soPath,
 		"-run-cell-query", strconv.Itoa(q),
@@ -232,6 +234,9 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 	}
 	if memProfile != "" {
 		args = append(args, "-memprofile", cellProfilePath(memProfile, q, variant))
+	}
+	if metrics {
+		args = append(args, "-metrics")
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
@@ -275,7 +280,7 @@ func cellProfilePath(base string, q int, variant string) string {
 	return fmt.Sprintf("%s.q%d.%s", base, q, variant)
 }
 
-func runCell(soPath string, q int, variant string, prepare bool, streamChunk int, cpuProfile, memProfile string) {
+func runCell(soPath string, q int, variant string, prepare bool, streamChunk int, cpuProfile, memProfile string, metrics bool) {
 	cfg := soxq.Config{StreamChunk: streamChunk}
 	streamed := false
 	switch variant {
@@ -376,6 +381,16 @@ func runCell(soPath string, q int, variant string, prepare bool, streamChunk int
 		fmt.Fprintf(os.Stderr, "  [cell] wrote heap profile %s\n", memProfile)
 	}
 	fmt.Fprintf(os.Stderr, "  [cell] Q%d %s: %d items in %.3fs\n", q, variant, items, secs)
+	if metrics {
+		// The registry dump shows what the cell actually did — which join
+		// algorithm ran and how often, the latency histogram of the mode,
+		// arena pool and plan-cache behaviour — next to the wall-clock
+		// number the grid reports.
+		fmt.Fprintf(os.Stderr, "  [cell] Q%d %s metrics:\n", q, variant)
+		if err := eng.WriteMetrics(os.Stderr); err != nil {
+			fatal("dumping metrics: %v", err)
+		}
+	}
 	fmt.Printf("seconds=%.6f\n", secs)
 }
 

@@ -28,12 +28,21 @@
 // final steps join per chunk of context areas and nested for clauses bind
 // child cursors, so the bound compounds through nested loops); -parallel N
 // partitions large FLWOR loops across N workers.
+//
+// -trace executes the query with lifecycle tracing and prints the recorded
+// span tree — parse, compile, strategy resolution, and the executed operator
+// tree with per-operator row/chunk counts that line up with -analyze output —
+// instead of the results; -trace-durations adds the measured wall-clock
+// numbers. -ops ADDR serves the engine's ops HTTP surface (/metrics in
+// Prometheus text, /debug/vars, /debug/queries) after the query, for
+// scraping a long-lived session. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -63,6 +72,9 @@ func main() {
 	stream := flag.Bool("stream", false, "stream results through the cursor pipeline instead of materialising them")
 	streamChunk := flag.Int("stream-chunk", 0, "tuples (and StandOff context areas) per pipeline chunk for -stream/-analyze (0 = default 1024)")
 	parallel := flag.Int("parallel", 0, "partition large FLWOR loops across N workers (0 = single-threaded)")
+	trace := flag.Bool("trace", false, "run the query with lifecycle tracing and print the span tree (parse/compile/strategy/execute with per-operator counts) after the results")
+	traceDurations := flag.Bool("trace-durations", false, "include measured durations and timestamps in the -trace rendering (non-deterministic output)")
+	ops := flag.String("ops", "", "serve the ops HTTP surface (/metrics, /debug/vars, /debug/queries) on this address, e.g. :6060, and wait for interrupt after the query")
 	flag.Parse()
 
 	if (*query == "") == (*queryFile == "") {
@@ -75,7 +87,8 @@ func main() {
 		q = string(data)
 	}
 	cfg := soxq.Config{NoPushdown: *noPushdown, HeapActiveList: *heap,
-		Parallelism: *parallel, StreamChunk: *streamChunk}
+		Parallelism: *parallel, StreamChunk: *streamChunk,
+		Trace: *trace || *traceDurations}
 	switch *mode {
 	case "auto":
 		cfg.Mode = soxq.ModeAuto
@@ -137,6 +150,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
 		}
 		fmt.Print(pe.String())
+		serveOps(eng, *ops)
+		return
+	}
+	if cfg.Trace && !*explain && !*stream {
+		// -trace mirrors -explain/-analyze: execute, then print the recorded
+		// span tree instead of the results. Without -trace-durations the
+		// rendering is deterministic (structure and counts only), so its
+		// per-operator numbers line up with -analyze output for the same
+		// query.
+		_, err := prep.Exec(cfg)
+		fatalIf(err)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
+		}
+		fmt.Print(prep.TraceLast().Render(*traceDurations))
+		serveOps(eng, *ops)
 		return
 	}
 	if *stream && !*explain {
@@ -155,6 +184,10 @@ func main() {
 		if *timing {
 			fmt.Fprintf(os.Stderr, "eval: %v\n", time.Since(evalStart))
 		}
+		if cfg.Trace {
+			fmt.Print(prep.TraceLast().Render(*traceDurations))
+		}
+		serveOps(eng, *ops)
 		return
 	}
 	res, err := prep.Exec(cfg)
@@ -171,6 +204,17 @@ func main() {
 	for _, v := range res.Values() {
 		fmt.Println(v.XML())
 	}
+	serveOps(eng, *ops)
+}
+
+// serveOps blocks serving the engine's ops HTTP surface when -ops was given;
+// with the flag unset it is a no-op and the command exits as usual.
+func serveOps(eng *soxq.Engine, addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "soxq: serving /metrics, /debug/vars, /debug/queries on %s (interrupt to stop)\n", addr)
+	fatalIf(http.ListenAndServe(addr, eng.OpsHandler()))
 }
 
 func fatal(format string, args ...any) {

@@ -97,8 +97,9 @@ type ObsExplain struct {
 	// Candidates is the total candidate cardinality StandOff joins
 	// scanned (steps only).
 	Candidates int64
-	// Chunks is how many pipeline chunks a streamed FLWOR evaluated
-	// (zero for materialised evaluation).
+	// Chunks is how many pipeline chunks the operator evaluated: streamed
+	// FLWOR chunks, or per-chunk join invocations of a chunk-streamed
+	// StandOff step (zero for materialised evaluation).
 	Chunks int64
 	// Joins renders the join algorithms actually run, e.g. "basic:1" or
 	// "looplifted:3" (steps only; empty for tree axes).
@@ -228,6 +229,7 @@ func publicNode(n *xqplan.Node) *OpNode {
 			RowsIn:      n.StepObs.RowsIn,
 			RowsOut:     n.StepObs.RowsOut,
 			Candidates:  n.StepObs.Candidates,
+			Chunks:      n.StepObs.StreamChunks,
 			Joins:       n.StepObs.JoinsString(),
 		}
 	case n.OpObs != nil:

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // JoinArena recycles the allocation-heavy scratch of the StandOff joins
 // across invocations: []Pair outputs, the counting-sort offset and fill
@@ -34,11 +37,36 @@ type JoinArena struct {
 // handful of pair buffers at a time, so anything beyond this is leak-shaped.
 const maxFreePairBufs = 8
 
-var arenaPool = sync.Pool{New: func() any { return new(JoinArena) }}
+var arenaPool = sync.Pool{New: func() any {
+	arenaMisses.Add(1)
+	return new(JoinArena)
+}}
+
+// arenaAcquires/arenaMisses are process-wide pool telemetry: every acquire
+// counts, and the pool's New func counts the ones that had to allocate. The
+// GC empties sync.Pools, so a nonzero steady-state miss rate under constant
+// load is the pool being collected between runs, not a leak.
+var (
+	arenaAcquires atomic.Uint64
+	arenaMisses   atomic.Uint64
+)
+
+// ArenaPoolStats returns the cumulative arena-pool hit and miss counts
+// (acquires served from the pool vs freshly allocated), process-wide.
+func ArenaPoolStats() (hits, misses uint64) {
+	a, m := arenaAcquires.Load(), arenaMisses.Load()
+	if m > a { // a racing acquire has bumped misses but not acquires yet
+		m = a
+	}
+	return a - m, m
+}
 
 // AcquireJoinArena fetches an arena from the package pool. Pair it with
 // Release when the run owning it ends.
-func AcquireJoinArena() *JoinArena { return arenaPool.Get().(*JoinArena) }
+func AcquireJoinArena() *JoinArena {
+	arenaAcquires.Add(1)
+	return arenaPool.Get().(*JoinArena)
+}
 
 // Release reclaims the loaned result and returns the arena to the package
 // pool. The caller must not use the arena — or any []Pair borrowed from it —

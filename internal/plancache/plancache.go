@@ -20,6 +20,15 @@ type Cache[K comparable, V any] struct {
 	inflight map[K]*flight[V]
 	hits     uint64
 	misses   uint64
+
+	// Eviction accounting keeps the two ways an entry can die apart: LRU
+	// pressure (the cache is too small for the working set — a capacity
+	// signal) versus Purge invalidation (Declare/Unload dropped every plan
+	// on purpose — a correctness event). Lumping them together would make a
+	// hot Declare path look like an undersized cache.
+	evictionsLRU uint64
+	invalidated  uint64
+	coalesced    uint64
 }
 
 type entry[K comparable, V any] struct {
@@ -78,6 +87,7 @@ func (c *Cache[K, V]) putLocked(k K, v V) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		c.evictionsLRU++
 	}
 }
 
@@ -103,6 +113,7 @@ func (c *Cache[K, V]) GetOrCompute(k K, compute func() (V, error)) (V, error) {
 	}
 	c.misses++
 	if f, ok := c.inflight[k]; ok {
+		c.coalesced++
 		c.mu.Unlock()
 		<-f.done
 		return f.val, f.err
@@ -134,10 +145,12 @@ func (c *Cache[K, V]) GetOrCompute(k K, compute func() (V, error)) (V, error) {
 var errComputePanicked = errors.New("plancache: compute panicked")
 
 // Purge drops every entry (cache invalidation on Declare/Unload). Hit and
-// miss counters survive so long-running engines keep meaningful stats.
+// miss counters survive so long-running engines keep meaningful stats; the
+// dropped entries count as invalidations, not LRU evictions.
 func (c *Cache[K, V]) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidated += uint64(c.ll.Len())
 	c.ll.Init()
 	clear(c.items)
 }
@@ -154,4 +167,22 @@ func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many entries were dropped by LRU pressure and how
+// many by Purge invalidation, separately — capacity problems and deliberate
+// invalidation are different operational signals.
+func (c *Cache[K, V]) Evictions() (lru, invalidated uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictionsLRU, c.invalidated
+}
+
+// Coalesced returns how many GetOrCompute callers joined another caller's
+// in-flight compute instead of computing themselves (singleflight
+// collapses). Each coalesced caller also counted one miss in Stats.
+func (c *Cache[K, V]) Coalesced() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
 }

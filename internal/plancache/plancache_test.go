@@ -213,3 +213,68 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestEvictionAccounting pins the eviction split: capacity-pressure drops
+// count as LRU evictions, Purge (the Declare/Unload invalidation path) counts
+// every resident entry as invalidated, and the two never mix.
+func TestEvictionAccounting(t *testing.T) {
+	c := New[int, int](2)
+	if lru, inv := c.Evictions(); lru != 0 || inv != 0 {
+		t.Fatalf("fresh cache evictions = %d/%d", lru, inv)
+	}
+	c.Put(0, 0)
+	c.Put(1, 1)
+	c.Put(2, 2) // evicts 0 under capacity pressure
+	if lru, inv := c.Evictions(); lru != 1 || inv != 0 {
+		t.Fatalf("after overflow: lru=%d inv=%d, want 1/0", lru, inv)
+	}
+	c.Put(1, 10) // refresh, not an eviction
+	if lru, _ := c.Evictions(); lru != 1 {
+		t.Fatalf("refresh counted as eviction: lru=%d", lru)
+	}
+	c.Purge() // both resident entries invalidated
+	if lru, inv := c.Evictions(); lru != 1 || inv != 2 {
+		t.Fatalf("after purge: lru=%d inv=%d, want 1/2", lru, inv)
+	}
+	c.Purge() // empty purge invalidates nothing
+	if _, inv := c.Evictions(); inv != 2 {
+		t.Fatalf("empty purge moved the count: inv=%d", inv)
+	}
+}
+
+// TestCoalescedAccounting: every GetOrCompute waiter that joins an in-flight
+// compute counts as one coalesced lookup.
+func TestCoalescedAccounting(t *testing.T) {
+	c := New[string, int](4)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrCompute("k", func() (int, error) {
+			close(entered)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-entered
+	const waiters = 3
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, _ := c.GetOrCompute("k", func() (int, error) { return -1, nil }); v != 7 {
+				t.Errorf("coalesced waiter got %d, want 7", v)
+			}
+		}()
+	}
+	// Wait until all waiters have joined the in-flight entry, then release.
+	for c.Coalesced() < waiters {
+	}
+	close(release)
+	wg.Wait()
+	if got := c.Coalesced(); got != waiters {
+		t.Fatalf("coalesced = %d, want %d", got, waiters)
+	}
+}

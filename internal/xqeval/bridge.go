@@ -323,6 +323,7 @@ func (s *StandOffStream) JoinChunkPres(chunk []int32) []int32 {
 	}
 	t0 := statsNow(s.ev.Stats)
 	pairs := core.Join(s.ix, s.sp.SO.Op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
+	s.ev.countJoin(s.strat)
 	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat, int64(len(chunk)), statsSince(s.ev.Stats, t0))
 	out := s.outPres[:0]
 	if cap(out) < len(pairs) {
@@ -369,6 +370,7 @@ func (s *StandOffStream) MarkChunk(chunk []int32, bits *core.MatchBits) int {
 	}
 	t0 := statsNow(s.ev.Stats)
 	pairs := core.Join(s.ix, op, s.strat, ctx, 1, s.cand, s.ev.JoinCfg)
+	s.ev.countJoin(s.strat)
 	s.ev.Stats.RecordJoin(s.sp, int64(s.cand.Len()), s.strat, int64(len(chunk)), statsSince(s.ev.Stats, t0))
 	return core.MarkMatched(bits, s.cand.AreaPres(), pairs)
 }

@@ -7,6 +7,7 @@ import (
 
 	"soxq/internal/blob"
 	"soxq/internal/core"
+	"soxq/internal/obs"
 	"soxq/internal/tree"
 	"soxq/internal/xqast"
 	"soxq/internal/xqplan"
@@ -50,6 +51,12 @@ type Evaluator struct {
 	// price with; nil prices with the static default. Analyzed executions
 	// feed it through Stats (ExecStats.Cal is the same pointer).
 	Cal *xqplan.Calibration
+	// Met is the engine-wide set of always-on metric counters (joins per
+	// algorithm, work-steals, chunk adaptations). Unlike Stats it is live
+	// on every execution, so recording must stay one nil check plus one
+	// atomic add; nil disables it. Fork carries it over — worker forks feed
+	// the same counters.
+	Met *obs.ExecMetrics
 	// MaxRecursion bounds user-defined function recursion.
 	MaxRecursion int
 

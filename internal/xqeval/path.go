@@ -231,6 +231,24 @@ func statsSince(st *xqplan.ExecStats, t0 time.Time) int64 {
 	return time.Since(t0).Nanoseconds()
 }
 
+// countJoin feeds the always-on per-algorithm join counter. Called at every
+// core.Join call site (bulk and chunked, select and reject side), so the
+// counters reflect join invocations actually run — one atomic add each.
+func (ev *Evaluator) countJoin(strat core.Strategy) {
+	m := ev.Met
+	if m == nil {
+		return
+	}
+	switch strat {
+	case core.StrategyBasic:
+		m.JoinBasic.Inc()
+	case core.StrategyLoopLifted:
+		m.JoinLoopLifted.Inc()
+	default:
+		m.JoinNaive.Inc()
+	}
+}
+
 // treeStep evaluates a standard axis per context node, using the step's
 // per-document pre-compiled node test.
 func (ev *Evaluator) treeStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item, error) {
@@ -355,6 +373,7 @@ func (ev *Evaluator) standOffStep(sp *xqplan.StepPlan, rows []stepRow) ([][]Item
 		strat := ev.strategyFor(sp, ix, len(rows))
 		t0 := statsNow(ev.Stats)
 		pairs := core.Join(ix, op, strat, byDoc[d], int32(len(rows)), cand, ev.JoinCfg)
+		ev.countJoin(strat)
 		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat, int64(len(rows)), statsSince(ev.Stats, t0))
 		var test xpath.Compiled
 		if postFilter {
@@ -413,6 +432,7 @@ func (ev *Evaluator) standOffRejectStep(sp *xqplan.StepPlan, ctx LLSeq) ([][]Ite
 		strat := ev.strategyFor(sp, ix, ctx.N())
 		t0 := statsNow(ev.Stats)
 		pairs := core.Join(ix, op, strat, byDoc[d], int32(ctx.N()), cand, ev.JoinCfg)
+		ev.countJoin(strat)
 		ev.Stats.RecordJoin(sp, int64(cand.Len()), strat, int64(ctx.N()), statsSince(ev.Stats, t0))
 		var test xpath.Compiled
 		if postFilter {

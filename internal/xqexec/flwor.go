@@ -3,6 +3,7 @@ package xqexec
 import (
 	"sync"
 
+	"soxq/internal/obs"
 	"soxq/internal/xqast"
 	"soxq/internal/xqeval"
 	"soxq/internal/xqplan"
@@ -456,6 +457,7 @@ type parallelFLWOR struct {
 	slots  chan struct{} // in-flight tokens: producer acquires, merge releases
 	donech chan struct{}
 	wg     sync.WaitGroup // producer + workers; a closer joins them and closes resch
+	met    *obs.ExecMetrics
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -622,6 +624,7 @@ func startParallel(c *flworCursor) *parallelFLWOR {
 		resch:  make(chan chunkResult, inflight),
 		slots:  make(chan struct{}, inflight),
 		donech: make(chan struct{}),
+		met:    c.x.ev.Met,
 		iev:    c.x.ev.Fork(),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -663,9 +666,7 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 	inlineRows := xqplan.SetupRows()
 	var seq, basePos int64
 	emit := func(tuples []xqeval.Item) bool {
-		select {
-		case p.slots <- struct{}{}:
-		case <-p.donech:
+		if !p.acquireSlot() {
 			return false
 		}
 		t := chunkTask{seq: seq, tuples: tuples, basePos: basePos}
@@ -702,9 +703,7 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 			// The error occupies the next sequence slot, so the merge
 			// surfaces it only after every preceding chunk — exactly where
 			// the sequential stream would have failed.
-			select {
-			case p.slots <- struct{}{}:
-			case <-p.donech:
+			if !p.acquireSlot() {
 				return
 			}
 			select {
@@ -719,6 +718,25 @@ func (p *parallelFLWOR) produce(c *flworCursor, bind Cursor, prefix []xqeval.Ite
 		if !emit(tuples) {
 			return
 		}
+	}
+}
+
+// acquireSlot takes one in-flight token for the producer, counting a stall
+// when the budget is exhausted and the producer genuinely has to wait for
+// the merge to release one — the saturation signal of the pool. Returns
+// false when the pool shut down instead.
+func (p *parallelFLWOR) acquireSlot() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+	}
+	p.met.InflightWait()
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	case <-p.donech:
+		return false
 	}
 }
 
@@ -762,6 +780,7 @@ func (p *parallelFLWOR) takeTask(w int) (chunkTask, bool) {
 		}
 		for d := 1; d < len(p.deqs); d++ {
 			if t, ok := p.deqs[(w+d)%len(p.deqs)].steal(); ok {
+				p.met.Steal()
 				p.claim()
 				return t, true
 			}

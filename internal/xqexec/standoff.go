@@ -292,9 +292,15 @@ func (c *standoffCursor) adaptChunk(heapLen int) {
 	}
 	switch {
 	case heapLen > 2*c.chunk:
-		c.chunk = max(c.chunk/2, max(cfg/4, 1))
+		if nc := max(c.chunk/2, max(cfg/4, 1)); nc != c.chunk {
+			c.chunk = nc
+			c.x.ev.Met.AdaptShrink()
+		}
 	case heapLen < c.chunk/4:
-		c.chunk = min(c.chunk*2, cfg*4)
+		if nc := min(c.chunk*2, cfg*4); nc != c.chunk {
+			c.chunk = nc
+			c.x.ev.Met.AdaptGrow()
+		}
 	}
 }
 

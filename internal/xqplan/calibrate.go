@@ -58,6 +58,16 @@ func (c *Calibration) SetupRows() int {
 	return llSetupRows
 }
 
+// Samples returns how many Loop-Lifted setup observations have been folded
+// into the calibration so far — each is one llSetupRows update; the
+// calibrated value only replaces the static default past calMinSamples.
+func (c *Calibration) Samples() uint32 {
+	if c == nil {
+		return 0
+	}
+	return c.samples.Load()
+}
+
 // Gen returns the calibration generation. The strategy memo keys on it, so
 // a band change re-prices memoized decisions instead of serving estimates
 // computed under a stale setup cost.

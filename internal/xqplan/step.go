@@ -296,9 +296,20 @@ func (sp *StepPlan) observeOutput(rowsIn, rowsOut int64) {
 	}
 	pred := float64(ce.EstOut) / float64(ce.CtxRows)
 	if nv > pred*selDriftFactor || nv < pred/selDriftFactor {
+		driftInvalidations.Add(1)
 		sp.invalidateStrategies()
 	}
 }
+
+// driftInvalidations counts strategy-memo drops triggered by est-vs-obs
+// selectivity drift, process-wide (memos live on shared plans, so a
+// per-engine attribution would be arbitrary anyway). Scraped by the metrics
+// registry.
+var driftInvalidations atomic.Uint64
+
+// DriftInvalidations returns the cumulative drift-triggered strategy-memo
+// invalidation count.
+func DriftInvalidations() uint64 { return driftInvalidations.Load() }
 
 // invalidateStrategies drops every memoized strategy decision; the next
 // execution re-prices with the current observed selectivity and calibrated

@@ -59,6 +59,8 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from the measured values instead of checking")
 	summary := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
 		"append a markdown delta table to this file after a check run (defaults to $GITHUB_STEP_SUMMARY)")
+	instrumented := flag.String("instrumented", "",
+		"note for the summary heading saying what engine instrumentation was active during the run (e.g. \"metrics on, trace off\")")
 	flag.Parse()
 
 	data, err := os.ReadFile(*file)
@@ -171,7 +173,7 @@ func main() {
 		rows = append(rows, r)
 	}
 	if *summary != "" {
-		if err := writeSummary(*summary, rows, base.TolerancePct); err != nil {
+		if err := writeSummary(*summary, rows, base.TolerancePct, *instrumented); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: writing summary: %v\n", err)
 		}
 	}
@@ -182,10 +184,13 @@ func main() {
 
 // writeSummary appends the delta table as GitHub-flavored markdown to the
 // job-summary file.
-func writeSummary(path string, rows []row, tolerance float64) error {
+func writeSummary(path string, rows []row, tolerance float64, instrumented string) error {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "### benchcheck: streaming memory guard (±%.0f%%)\n\n", tolerance)
+	if instrumented != "" {
+		fmt.Fprintf(&sb, "Instrumentation during this run: %s.\n\n", instrumented)
+	}
 	sb.WriteString("| Benchmark | B/op vs baseline | allocs/op vs baseline | Status |\n")
 	sb.WriteString("|---|---|---|---|\n")
 	for _, r := range rows {

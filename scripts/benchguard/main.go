@@ -1,0 +1,88 @@
+// Command benchguard is CI's telemetry-overhead gate: it reads the output of
+//
+//	go test -run '^$' -bench BenchmarkPreparedExecTelemetry -count N .
+//
+// on stdin, takes the median ns/op of each variant (off / metrics / trace),
+// and fails when the always-on instrumentation costs more than the tolerance
+// over the uninstrumented baseline:
+//
+//	... | go run ./scripts/benchguard -tolerance 5
+//
+// Only the off→metrics delta gates — metrics are what every production query
+// pays. The off→trace delta is reported for visibility: tracing is opt-in
+// per run (Config.Trace), so its cost is a feature budget, not a hot-path
+// regression. Medians over -count repetitions absorb the noise a single
+// short CI measurement would alias into a false failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// nsLine matches one result line of the telemetry benchmark, capturing the
+// variant name and the ns/op column, e.g.
+// "BenchmarkPreparedExecTelemetry/metrics-4  100  57790 ns/op  74503 B/op ...".
+var nsLine = regexp.MustCompile(`^BenchmarkPreparedExecTelemetry/(\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 5, "max allowed off→metrics ns/op regression, percent")
+	flag.Parse()
+
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		if m := nsLine.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				fatal("unparseable ns/op in %q: %v", line, err)
+			}
+			samples[m[1]] = append(samples[m[1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading bench output: %v", err)
+	}
+
+	off := median(samples["off"])
+	metrics := median(samples["metrics"])
+	if off == 0 || metrics == 0 {
+		fatal("missing off/metrics samples (got %d off, %d metrics) — was the benchmark filter right?",
+			len(samples["off"]), len(samples["metrics"]))
+	}
+	deltaPct := 100 * (metrics - off) / off
+	fmt.Fprintf(os.Stderr, "benchguard: off %.0f ns/op, metrics %.0f ns/op (%+.1f%%), tolerance %.0f%% [medians of %d runs]\n",
+		off, metrics, deltaPct, *tolerance, len(samples["off"]))
+	if trace := median(samples["trace"]); trace > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: trace %.0f ns/op (%+.1f%% over off) — informational, tracing is opt-in\n",
+			trace, 100*(trace-off)/off)
+	}
+	if deltaPct > *tolerance {
+		fatal("always-on metrics overhead %.1f%% exceeds the %.0f%% budget", deltaPct, *tolerance)
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -46,9 +46,12 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"soxq/internal/blob"
 	"soxq/internal/core"
+	"soxq/internal/obs"
 	"soxq/internal/plancache"
 	"soxq/internal/tree"
 	"soxq/internal/xmark"
@@ -131,6 +134,14 @@ type Config struct {
 	// bound peak memory tighter. Exec ignores it: a full drain
 	// materialises per operator anyway.
 	StreamChunk int
+	// Trace records a query-lifecycle trace of this execution: a span tree
+	// of parse/compile timings, resolved join strategies and per-operator
+	// row, candidate and chunk counts, retained in the engine's bounded
+	// trace ring and returned by Prepared.TraceLast. Tracing rides the same
+	// per-operator collector as EXPLAIN ANALYZE, so it costs one
+	// mutex-protected update per operator evaluation — leave it off on hot
+	// paths and sample instead.
+	Trace bool
 }
 
 // Engine holds loaded documents, their BLOBs, cached region indexes, and a
@@ -150,6 +161,13 @@ type Engine struct {
 	// static default once enough samples accumulate. Internally atomic —
 	// shared freely across concurrent queries.
 	cal xqplan.Calibration
+
+	// tel is the engine's telemetry: metrics registry, trace ring and
+	// slow-query log (see telemetry.go and docs/OBSERVABILITY.md). Always
+	// on — instrumentation is atomic counters plus one clock pair per
+	// query — and served by OpsHandler/WriteMetrics. Nil only in the
+	// instrumentation-overhead benchmark.
+	tel *engineObs
 }
 
 type indexKey struct {
@@ -171,14 +189,22 @@ const PlanCacheSize = 256
 // New returns an empty engine with the paper's default stand-off options
 // (integer positions in start/end attributes).
 func New() *Engine {
-	return &Engine{
+	e := &Engine{
 		docs:    map[string]*tree.Doc{},
 		blobs:   map[string]blob.Store{},
 		indexes: map[indexKey]*core.RegionIndex{},
 		options: core.DefaultOptions(),
 		plans:   plancache.New[planKey, *xqplan.Plan](PlanCacheSize),
 	}
+	e.tel = newEngineObs(e)
+	return e
 }
+
+// disableTelemetry turns the engine's telemetry off entirely — no registry,
+// no latency clocks. Only the instrumentation-overhead benchmark uses it
+// (the "disabled" baseline the <5% guard compares against); call before any
+// query runs.
+func (e *Engine) disableTelemetry() { e.tel = nil }
 
 // Declare sets an engine-wide default stand-off option (standoff-type,
 // standoff-start, standoff-end, standoff-region), as if every query preamble
@@ -301,15 +327,28 @@ func (e *Engine) Documents() []string {
 type Prepared struct {
 	eng  *Engine
 	plan *xqplan.Plan
+	src  string
+
+	// parseNanos/compileNanos are the measured timings of this statement's
+	// compile, zero when the plan was served from the plan cache (the
+	// compile happened — and was timed — on some earlier statement). Trace
+	// span durations come from here.
+	parseNanos   int64
+	compileNanos int64
+
+	// lastTrace holds the most recent traced execution's span tree
+	// (TraceLast); concurrent traced runs race benignly — latest wins.
+	lastTrace atomic.Pointer[obs.QueryTrace]
 }
 
 // Prepare parses and compiles a query for repeated execution.
 func (e *Engine) Prepare(q string) (*Prepared, error) {
-	plan, err := compile(q, e.currentOptions())
+	plan, parseNs, compileNs, err := compileTimed(q, e.currentOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, plan: plan}, nil
+	e.tel.observeCompile(parseNs, compileNs)
+	return &Prepared{eng: e, plan: plan, src: q, parseNanos: parseNs, compileNanos: compileNs}, nil
 }
 
 func (e *Engine) currentOptions() core.Options {
@@ -328,6 +367,24 @@ func compile(q string, opts core.Options) (*xqplan.Plan, error) {
 	return xqplan.Compile(m, opts)
 }
 
+// compileTimed is compile with the two stages timed for the compile-latency
+// histograms and the trace's parse/compile spans. Compiles are cache-miss
+// rare, so the clock reads cost nothing in steady state.
+func compileTimed(q string, opts core.Options) (plan *xqplan.Plan, parseNs, compileNs int64, err error) {
+	t0 := time.Now()
+	m, err := xqparse.Parse(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	parseNs = time.Since(t0).Nanoseconds()
+	plan, err = xqplan.Compile(m, opts)
+	compileNs = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return plan, parseNs, compileNs, nil
+}
+
 // Exec runs the compiled query under the given configuration and returns the
 // materialised result. It is a thin drain of the same cursor pipeline Stream
 // exposes — built with unbounded chunks, since a full drain materialises per
@@ -335,11 +392,13 @@ func compile(q string, opts core.Options) (*xqplan.Plan, error) {
 // engine. It is safe to call concurrently: each call builds a fresh pipeline
 // over the shared immutable plan.
 func (p *Prepared) Exec(cfg Config) (*Result, error) {
-	cur, err := p.pipeline(cfg, 0)
+	ro := p.beginRun(cfg, "exec")
+	cur, err := p.pipeline(cfg, 0, ro.st)
 	if err != nil {
 		return nil, err
 	}
 	items, err := xqexec.DrainAll(cur)
+	ro.finish()
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +418,7 @@ func (p *Prepared) Exec(cfg Config) (*Result, error) {
 func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
 	st := xqplan.NewExecStats()
 	st.Cal = &p.eng.cal
+	ro := p.beginAnalyze(cfg, st)
 	ev := p.evaluator(cfg)
 	ev.Stats = st
 	chunk := 0
@@ -370,6 +430,7 @@ func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
 		return nil, nil, err
 	}
 	items, err := xqexec.DrainAll(cur)
+	ro.finish()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -390,6 +451,7 @@ func (p *Prepared) evaluator(cfg Config) *xqeval.Evaluator {
 		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
 		Pushdown: !cfg.NoPushdown,
 		Cal:      &e.cal,
+		Met:      e.met(),
 	}
 }
 
@@ -419,13 +481,22 @@ func (e *Engine) QueryWith(q string, cfg Config) (*Result, error) {
 func (e *Engine) preparedCached(q string) (*Prepared, error) {
 	opts := e.currentOptions()
 	key := planKey{query: q, opts: opts}
+	var parseNs, compileNs int64
 	plan, err := e.plans.GetOrCompute(key, func() (*xqplan.Plan, error) {
-		return compile(q, opts)
+		p, pNs, cNs, err := compileTimed(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		parseNs, compileNs = pNs, cNs
+		e.tel.observeCompile(pNs, cNs)
+		return p, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, plan: plan}, nil
+	// Cache hits (and coalesced waiters) leave the timings zero: their
+	// compile happened on an earlier statement's clock.
+	return &Prepared{eng: e, plan: plan, src: q, parseNanos: parseNs, compileNanos: compileNs}, nil
 }
 
 // PlanCacheStats reports the plan cache's cumulative hit and miss counts

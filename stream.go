@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"soxq/internal/xqexec"
+	"soxq/internal/xqplan"
 )
 
 // Cursor is a streamed query result: items are produced on demand through a
@@ -24,11 +25,20 @@ import (
 // cursors over the same Prepared may run concurrently.
 type Cursor struct {
 	cur xqexec.Cursor
+	ro  runObs
 }
 
 // Next advances to the next result item, returning false at the end of the
 // stream or on error (check Err afterwards).
-func (c *Cursor) Next() bool { return c.cur.Next() }
+func (c *Cursor) Next() bool {
+	if c.cur.Next() {
+		return true
+	}
+	// End of stream (or error): the drain is complete, so this — not the
+	// eventual Close — is the end-to-end latency mark.
+	c.ro.finish()
+	return false
+}
 
 // Value returns the current item; it is valid after a Next that returned
 // true.
@@ -43,6 +53,7 @@ func (c *Cursor) Err() error { return c.cur.Err() }
 // the end covers every exit path.
 func (c *Cursor) Close() error {
 	c.cur.Close()
+	c.ro.finish()
 	return c.cur.Err()
 }
 
@@ -83,18 +94,22 @@ func (p *Prepared) Stream(cfg Config) (*Cursor, error) {
 	if chunk <= 0 {
 		chunk = xqexec.DefaultChunkSize
 	}
-	cur, err := p.pipeline(cfg, chunk)
+	ro := p.beginRun(cfg, "stream")
+	cur, err := p.pipeline(cfg, chunk, ro.st)
 	if err != nil {
 		return nil, err
 	}
-	return &Cursor{cur: cur}, nil
+	return &Cursor{cur: cur, ro: ro}, nil
 }
 
 // pipeline builds the cursor pipeline Exec and Stream share; chunk <= 0
 // means unbounded chunks (materialise per operator), which is what a full
-// drain wants.
-func (p *Prepared) pipeline(cfg Config, chunk int) (xqexec.Cursor, error) {
-	return xqexec.Build(p.evaluator(cfg), xqexec.Config{
+// drain wants. st attaches the per-operator collector of a traced run (nil
+// otherwise).
+func (p *Prepared) pipeline(cfg Config, chunk int, st *xqplan.ExecStats) (xqexec.Cursor, error) {
+	ev := p.evaluator(cfg)
+	ev.Stats = st
+	return xqexec.Build(ev, xqexec.Config{
 		ChunkSize:   chunk,
 		Parallelism: cfg.Parallelism,
 	})

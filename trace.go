@@ -1,0 +1,151 @@
+package soxq
+
+import (
+	"strings"
+	"time"
+
+	"soxq/internal/obs"
+	"soxq/internal/xqplan"
+)
+
+// QueryTrace is the recorded lifecycle of one traced execution
+// (Config.Trace): a span tree of the pipeline phases — parse, compile,
+// strategy resolution, execution — with per-operator row, candidate and
+// chunk counts taken from the same collector EXPLAIN ANALYZE uses.
+//
+// Two renderings exist: String() is fully deterministic (span structure and
+// counts only — what golden tests pin), Render(true) appends the measured
+// durations and wall-clock start (what the ops endpoints and soxq
+// -trace-durations show).
+type QueryTrace struct {
+	tr *obs.QueryTrace
+}
+
+// String renders the deterministic form of the trace.
+func (t *QueryTrace) String() string { return t.Render(false) }
+
+// Render renders the trace; live=true includes durations and timestamps.
+func (t *QueryTrace) Render(live bool) string {
+	if t == nil || t.tr == nil {
+		return ""
+	}
+	return t.tr.Render(live)
+}
+
+// Mode returns the execution mode of the traced run ("exec", "stream",
+// "parallel", "analyze").
+func (t *QueryTrace) Mode() string {
+	if t == nil || t.tr == nil {
+		return ""
+	}
+	return t.tr.Mode
+}
+
+// Duration returns the traced run's end-to-end latency.
+func (t *QueryTrace) Duration() time.Duration {
+	if t == nil || t.tr == nil {
+		return 0
+	}
+	return time.Duration(t.tr.Nanos)
+}
+
+// TraceLast returns the most recent traced execution of this prepared
+// statement (nil before the first run with Config.Trace). Concurrent traced
+// runs race benignly: the last to finish wins.
+func (p *Prepared) TraceLast() *QueryTrace {
+	tr := p.lastTrace.Load()
+	if tr == nil {
+		return nil
+	}
+	return &QueryTrace{tr: tr}
+}
+
+// buildTrace assembles the span tree of one traced run from the compile
+// timings stored on the Prepared and the run's ExecStats — the trace
+// piggybacks on the EXPLAIN ANALYZE collector rather than adding
+// instrumentation points, so its counts agree with Analyze's by
+// construction.
+func (p *Prepared) buildTrace(mode string, start time.Time, nanos int64, st *xqplan.ExecStats) *obs.QueryTrace {
+	pe := p.explainWith(st)
+	root := &obs.Span{Name: "query"}
+
+	parse := root.Child("parse")
+	parse.Nanos = p.parseNanos
+	compile := root.Child("compile")
+	compile.Nanos = p.compileNanos
+	if p.compileNanos == 0 {
+		compile.Attr("cached", "true")
+	}
+	compile.AttrInt("folds", int64(pe.Folds))
+
+	// Strategy resolution: one span per StandOff step, with the join
+	// strategy the cost model has resolved for it (strategies resolve
+	// lazily at execution; this reads the post-run state, which is what the
+	// run actually used).
+	strat := root.Child("strategy")
+	for _, path := range pe.Paths {
+		for _, se := range path.Steps {
+			if !se.StandOff {
+				continue
+			}
+			s := strat.Child("step " + se.Axis + "::" + se.Test)
+			s.Attr("op", se.Op)
+			s.Attr("strategy", se.Strategy)
+		}
+	}
+
+	exec := root.Child("execute")
+	exec.Nanos = nanos - p.compileNanos
+	for _, n := range pe.Plan {
+		spanFromOp(exec, n)
+	}
+
+	return &obs.QueryTrace{Query: p.src, Mode: mode, Start: start, Nanos: nanos, Root: root}
+}
+
+// spanFromOp converts one explain operator node into a trace span under
+// parent: the span name is the operator label with its volatile annotations
+// (est{}, standoff{}, observed counters) stripped, and the observed counters
+// re-attach as explicit span attributes.
+func spanFromOp(parent *obs.Span, n *OpNode) {
+	s := parent.Child(spanName(n.Label))
+	if n.Obs != nil {
+		o := n.Obs
+		if n.Kind == "step" {
+			s.AttrInt("in", o.RowsIn)
+			s.AttrInt("out", o.RowsOut)
+			if n.Step != nil && n.Step.StandOff {
+				s.AttrInt("cand", o.Candidates)
+				if o.Joins != "" {
+					s.Attr("joins", o.Joins)
+				}
+			}
+		} else {
+			s.AttrInt("in", o.RowsIn)
+			s.AttrInt("out", o.RowsOut)
+		}
+		if o.Chunks > 0 {
+			s.AttrInt("chunks", o.Chunks)
+		}
+	}
+	for _, ch := range n.Children {
+		spanFromOp(s, ch)
+	}
+}
+
+// spanAnnotations are the label substrings that start the volatile
+// annotation tail of an explain operator line (cost estimates, resolved
+// strategies, observed counters) — everything before the earliest one is
+// the operator's structural identity, which is what a trace span is named
+// after.
+var spanAnnotations = []string{" standoff{", " est{", " drift{", " stream{", " (in=", " (out=", " (tuples="}
+
+func spanName(label string) string {
+	cut := len(label)
+	for _, marker := range spanAnnotations {
+		if i := strings.Index(label, marker); i >= 0 && i < cut {
+			cut = i
+		}
+	}
+	return label[:cut]
+}
