@@ -483,7 +483,7 @@ const (
 var bigCorpusOnce sync.Once
 var bigCorpusXML []byte
 
-func loadBigCorpus(b *testing.B, eng *Engine) {
+func loadBigCorpus(b testing.TB, eng *Engine) {
 	bigCorpusOnce.Do(func() {
 		var sb []byte
 		sb = append(sb, "<doc>"...)
@@ -564,6 +564,83 @@ func BenchmarkStreamExec(b *testing.B) {
 				}
 				if n == 0 {
 					b.Fatal("empty stream")
+				}
+			}
+		})
+	}
+}
+
+// mutateBenchInserts appends n "mark" annotations at deterministic
+// positions and returns how many land narrow-contained in a scene (marks
+// whose 2-wide region straddles a scene boundary match nothing).
+func mutateBenchInserts(tb testing.TB, eng *Engine, n int) int {
+	contained := 0
+	for j := 0; j < n; j++ {
+		s := int64(j*197) % (bigScenes * 100)
+		if err := eng.InsertAnnotation("big.xml", "mark", Region{Start: s, End: s + 2}); err != nil {
+			tb.Fatal(err)
+		}
+		if s%100 <= 97 {
+			contained++
+		}
+	}
+	return contained
+}
+
+// rebuildIndexes discards document name's cached region indexes and rebuilds
+// one from scratch over the current snapshot — the non-incremental write
+// model BenchmarkMutateThenQuery's rebuild arm measures.
+func rebuildIndexes(tb testing.TB, eng *Engine, name string) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	d := eng.docs[name]
+	for k := range eng.indexes {
+		if k.doc == d {
+			delete(eng.indexes, k)
+		}
+	}
+	ix, err := core.BuildIndex(d, eng.options)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng.indexes[indexKey{doc: d, opts: eng.options}] = ix
+}
+
+// BenchmarkMutateThenQuery pins the write path's reason to exist: insert
+// 1,000 annotations into the 122k-region corpus that has already served a
+// query, then re-query the mutated layer. The incremental arm lets the
+// inserts ride as a delta layer that merges into the warm base orderings at
+// read time; the rebuild arm pays a full BuildIndex over the mutated
+// snapshot before the same query — the only write model available before
+// the delta layer existed. The timed section covers inserts + (rebuild) +
+// query; corpus loading and the warm-up query are excluded.
+func BenchmarkMutateThenQuery(b *testing.B) {
+	const inserts = 1000
+	for _, arm := range []string{"incremental", "rebuild"} {
+		b.Run(arm, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := New()
+				loadBigCorpus(b, eng)
+				prep, err := eng.Prepare(`count(doc("big.xml")//scene/select-narrow::mark)`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := prep.Exec(Config{}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				want := mutateBenchInserts(b, eng, inserts)
+				if arm == "rebuild" {
+					rebuildIndexes(b, eng, "big.xml")
+				}
+				res, err := prep.Exec(Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.String() != fmt.Sprint(want) {
+					b.Fatalf("count = %s, want %d", res.String(), want)
 				}
 			}
 		})

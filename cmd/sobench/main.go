@@ -61,6 +61,8 @@ func main() {
 		"write a post-run heap profile of each cell to this path plus a .qN.variant suffix")
 	metrics := flag.Bool("metrics", false,
 		"dump each cell engine's metrics registry (Prometheus text: join counts, latency histograms, cache and pool counters) to stderr after the run")
+	mutateN := flag.Int("mutate", 0,
+		"insert this many annotations into each cell's document after index build, so cells measure queries over LSM delta layers instead of a pristine index")
 
 	// Internal flags for the subprocess cell runner.
 	cellDoc := flag.String("run-cell-doc", "", "internal: stand-off document path")
@@ -69,7 +71,7 @@ func main() {
 	flag.Parse()
 
 	if *cellDoc != "" {
-		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk, *cpuProfile, *memProfile, *metrics)
+		runCell(*cellDoc, *cellQuery, *cellVariant, *prepare, *streamChunk, *mutateN, *cpuProfile, *memProfile, *metrics)
 		return
 	}
 	if *calibrate {
@@ -106,7 +108,7 @@ func main() {
 		}
 		for _, q := range queryList {
 			for _, variant := range variantList {
-				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk, *cpuProfile, *memProfile, *metrics)
+				secs, ok := runCellSubprocess(soPath, q, variant, *timeout, *prepare, *streamChunk, *mutateN, *cpuProfile, *memProfile, *metrics)
 				k := key{scale, q, variant}
 				if !ok {
 					results[k] = "DNF"
@@ -215,7 +217,7 @@ func ensureData(dir string, scale float64, seed uint64) (string, error) {
 
 // runCellSubprocess executes one measurement in a child process and kills it
 // at the timeout (DNF).
-func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk int, cpuProfile, memProfile string, metrics bool) (float64, bool) {
+func runCellSubprocess(soPath string, q int, variant string, timeout time.Duration, prepare bool, streamChunk, mutateN int, cpuProfile, memProfile string, metrics bool) (float64, bool) {
 	args := []string{
 		"-run-cell-doc", soPath,
 		"-run-cell-query", strconv.Itoa(q),
@@ -226,6 +228,9 @@ func runCellSubprocess(soPath string, q int, variant string, timeout time.Durati
 	}
 	if streamChunk > 0 {
 		args = append(args, "-stream-chunk", strconv.Itoa(streamChunk))
+	}
+	if mutateN > 0 {
+		args = append(args, "-mutate", strconv.Itoa(mutateN))
 	}
 	// Profiles go to one file per cell — a shared path would be overwritten
 	// by every later cell of the grid.
@@ -280,7 +285,7 @@ func cellProfilePath(base string, q int, variant string) string {
 	return fmt.Sprintf("%s.q%d.%s", base, q, variant)
 }
 
-func runCell(soPath string, q int, variant string, prepare bool, streamChunk int, cpuProfile, memProfile string, metrics bool) {
+func runCell(soPath string, q int, variant string, prepare bool, streamChunk, mutateN int, cpuProfile, memProfile string, metrics bool) {
 	cfg := soxq.Config{StreamChunk: streamChunk}
 	streamed := false
 	switch variant {
@@ -312,6 +317,17 @@ func runCell(soPath string, q int, variant string, prepare bool, streamChunk int
 	}
 	if err := eng.BuildIndex("doc.xml"); err != nil {
 		fatal("%v", err)
+	}
+	// With -mutate, land deterministic annotation inserts on the built index
+	// so the measured query runs over pending LSM delta layers (the engine
+	// still auto-compacts at its threshold, as production writers would).
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < mutateN; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		start := int64(rng>>33) % 1_000_000
+		if err := eng.InsertAnnotation("doc.xml", "bench-delta", soxq.Region{Start: start, End: start + 64}); err != nil {
+			fatal("%v", err)
+		}
 	}
 	query := xmark.StandOffQuery(q, "doc.xml")
 	run := func(prep *soxq.Prepared) (int, error) {

@@ -29,6 +29,18 @@
 // child cursors, so the bound compounds through nested loops); -parallel N
 // partitions large FLWOR loops across N workers.
 //
+// -mutate FILE applies a scripted sequence of annotation writes after the
+// documents are loaded and before the query runs. The script holds one
+// operation per line ('#' comments and blank lines skipped):
+//
+//	insert <doc> <elem> <start> <end> [<start> <end> ...]
+//	delete <doc> <elem> <start> <end>
+//	compact <doc>
+//
+// Positions are written in the engine's configured standoff-type (so a
+// dateTime corpus takes RFC 3339 values). Multiple start/end pairs on an
+// insert write a multi-region area (requires standoff-region).
+//
 // -trace executes the query with lifecycle tracing and prints the recorded
 // span tree — parse, compile, strategy resolution, and the executed operator
 // tree with per-operator row/chunk counts that line up with -analyze output —
@@ -75,6 +87,7 @@ func main() {
 	trace := flag.Bool("trace", false, "run the query with lifecycle tracing and print the span tree (parse/compile/strategy/execute with per-operator counts) after the results")
 	traceDurations := flag.Bool("trace-durations", false, "include measured durations and timestamps in the -trace rendering (non-deterministic output)")
 	ops := flag.String("ops", "", "serve the ops HTTP surface (/metrics, /debug/vars, /debug/queries) on this address, e.g. :6060, and wait for interrupt after the query")
+	mutate := flag.String("mutate", "", "apply a scripted annotation mutation file (insert/delete/compact lines) before running the query")
 	flag.Parse()
 
 	if (*query == "") == (*queryFile == "") {
@@ -130,6 +143,14 @@ func main() {
 	}
 	if *timing {
 		fmt.Fprintf(os.Stderr, "load: %v\n", time.Since(loadStart))
+	}
+	if *mutate != "" {
+		mutStart := time.Now()
+		n, err := applyMutations(eng, *mutate)
+		fatalIf(err)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "mutate: %d ops in %v\n", n, time.Since(mutStart))
+		}
 	}
 
 	// The pipeline is parse -> compile -> execute: Prepare covers the first

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"soxq"
+)
+
+// applyMutations runs the -mutate script against the engine: one operation
+// per line, '#' comments and blank lines skipped. Returns the number of
+// operations applied.
+func applyMutations(eng *soxq.Engine, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	ops := 0
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := applyMutationLine(eng, fields); err != nil {
+			return ops, fmt.Errorf("%s:%d: %v", path, lineNo+1, err)
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+func applyMutationLine(eng *soxq.Engine, fields []string) error {
+	switch op := fields[0]; op {
+	case "insert":
+		// insert <doc> <elem> <start> <end> [<start> <end> ...]
+		if len(fields) < 5 || len(fields)%2 == 0 {
+			return fmt.Errorf("insert wants <doc> <elem> <start> <end> [<start> <end> ...], got %d args", len(fields)-1)
+		}
+		regions := make([]soxq.Region, 0, (len(fields)-3)/2)
+		for i := 3; i < len(fields); i += 2 {
+			start, err := eng.ParsePosition(fields[i])
+			if err != nil {
+				return fmt.Errorf("bad start %q: %v", fields[i], err)
+			}
+			end, err := eng.ParsePosition(fields[i+1])
+			if err != nil {
+				return fmt.Errorf("bad end %q: %v", fields[i+1], err)
+			}
+			regions = append(regions, soxq.Region{Start: start, End: end})
+		}
+		return eng.InsertAnnotation(fields[1], fields[2], regions...)
+	case "delete":
+		// delete <doc> <elem> <start> <end>
+		if len(fields) != 5 {
+			return fmt.Errorf("delete wants <doc> <elem> <start> <end>, got %d args", len(fields)-1)
+		}
+		start, err := eng.ParsePosition(fields[3])
+		if err != nil {
+			return fmt.Errorf("bad start %q: %v", fields[3], err)
+		}
+		end, err := eng.ParsePosition(fields[4])
+		if err != nil {
+			return fmt.Errorf("bad end %q: %v", fields[4], err)
+		}
+		n, err := eng.DeleteAnnotation(fields[1], fields[2], start, end)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("no %s annotation [%s,%s] in %q", fields[2], fields[3], fields[4], fields[1])
+		}
+		return nil
+	case "compact":
+		// compact <doc>
+		if len(fields) != 2 {
+			return fmt.Errorf("compact wants <doc>, got %d args", len(fields)-1)
+		}
+		return eng.CompactAnnotations(fields[1])
+	default:
+		return fmt.Errorf("unknown mutation op %q (want insert, delete or compact)", op)
+	}
+}

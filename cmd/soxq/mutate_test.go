@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soxq"
+)
+
+const mutateTestDoc = `<doc>
+  <scene start="0" end="100"/>
+  <hit id="h1" start="10" end="20"/>
+</doc>`
+
+func mutateTestEngine(t *testing.T) *soxq.Engine {
+	t.Helper()
+	eng := soxq.New()
+	if err := eng.LoadXML("m.xml", []byte(mutateTestDoc)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func writeScript(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "script.mut")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func queryCount(t *testing.T, eng *soxq.Engine, q string) string {
+	t.Helper()
+	res, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.String()
+}
+
+func TestApplyMutationsScript(t *testing.T) {
+	eng := mutateTestEngine(t)
+	script := writeScript(t,
+		"# seed a couple of marks, then retract one",
+		"",
+		"insert m.xml mark 5 15",
+		"insert m.xml mark 30 40   # trailing comment",
+		"  ",
+		"delete m.xml mark 5 15",
+		"compact m.xml",
+	)
+	ops, err := applyMutations(eng, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 4 {
+		t.Fatalf("ops = %d, want 4", ops)
+	}
+	if got := queryCount(t, eng, `count(doc("m.xml")//mark)`); got != "1" {
+		t.Fatalf("mark count after script = %s, want 1", got)
+	}
+	if got := queryCount(t, eng, `doc("m.xml")//scene/select-narrow::mark/@start`); got != `start="30"` {
+		t.Fatalf("surviving mark = %s", got)
+	}
+}
+
+func TestApplyMutationsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+		want  string // substring of the error, which must also carry the line number
+		line  string
+	}{
+		{"unknown op", []string{"insert m.xml mark 5 15", "frobnicate m.xml"}, "unknown mutation op", ":2:"},
+		{"insert arity", []string{"insert m.xml mark 5"}, "insert wants", ":1:"},
+		{"insert even args", []string{"insert m.xml mark 5 15 30"}, "insert wants", ":1:"},
+		{"insert bad start", []string{"insert m.xml mark five 15"}, "bad start", ":1:"},
+		{"insert bad end", []string{"insert m.xml mark 5 teen"}, "bad end", ":1:"},
+		{"delete arity", []string{"delete m.xml mark 5"}, "delete wants", ":1:"},
+		{"delete no match", []string{"", "delete m.xml mark 5 15"}, "no mark annotation", ":2:"},
+		{"compact arity", []string{"compact m.xml twice"}, "compact wants", ":1:"},
+		{"unloaded doc", []string{"insert other.xml mark 5 15"}, "other.xml", ":1:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := mutateTestEngine(t)
+			_, err := applyMutations(eng, writeScript(t, tc.lines...))
+			if err == nil {
+				t.Fatalf("no error, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), tc.line) {
+				t.Fatalf("error %q, want substrings %q and %q", err, tc.want, tc.line)
+			}
+		})
+	}
+}
+
+func TestApplyMutationsStopsAtFirstError(t *testing.T) {
+	eng := mutateTestEngine(t)
+	script := writeScript(t,
+		"insert m.xml mark 5 15",
+		"delete m.xml mark 99 100", // no such annotation
+		"insert m.xml mark 30 40",  // must not run
+	)
+	ops, err := applyMutations(eng, script)
+	if err == nil {
+		t.Fatal("no error from failing script")
+	}
+	if ops != 1 {
+		t.Fatalf("ops before failure = %d, want 1", ops)
+	}
+	if got := queryCount(t, eng, `count(doc("m.xml")//mark)`); got != "1" {
+		t.Fatalf("mark count = %s, want 1 (line after the failure must not apply)", got)
+	}
+}
+
+func TestApplyMutationsMissingFile(t *testing.T) {
+	eng := mutateTestEngine(t)
+	if _, err := applyMutations(eng, filepath.Join(t.TempDir(), "nope.mut")); err == nil {
+		t.Fatal("no error for missing script file")
+	}
+}

@@ -42,6 +42,7 @@ type Candidates struct {
 
 // All returns the unrestricted candidate sequence (the whole index).
 func (ix *RegionIndex) All() *Candidates {
+	ix.materialize()
 	return &Candidates{
 		ix: ix, all: true,
 		areas:  ix.areas,
@@ -57,6 +58,7 @@ func (ix *RegionIndex) All() *Candidates {
 // intersection scans the region index once, preserving its start order
 // (section 4.3).
 func (ix *RegionIndex) Filter(pres []int32) *Candidates {
+	ix.materialize()
 	c := &Candidates{ix: ix}
 	if len(pres) == 0 {
 		return c
@@ -100,6 +102,13 @@ func (ix *RegionIndex) Filter(pres []int32) *Candidates {
 func (ix *RegionIndex) FilterByName(nameID int32) *Candidates {
 	if v, ok := ix.nameCands.Load(nameID); ok {
 		return v.(*Candidates)
+	}
+	// On a delta index, a name no insert or delete ever touched has exactly
+	// the base's candidate set (inserted areas carry touched names; deletes
+	// record every killed area's name) — delegate to the base's per-name
+	// cache instead of re-intersecting the merged columns.
+	if ix.base != nil && !ix.nameTouched(nameID) {
+		return ix.base.FilterByName(nameID)
 	}
 	c := ix.Filter(ix.doc.ElementsByName(nameID))
 	// Pre-build the end-ordered columns and the watermark suffix-mins, so

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"soxq/internal/interval"
 	"soxq/internal/tree"
@@ -18,9 +19,26 @@ import (
 // end-ordered permutation used by the overlap joins.
 //
 // A RegionIndex is immutable after Build and safe for concurrent use.
+// Annotation writes derive new index layers instead of mutating (see
+// delta.go): a delta index carries the base pointer and its delta columns,
+// and materialises the merged orderings below on first read.
 type RegionIndex struct {
 	doc  *tree.Doc
 	opts Options
+
+	// Delta layers (nil/empty on a base index; see delta.go). insPre[i] owns
+	// insRegs[insOff[i]:insOff[i+1]]; delPre lists every tombstoned area.
+	// The columns extend the parent layer's columns in place, so derivation
+	// must be linear and serialized (engine write lock).
+	base            *RegionIndex
+	insPre, insName []int32
+	insOff          []int32
+	insRegs         []interval.Region
+	delPre, delName []int32
+	mergeOnce       sync.Once
+	insRank         map[int32]int32    // live inserted pre -> insPre rank
+	deadSet         map[int32]struct{} // tombstoned area pres
+	dRows           regionRows         // live delta region rows, (start, end, id)-sorted
 
 	// Region rows, sorted by (start, end, id).
 	rStart []int64
@@ -44,7 +62,9 @@ type RegionIndex struct {
 	multiRegion bool
 
 	endPermOnce sync.Once
-	rEndPerm    []int32 // region row indices ordered by (end, start, id)
+	eDone       atomic.Bool // end-ordered columns built (guards delta-aware derivation)
+	rEndPerm    []int32     // region row indices ordered by (end, start, id)
+	endIdxOnce  sync.Once   // derives rEndPerm from the end columns when the merge path skipped it
 	// Flat region columns in (end, start, id) order — the overlap joins scan
 	// these contiguously instead of dereferencing rEndPerm per row.
 	eStart []int64
@@ -96,7 +116,7 @@ func (ix *RegionIndex) scanAttributes() error {
 	}
 	n := int32(d.NumNodes())
 	for pre := int32(0); pre < n; pre++ {
-		if d.Kind(pre) != tree.ElementNode {
+		if d.Kind(pre) != tree.ElementNode || !d.Alive(pre) {
 			continue
 		}
 		si := d.Attr(pre, startID)
@@ -135,7 +155,7 @@ func (ix *RegionIndex) scanRegionElements() error {
 	endID, _ := d.Dict().Lookup(ix.opts.End)
 	n := int32(d.NumNodes())
 	for pre := int32(0); pre < n; pre++ {
-		if d.Kind(pre) != tree.ElementNode || d.NameID(pre) == regionID {
+		if d.Kind(pre) != tree.ElementNode || d.NameID(pre) == regionID || !d.Alive(pre) {
 			continue
 		}
 		var regions []interval.Region
@@ -260,17 +280,38 @@ func (ix *RegionIndex) sortRows() {
 
 // endPerm returns region row indices ordered ascending by (end, start, id).
 func (ix *RegionIndex) endPerm() []int32 {
+	ix.materialize()
 	ix.endPermOnce.Do(ix.buildEndOrder)
+	ix.endIdxOnce.Do(ix.buildEndPermIdx)
 	return ix.rEndPerm
 }
 
 // endCols returns the flat region columns in (end, start, id) order.
 func (ix *RegionIndex) endCols() (start, end []int64, id []int32) {
+	ix.materialize()
 	ix.endPermOnce.Do(ix.buildEndOrder)
 	return ix.eStart, ix.eEnd, ix.eID
 }
 
 func (ix *RegionIndex) buildEndOrder() {
+	defer ix.eDone.Store(true)
+	if b := ix.base; b != nil && b.eDone.Load() {
+		// Delta-aware path: the base already paid for its end-ordering, so
+		// derive the merged one by the same run-copy merge the start ordering
+		// used, O(n + d log n) instead of a fresh O(n log n) sort. Swapping
+		// the start/end columns turns (end, start, id) order into the
+		// (start, end, id) order mergeRows preserves. rEndPerm is left for
+		// endPerm() to derive on demand — the joins scan the flat columns.
+		d := regionRows{
+			start: append([]int64(nil), ix.dRows.end...),
+			end:   append([]int64(nil), ix.dRows.start...),
+			id:    append([]int32(nil), ix.dRows.id...),
+		}
+		sort.Sort(&d)
+		e, s, id := mergeRows(b.eEnd, b.eStart, b.eID, ix.deadSet, &d)
+		ix.eStart, ix.eEnd, ix.eID = s, e, id
+		return
+	}
 	p := make([]int32, len(ix.rStart))
 	for i := range p {
 		p[i] = int32(i)
@@ -291,12 +332,38 @@ func (ix *RegionIndex) buildEndOrder() {
 	ix.eID = permute32(ix.rID, p)
 }
 
+// buildEndPermIdx recovers the end-order permutation from the flat end
+// columns when the delta-aware merge in buildEndOrder skipped building it:
+// each end-ordered row's index in the start-ordered rows is found by binary
+// search, with equal (start, end, id) runs assigned ascending indices.
+func (ix *RegionIndex) buildEndPermIdx() {
+	if ix.rEndPerm != nil || ix.eID == nil {
+		return
+	}
+	p := make([]int32, len(ix.eID))
+	run := 0
+	for k := range p {
+		s, e, id := ix.eStart[k], ix.eEnd[k], ix.eID[k]
+		if k > 0 && ix.eStart[k-1] == s && ix.eEnd[k-1] == e && ix.eID[k-1] == id {
+			run++
+		} else {
+			run = 0
+		}
+		lo := sort.Search(len(ix.rID), func(m int) bool {
+			return !rowLess(ix.rStart[m], ix.rEnd[m], ix.rID[m], s, e, id)
+		})
+		p[k] = int32(lo + run)
+	}
+	ix.rEndPerm = p
+}
+
 // suffixMins returns the whole-index suffix-min id arrays backing the
 // streaming-merge watermarks (see Candidates.MinPreStartFrom/MinPreEndFrom):
 // bSuffixMin[k] is the smallest area id among bounds rows k.. in start order,
 // eSuffixMin[k] the smallest region id among end-ordered rows k.. . Built
 // once; the index is immutable so the arrays are shareable.
 func (ix *RegionIndex) suffixMins() (bMin, eMin []int32) {
+	ix.materialize()
 	ix.suffixOnce.Do(func() {
 		ix.bSuffixMin = suffixMinIDs(len(ix.bID), func(k int) int32 { return ix.bID[k] })
 		_, _, eid := ix.endCols()
@@ -325,20 +392,31 @@ func (ix *RegionIndex) Doc() *tree.Doc { return ix.doc }
 func (ix *RegionIndex) Options() Options { return ix.opts }
 
 // NumAreas returns the number of area-annotations in the document.
-func (ix *RegionIndex) NumAreas() int { return len(ix.areas) }
+func (ix *RegionIndex) NumAreas() int { ix.materialize(); return len(ix.areas) }
 
 // NumRegions returns the number of region rows (>= NumAreas).
-func (ix *RegionIndex) NumRegions() int { return len(ix.rStart) }
+func (ix *RegionIndex) NumRegions() int { ix.materialize(); return len(ix.rStart) }
 
 // MultiRegion reports whether any area has more than one region.
-func (ix *RegionIndex) MultiRegion() bool { return ix.multiRegion }
+func (ix *RegionIndex) MultiRegion() bool { ix.materialize(); return ix.multiRegion }
 
 // Areas returns the ascending pre list of all area-annotations. The returned
 // slice must not be modified.
-func (ix *RegionIndex) Areas() []int32 { return ix.areas }
+func (ix *RegionIndex) Areas() []int32 { ix.materialize(); return ix.areas }
 
-// IsArea reports whether node pre is an area-annotation.
+// IsArea reports whether node pre is an area-annotation. On a delta index the
+// lookup routes tombstone -> delta -> base without merged per-area geometry.
 func (ix *RegionIndex) IsArea(pre int32) bool {
+	if ix.base != nil {
+		ix.materialize()
+		if _, gone := ix.deadSet[pre]; gone {
+			return false
+		}
+		if _, ok := ix.insRank[pre]; ok {
+			return true
+		}
+		return ix.base.IsArea(pre)
+	}
 	_, ok := ix.areaRank[pre]
 	return ok
 }
@@ -346,6 +424,16 @@ func (ix *RegionIndex) IsArea(pre int32) bool {
 // RegionsOf returns the regions of area pre (start-ordered), or nil when pre
 // is not an area-annotation. The returned slice must not be modified.
 func (ix *RegionIndex) RegionsOf(pre int32) []interval.Region {
+	if ix.base != nil {
+		ix.materialize()
+		if _, gone := ix.deadSet[pre]; gone {
+			return nil
+		}
+		if rank, ok := ix.insRank[pre]; ok {
+			return ix.insRegs[ix.insOff[rank]:ix.insOff[rank+1]]
+		}
+		return ix.base.RegionsOf(pre)
+	}
 	rank, ok := ix.areaRank[pre]
 	if !ok {
 		return nil
@@ -368,6 +456,9 @@ func (ix *RegionIndex) AreaOf(pre int32) (interval.Area, bool) {
 
 // regionCount returns the number of regions of area pre.
 func (ix *RegionIndex) regionCount(pre int32) int32 {
+	if ix.base != nil {
+		return int32(len(ix.RegionsOf(pre)))
+	}
 	rank := ix.areaRank[pre]
 	return ix.areaOff[rank+1] - ix.areaOff[rank]
 }

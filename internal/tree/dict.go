@@ -34,6 +34,21 @@ func (d *Dict) Lookup(name string) (int32, bool) {
 	return id, ok
 }
 
+// clone returns an independent copy with identical id assignments. An
+// Appender interning a name unseen by the shared dictionary clones first
+// (copy-on-write), so concurrent readers of older snapshots never observe a
+// map write.
+func (d *Dict) clone() *Dict {
+	c := &Dict{
+		byName: make(map[string]int32, len(d.byName)),
+		names:  append([]string(nil), d.names...),
+	}
+	for name, id := range d.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
 // Name returns the string for id.
 func (d *Dict) Name(id int32) string { return d.names[id] }
 

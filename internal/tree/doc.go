@@ -55,6 +55,13 @@ const NoName int32 = -1
 // indexed by pre-order rank; pre 0 is always the document node. A Doc is
 // immutable after the Builder seals it and therefore safe for concurrent
 // readers.
+//
+// Mutation produces a new Doc snapshot instead of changing this one: an
+// Appender appends subtrees under the root element and WithTombstones marks
+// subtrees deleted. Snapshots share the column arrays of their ancestors
+// (appends land beyond every older snapshot's slice length, tombstones live
+// in a copy-on-write bitset), so in-flight readers of an older snapshot are
+// never disturbed — see mutate.go.
 type Doc struct {
 	// Name is the document URI under which the document was loaded, or ""
 	// for constructed fragments.
@@ -87,6 +94,21 @@ type Doc struct {
 
 	elemIndexOnce sync.Once
 	elemIndex     map[int32][]int32 // element name id -> ascending pre list
+
+	// Snapshot state (nil/zero on a pristine, Builder-sealed doc).
+	// base points at the pristine ancestor of a mutation lineage; mutSeq
+	// counts the mutations applied since (0 on the pristine doc). sizeHead
+	// overrides size[0..len) — appending under the root element grows the
+	// document node's and root element's subtree without touching the size
+	// column older snapshots still read. dead is the tombstone bitset
+	// (whole subtrees; copy-on-write per delete); elemSnap memoizes the
+	// snapshot's merged live element-name lists.
+	base     *Doc
+	mutSeq   uint64
+	sizeHead []int32
+	dead     []uint64
+	deadCnt  int32
+	elemSnap sync.Map // element name id -> []int32
 }
 
 var docOrderCounter atomic.Int64
@@ -94,7 +116,21 @@ var docOrderCounter atomic.Int64
 // OrderKey returns a process-wide unique rank assigned at construction time.
 // XQuery leaves the relative document order of distinct trees implementation
 // defined; we order them by creation, which is stable within a session.
+// Mutation snapshots keep their ancestor's rank: the document's identity (and
+// its order relative to other documents) is stable across writes.
 func (d *Doc) OrderKey() int64 { return d.order }
+
+// MutSeq returns the number of mutations (append/tombstone snapshots) between
+// the pristine document and this snapshot; 0 for a Builder-sealed doc. The
+// (OrderKey, MutSeq) pair identifies a document generation.
+func (d *Doc) MutSeq() uint64 { return d.mutSeq }
+
+// Alive reports whether node pre is part of this snapshot's logical document
+// (not tombstoned). Tombstones always cover whole subtrees, so every ancestor
+// of a live node is live.
+func (d *Doc) Alive(pre int32) bool {
+	return d.dead == nil || d.dead[pre>>6]&(1<<(uint(pre)&63)) == 0
+}
 
 // NumNodes returns the node count including the document node.
 func (d *Doc) NumNodes() int { return len(d.kind) }
@@ -121,8 +157,15 @@ func (d *Doc) NodeName(pre int32) string {
 }
 
 // Size returns the number of descendants of node pre. A node's subtree is
-// the pre range [pre, pre+Size(pre)].
-func (d *Doc) Size(pre int32) int32 { return d.size[pre] }
+// the pre range [pre, pre+Size(pre)]. On a mutation snapshot the prefix
+// through the root element reads the snapshot's own size overrides (appends
+// grow those two subtrees without touching the shared column).
+func (d *Doc) Size(pre int32) int32 {
+	if int(pre) < len(d.sizeHead) {
+		return d.sizeHead[pre]
+	}
+	return d.size[pre]
+}
 
 // Level returns the depth of node pre (document node = 0).
 func (d *Doc) Level(pre int32) int16 { return d.level[pre] }
@@ -186,20 +229,65 @@ func (d *Doc) AttrByName(pre int32, name string) (value string, ok bool) {
 	return d.AttrValue(i), true
 }
 
-// ElementsByName returns the ascending pre list of elements named id. The
-// index is built lazily on first use and shared by all callers; the returned
-// slice must not be modified.
+// ElementsByName returns the ascending pre list of live elements named id.
+// The index is built lazily on first use and shared by all callers; the
+// returned slice must not be modified. A mutation snapshot serves the
+// pristine ancestor's list filtered by its tombstones plus a scan of the
+// appended tail, memoized per (snapshot, name).
 func (d *Doc) ElementsByName(id int32) []int32 {
-	d.elemIndexOnce.Do(func() {
-		idx := make(map[int32][]int32)
-		for pre := int32(0); pre < int32(len(d.kind)); pre++ {
-			if d.kind[pre] == ElementNode {
-				idx[d.name[pre]] = append(idx[d.name[pre]], pre)
+	if d.base == nil {
+		d.elemIndexOnce.Do(func() {
+			idx := make(map[int32][]int32)
+			for pre := int32(0); pre < int32(len(d.kind)); pre++ {
+				if d.kind[pre] == ElementNode {
+					idx[d.name[pre]] = append(idx[d.name[pre]], pre)
+				}
+			}
+			d.elemIndex = idx
+		})
+		return d.elemIndex[id]
+	}
+	if v, ok := d.elemSnap.Load(id); ok {
+		return v.([]int32)
+	}
+	actual, _ := d.elemSnap.LoadOrStore(id, d.mergeElemsByName(id))
+	return actual.([]int32)
+}
+
+// mergeElemsByName builds a snapshot's live element list for one name: the
+// pristine base list (dead-filtered) followed by matches in the appended tail
+// [base nodes, snapshot nodes). When nothing touched the name the base list
+// is returned as-is (zero-copy).
+func (d *Doc) mergeElemsByName(id int32) []int32 {
+	base := d.base.ElementsByName(id)
+	var tail []int32
+	for pre := int32(len(d.base.kind)); pre < int32(len(d.kind)); pre++ {
+		if d.kind[pre] == ElementNode && d.name[pre] == id && d.Alive(pre) {
+			tail = append(tail, pre)
+		}
+	}
+	deadHit := false
+	if d.dead != nil {
+		for _, p := range base {
+			if !d.Alive(p) {
+				deadHit = true
+				break
 			}
 		}
-		d.elemIndex = idx
-	})
-	return d.elemIndex[id]
+	}
+	if !deadHit {
+		if tail == nil {
+			return base
+		}
+		return append(base[:len(base):len(base)], tail...)
+	}
+	merged := make([]int32, 0, len(base)+len(tail))
+	for _, p := range base {
+		if d.Alive(p) {
+			merged = append(merged, p)
+		}
+	}
+	return append(merged, tail...)
 }
 
 // StringValue computes the XPath string-value of node pre: for text,
@@ -210,10 +298,10 @@ func (d *Doc) StringValue(pre int32) string {
 	case TextNode, CommentNode, PINode:
 		return d.Value(pre)
 	}
-	end := pre + d.size[pre]
+	end := pre + d.Size(pre)
 	var total int
 	for p := pre + 1; p <= end; p++ {
-		if d.kind[p] == TextNode {
+		if d.kind[p] == TextNode && d.Alive(p) {
 			total += int(d.valLen[p])
 		}
 	}
@@ -222,7 +310,7 @@ func (d *Doc) StringValue(pre int32) string {
 	}
 	buf := make([]byte, 0, total)
 	for p := pre + 1; p <= end; p++ {
-		if d.kind[p] == TextNode {
+		if d.kind[p] == TextNode && d.Alive(p) {
 			buf = append(buf, d.ValueBytes(p)...)
 		}
 	}
@@ -232,24 +320,35 @@ func (d *Doc) StringValue(pre int32) string {
 // IsAncestorOf reports whether node a is a proper ancestor of node b, using
 // the pre/size containment property of the encoding.
 func (d *Doc) IsAncestorOf(a, b int32) bool {
-	return a < b && b <= a+d.size[a]
+	return a < b && b <= a+d.Size(a)
 }
 
-// FirstChild returns the pre of the first child of node pre, or -1.
+// FirstChild returns the pre of the first live child of node pre, or -1.
 func (d *Doc) FirstChild(pre int32) int32 {
-	if d.size[pre] == 0 {
+	if d.Size(pre) == 0 {
 		return -1
 	}
-	return pre + 1
+	c := pre + 1
+	if !d.Alive(c) {
+		return d.NextSibling(c)
+	}
+	return c
 }
 
-// NextSibling returns the pre of the following sibling, or -1.
+// NextSibling returns the pre of the next live following sibling, or -1.
+// Tombstoned siblings are stepped over structurally (a dead subtree keeps its
+// pre/size shape, it just no longer belongs to the document).
 func (d *Doc) NextSibling(pre int32) int32 {
-	next := pre + d.size[pre] + 1
-	if next >= int32(len(d.kind)) || d.parent[next] != d.parent[pre] {
-		return -1
+	for {
+		next := pre + d.Size(pre) + 1
+		if next >= int32(len(d.kind)) || d.parent[next] != d.parent[pre] {
+			return -1
+		}
+		if d.Alive(next) {
+			return next
+		}
+		pre = next
 	}
-	return next
 }
 
 // Children returns the pre values of all child nodes of pre.
@@ -268,8 +367,8 @@ func (d *Doc) Validate() error {
 	if n == 0 || d.kind[0] != DocumentNode {
 		return fmt.Errorf("tree: doc must start with a document node")
 	}
-	if d.size[0] != n-1 {
-		return fmt.Errorf("tree: document node size %d != %d", d.size[0], n-1)
+	if d.Size(0) != n-1 {
+		return fmt.Errorf("tree: document node size %d != %d", d.Size(0), n-1)
 	}
 	if len(d.attFirst) != int(n)+1 {
 		return fmt.Errorf("tree: attFirst length %d != nodes+1", len(d.attFirst))
@@ -279,14 +378,23 @@ func (d *Doc) Validate() error {
 		if p < 0 || p >= pre {
 			return fmt.Errorf("tree: node %d has bad parent %d", pre, p)
 		}
-		if pre+d.size[pre] > p+d.size[p] {
+		if pre+d.Size(pre) > p+d.Size(p) {
 			return fmt.Errorf("tree: node %d leaks out of parent %d", pre, p)
 		}
 		if d.level[pre] != d.level[p]+1 {
 			return fmt.Errorf("tree: node %d level %d, parent level %d", pre, d.level[pre], d.level[p])
 		}
-		if d.kind[pre] != ElementNode && d.size[pre] != 0 {
-			return fmt.Errorf("tree: leaf node %d has size %d", pre, d.size[pre])
+		if d.kind[pre] != ElementNode && d.Size(pre) != 0 {
+			return fmt.Errorf("tree: leaf node %d has size %d", pre, d.Size(pre))
+		}
+		// Tombstones cover whole subtrees: under a dead subtree root every
+		// descendant is dead too.
+		if !d.Alive(pre) && d.Alive(p) {
+			for c := pre + 1; c <= pre+d.Size(pre); c++ {
+				if d.Alive(c) {
+					return fmt.Errorf("tree: live node %d inside dead subtree %d", c, pre)
+				}
+			}
 		}
 	}
 	if !sort.SliceIsSorted(d.attOwner, func(i, j int) bool { return d.attOwner[i] < d.attOwner[j] }) {

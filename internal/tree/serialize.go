@@ -53,7 +53,7 @@ func (s *serializer) node(pre int32) {
 			s.write(EscapeAttr(d.AttrValue(i)))
 			s.write("\"")
 		}
-		if d.size[pre] == 0 {
+		if d.Size(pre) == 0 {
 			s.write("/>")
 			return
 		}

@@ -158,6 +158,13 @@ func Compile(d *tree.Doc, t Test) Compiled {
 
 // Matches reports whether node pre passes the test.
 func (c Compiled) Matches(d *tree.Doc, pre int32) bool {
+	// Tombstoned nodes (annotation deletes) never match any test. Scanning
+	// axes route every candidate through here, so this single check hides
+	// deleted subtrees from evaluation; parent/ancestor moves from a live node
+	// need no check because tombstones always cover whole subtrees.
+	if !d.Alive(pre) {
+		return false
+	}
 	switch c.kind {
 	case TestAnyNode:
 		return true

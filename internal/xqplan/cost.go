@@ -77,6 +77,13 @@ type CostEstimate struct {
 	EstOut int
 	// Strategy is the chosen algorithm (the cheaper estimate).
 	Strategy core.Strategy
+	// DeltaIns and DeltaDead are the annotation write-path delta sizes of
+	// the index the estimate was priced against (both zero for a
+	// compacted/fresh index): candidates stream through the LSM-style
+	// delta merge rather than a plain base scan. EXPLAIN renders them as
+	// the merge{...} operator annotation.
+	DeltaIns  int
+	DeltaDead int
 }
 
 // estimateCandidates bounds the candidate cardinality of a step from the
@@ -119,6 +126,7 @@ func EstimateCost(policy CandPolicy, name string, ix *core.RegionIndex, ctxRows,
 		// ANALYZE (StrategyFor).
 		EstOut: est,
 	}
+	ce.DeltaIns, ce.DeltaDead = ix.DeltaStats()
 	if ce.Basic <= ce.LoopLifted {
 		ce.Strategy = core.StrategyBasic
 	} else {

@@ -359,6 +359,9 @@ func (b *treeBuilder) stepNode(sp *StepPlan) *Node {
 			n.Est = ce
 			fmt.Fprintf(&sb, " est{cand=%d ctx=%d out=%d basic=%s ll=%s}",
 				ce.Candidates, ce.CtxRows, ce.EstOut, renderCost(ce.Basic), renderCost(ce.LoopLifted))
+			if ce.DeltaIns > 0 || ce.DeltaDead > 0 {
+				fmt.Fprintf(&sb, " merge{+ins=%d -del=%d}", ce.DeltaIns, ce.DeltaDead)
+			}
 		}
 	}
 	if o, ok := b.st.StepObs(sp); ok {

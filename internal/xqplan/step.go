@@ -236,9 +236,18 @@ func (sp *StepPlan) StrategyFor(ix *core.RegionIndex, pushdown bool, ctxRows int
 	if v, ok := sp.strategies.Load(k); ok {
 		// Refresh the EXPLAIN record on warm hits too, so est{} always
 		// describes the decision of the most recent execution, not of
-		// whichever execution happened to miss the memo last.
+		// whichever execution happened to miss the memo last. Compaction
+		// folds an index's delta without bumping its generation (the memo
+		// stays warm on purpose), so the delta counts are re-read from the
+		// live index rather than served from the memoized record.
 		ce := v.(*CostEstimate)
-		sp.lastCost.Store(ce)
+		if ins, del := ix.DeltaStats(); ins != ce.DeltaIns || del != ce.DeltaDead {
+			cp := *ce
+			cp.DeltaIns, cp.DeltaDead = ins, del
+			sp.lastCost.Store(&cp)
+		} else {
+			sp.lastCost.Store(ce)
+		}
 		return ce.Strategy
 	}
 	ce := EstimateCost(sp.SO.Policy(pushdown), sp.SO.Name, ix, ctxRows, cal.SetupRows())

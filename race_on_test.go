@@ -1,0 +1,7 @@
+//go:build race
+
+package soxq
+
+// raceEnabled reports whether this test binary was built with -race; timing
+// assertions skip themselves under the detector.
+const raceEnabled = true

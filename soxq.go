@@ -155,6 +155,11 @@ type Engine struct {
 	options core.Options
 	plans   *plancache.Cache[planKey, *xqplan.Plan]
 
+	// compactEvery is the pending-delta size (inserted + deleted
+	// annotations) at which a mutation auto-compacts a document's region
+	// index; 0 disables auto-compaction (see mutate.go).
+	compactEvery int
+
 	// cal is the engine-wide join-cost calibration: EXPLAIN ANALYZE runs
 	// feed timed join observations into it, and every strategy decision
 	// prices loop-lifted setup with the calibrated value instead of the
@@ -190,11 +195,12 @@ const PlanCacheSize = 256
 // (integer positions in start/end attributes).
 func New() *Engine {
 	e := &Engine{
-		docs:    map[string]*tree.Doc{},
-		blobs:   map[string]blob.Store{},
-		indexes: map[indexKey]*core.RegionIndex{},
-		options: core.DefaultOptions(),
-		plans:   plancache.New[planKey, *xqplan.Plan](PlanCacheSize),
+		docs:         map[string]*tree.Doc{},
+		blobs:        map[string]blob.Store{},
+		indexes:      map[indexKey]*core.RegionIndex{},
+		options:      core.DefaultOptions(),
+		plans:        plancache.New[planKey, *xqplan.Plan](PlanCacheSize),
+		compactEvery: DefaultCompactThreshold,
 	}
 	e.tel = newEngineObs(e)
 	return e
@@ -438,14 +444,15 @@ func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
 }
 
 // evaluator builds the per-run evaluator state for one execution of the
-// plan.
+// plan. Document and index resolution go through a fresh runView, so the run
+// drains one consistent snapshot generation even while mutations land.
 func (p *Prepared) evaluator(cfg Config) *xqeval.Evaluator {
-	opts := p.plan.Options()
 	e := p.eng
+	rv := &runView{eng: e, opts: p.plan.Options()}
 	return &xqeval.Evaluator{
 		Plan:     p.plan,
-		Resolver: e.resolve,
-		IndexFor: func(d *tree.Doc) (*core.RegionIndex, error) { return e.indexFor(d, opts) },
+		Resolver: rv.resolve,
+		IndexFor: rv.indexFor,
 		BlobFor:  e.blobFor,
 		Strategy: cfg.Mode.strategy(),
 		JoinCfg:  core.JoinConfig{UseHeap: cfg.HeapActiveList},
@@ -537,8 +544,16 @@ func (e *Engine) indexFor(d *tree.Doc, opts core.Options) (*core.RegionIndex, er
 		return nil, err
 	}
 	e.mu.Lock()
-	e.indexes[key] = ix
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	if prev, ok := e.indexes[key]; ok {
+		return prev, nil
+	}
+	// Cache only indexes of current documents: a run pinned to a superseded
+	// snapshot builds its index privately (memoised per run by its runView),
+	// so the engine map never resurrects an old generation.
+	if d.Fragment || e.docs[d.Name] == d {
+		e.indexes[key] = ix
+	}
 	return ix, nil
 }
 

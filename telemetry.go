@@ -28,13 +28,19 @@ type engineObs struct {
 
 	tracesTotal *obs.Counter
 	slowTotal   *obs.Counter
+
+	insertsTotal     *obs.Counter
+	deletesTotal     *obs.Counter
+	regionsWritten   *obs.Counter
+	compactionsTotal *obs.Counter
 }
 
 // Metric name constants double as the reference list docs/OBSERVABILITY.md
 // documents; tests assert the scrape covers them.
 const (
-	metricQueryNanos = "soxq_query_nanos"
-	metricJoinsTotal = "soxq_joins_total"
+	metricQueryNanos     = "soxq_query_nanos"
+	metricJoinsTotal     = "soxq_joins_total"
+	metricMutationsTotal = "soxq_mutations_total"
 )
 
 // newEngineObs builds the registry, resolves every owned handle, and wires
@@ -57,6 +63,11 @@ func newEngineObs(e *Engine) *engineObs {
 
 		tracesTotal: r.Counter("soxq_traces_total", "query traces recorded"),
 		slowTotal:   r.Counter("soxq_slow_queries_total", "queries over the slow-query threshold"),
+
+		insertsTotal:     r.Counter(metricMutationsTotal+`{op="insert"}`, "annotation mutations by operation"),
+		deletesTotal:     r.Counter(metricMutationsTotal+`{op="delete"}`, ""),
+		regionsWritten:   r.Counter("soxq_mutation_regions_total", "annotation regions written by inserts"),
+		compactionsTotal: r.Counter("soxq_compactions_total", "region-index delta compactions"),
 	}
 	t.met = &obs.ExecMetrics{
 		JoinBasic:      r.Counter(metricJoinsTotal+`{algorithm="basic"}`, "StandOff join invocations by algorithm"),
@@ -102,7 +113,43 @@ func newEngineObs(e *Engine) *engineObs {
 
 	r.GaugeFunc("soxq_documents_loaded", "documents currently loaded",
 		func() int64 { return int64(len(e.Documents())) })
+
+	// Pending annotation deltas across all cached region indexes; walks the
+	// index map under the read lock at scrape time only.
+	r.GaugeFunc("soxq_delta_annotations", "annotation inserts+deletes pending in region-index delta layers",
+		func() int64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			var n int64
+			for _, ix := range e.indexes {
+				ins, del := ix.DeltaStats()
+				n += int64(ins + del)
+			}
+			return n
+		})
 	return t
+}
+
+// mutation records one annotation write (nil-safe, like every accessor).
+func (t *engineObs) mutation(op string, regions int) {
+	if t == nil {
+		return
+	}
+	switch op {
+	case "insert":
+		t.insertsTotal.Inc()
+		t.regionsWritten.Add(int64(regions))
+	case "delete":
+		t.deletesTotal.Inc()
+	}
+}
+
+// compaction records one region-index delta compaction.
+func (t *engineObs) compaction() {
+	if t == nil {
+		return
+	}
+	t.compactionsTotal.Inc()
 }
 
 // met returns the evaluator-facing counter handles, nil when telemetry is
