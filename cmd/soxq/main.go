@@ -52,15 +52,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"soxq"
 	"soxq/internal/blob"
+	"soxq/internal/httpserve"
 )
 
 type repeated []string
@@ -229,13 +232,22 @@ func main() {
 }
 
 // serveOps blocks serving the engine's ops HTTP surface when -ops was given;
-// with the flag unset it is a no-op and the command exits as usual.
+// with the flag unset it is a no-op and the command exits as usual. The
+// server carries read/header/idle timeouts and an interrupt (or SIGTERM)
+// triggers a graceful drain — an in-flight scrape finishes before the
+// process exits, instead of dying mid-response.
 func serveOps(eng *soxq.Engine, addr string) {
 	if addr == "" {
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(os.Stderr, "soxq: serving /metrics, /debug/vars, /debug/queries on %s (interrupt to stop)\n", addr)
-	fatalIf(http.ListenAndServe(addr, eng.OpsHandler()))
+	// Ops responses are bounded renderings, so a write timeout is safe here
+	// (soxqd, which streams query results, leaves it unset).
+	fatalIf(httpserve.ListenAndServe(ctx, addr, eng.OpsHandler(), httpserve.Options{
+		WriteTimeout: time.Minute,
+	}))
 }
 
 func fatal(format string, args ...any) {

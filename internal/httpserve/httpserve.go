@@ -1,0 +1,112 @@
+// Package httpserve is the shared HTTP serving helper of the soxq binaries
+// (soxq -ops and the soxqd corpus server): an http.Server configured with
+// the timeouts a long-lived process needs, driven to a graceful shutdown by
+// context cancellation instead of dying mid-request on the first signal.
+//
+// The bare http.ListenAndServe it replaces has two production defects: no
+// read/header/idle timeouts (one slow-loris client pins a connection
+// forever), and no shutdown path at all — SIGINT kills the process in the
+// middle of whatever scrape or query stream is in flight. Serve installs
+// the timeouts, waits for ctx cancellation (the callers wire
+// signal.NotifyContext), drains in-flight requests for ShutdownGrace, and
+// only then force-closes what remains.
+package httpserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Options tunes the server; every zero field takes the documented default.
+type Options struct {
+	// ReadHeaderTimeout bounds how long a connection may take to send the
+	// request headers (the slow-loris guard). Default 10s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the whole request including the body
+	// (document uploads). Default 2m.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response. The default 0 means no
+	// limit: streamed query results legitimately run for as long as the
+	// client keeps reading, and request-context cancellation — not a wall
+	// clock — is the abandonment signal. Ops-only servers that never
+	// stream unbounded responses should set one.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit between
+	// requests. Default 2m.
+	IdleTimeout time.Duration
+	// ShutdownGrace is how long a cancelled Serve waits for in-flight
+	// requests (and streams) to finish before force-closing their
+	// connections. Default 10s.
+	ShutdownGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 2 * time.Minute
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.ShutdownGrace == 0 {
+		o.ShutdownGrace = 10 * time.Second
+	}
+	return o
+}
+
+// server builds the configured http.Server.
+func (o Options) server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.ReadHeaderTimeout,
+		ReadTimeout:       o.ReadTimeout,
+		WriteTimeout:      o.WriteTimeout,
+		IdleTimeout:       o.IdleTimeout,
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve. It returns the listen
+// error, the serve error, or nil after a graceful (ctx-driven) shutdown.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, o Options) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, l, h, o)
+}
+
+// Serve serves h on l until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately (no new connections), in-flight requests
+// get ShutdownGrace to finish, and stragglers are force-closed. A clean
+// shutdown returns nil; an over-grace shutdown returns the Shutdown error
+// after the force-close completes. Serve owns l and closes it.
+func Serve(ctx context.Context, l net.Listener, h http.Handler, o Options) error {
+	o = o.withDefaults()
+	srv := o.server(h)
+	errch := make(chan error, 1)
+	go func() { errch <- srv.Serve(l) }()
+	select {
+	case err := <-errch:
+		// Serve failed on its own (bad listener, accept error) before any
+		// shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), o.ShutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if err != nil {
+		// Grace expired with requests still streaming: force-close them so
+		// the process can actually exit, then report the overrun.
+		srv.Close()
+	}
+	if serveErr := <-errch; !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

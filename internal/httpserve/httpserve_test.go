@@ -1,0 +1,145 @@
+package httpserve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// serveOn starts Serve on a loopback listener and returns the base URL, the
+// cancel that triggers shutdown, and the channel Serve's result lands on.
+func serveOn(t *testing.T, h http.Handler, o Options) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, l, h, o) }()
+	return "http://" + l.Addr().String(), cancel, done
+}
+
+// TestServeGracefulShutdown pins the bugfix contract: cancellation (the
+// signal path) returns nil from Serve instead of killing the process, and an
+// in-flight request completes during the grace period.
+func TestServeGracefulShutdown(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			close(started)
+			<-release
+		}
+		fmt.Fprint(w, "ok")
+	})
+	base, cancel, done := serveOn(t, h, Options{ShutdownGrace: 5 * time.Second})
+
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Fatalf("body = %q", b)
+	}
+	resp.Body.Close()
+
+	// Start a slow request, then request shutdown while it is in flight.
+	slowDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			slowDone <- err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		slowDone <- string(b)
+	}()
+	<-started
+	cancel()
+	// New connections are refused once shutdown begins; the listener is
+	// closed before Shutdown waits on stragglers.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := http.Get(base + "/"); err == nil {
+		t.Error("listener still accepting after shutdown began")
+	}
+	close(release)
+	if got := <-slowDone; got != "ok" {
+		t.Fatalf("in-flight request got %q, want graceful completion", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+}
+
+// TestServeForceCloseAfterGrace pins the straggler path: a handler that
+// never finishes is force-closed once the grace expires, Serve still
+// returns (with the overrun error) instead of hanging forever.
+func TestServeForceCloseAfterGrace(t *testing.T) {
+	started := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-hang
+	})
+	base, cancel, done := serveOn(t, h, Options{ShutdownGrace: 100 * time.Millisecond})
+	go func() {
+		resp, err := http.Get(base + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve returned nil, want the grace-overrun error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past the shutdown grace")
+	}
+}
+
+// TestServeTimeoutsConfigured pins that the defaults land on the server —
+// the other half of the bugfix (bare ListenAndServe has none).
+func TestServeTimeoutsConfigured(t *testing.T) {
+	srv := Options{}.withDefaults().server(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout == 0 || srv.ReadTimeout == 0 || srv.IdleTimeout == 0 {
+		t.Fatalf("zero timeout left on server: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0 (streams are unbounded)", srv.WriteTimeout)
+	}
+	custom := Options{WriteTimeout: time.Minute, ShutdownGrace: time.Second}.withDefaults()
+	if custom.WriteTimeout != time.Minute || custom.ShutdownGrace != time.Second {
+		t.Fatal("explicit options overridden by defaults")
+	}
+}
+
+// TestServeCancelledBeforeStart: cancelling before any request still shuts
+// down cleanly.
+func TestServeCancelledBeforeStart(t *testing.T) {
+	_, cancel, done := serveOn(t, http.NotFoundHandler(), Options{})
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}

@@ -1,0 +1,218 @@
+package xqexec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soxq/internal/xqeval"
+)
+
+// fakeShard is a ShardSource-backed cursor over a fixed item sequence, with
+// an optional error injected after the items and close tracking for the
+// teardown assertions.
+type fakeShard struct {
+	items  []xqeval.Item
+	err    error
+	i      int
+	closed atomic.Bool
+}
+
+func (f *fakeShard) Next() bool {
+	if f.i >= len(f.items) {
+		return false
+	}
+	f.i++
+	return true
+}
+
+func (f *fakeShard) Item() xqeval.Item { return f.items[f.i-1] }
+func (f *fakeShard) Err() error {
+	if f.i >= len(f.items) {
+		return f.err
+	}
+	return nil
+}
+func (f *fakeShard) Close() { f.closed.Store(true) }
+
+// intShard builds n items tagged with the shard id so merge order is
+// checkable: shard s yields s*1000, s*1000+1, ...
+func intShard(s, n int) *fakeShard {
+	f := &fakeShard{}
+	for i := 0; i < n; i++ {
+		f.items = append(f.items, xqeval.Int(int64(s*1000+i)))
+	}
+	return f
+}
+
+func sourcesFor(shards []*fakeShard) []ShardSource {
+	out := make([]ShardSource, len(shards))
+	for i, f := range shards {
+		out[i] = func() (Cursor, error) { return f, nil }
+	}
+	return out
+}
+
+func drainInts(t *testing.T, c Cursor) ([]int64, error) {
+	t.Helper()
+	var got []int64
+	for c.Next() {
+		n, ok, err := xqeval.SingletonInt([]xqeval.Item{c.Item()})
+		if err != nil || !ok {
+			t.Fatalf("non-int item: %v %v", ok, err)
+		}
+		got = append(got, n)
+	}
+	err := c.Err()
+	c.Close()
+	return got, err
+}
+
+// TestMergeShardsOrder pins the document-order merge: whatever the worker
+// count and chunk size, the merged stream is the in-order concatenation of
+// the shard streams — including empty shards and shard counts that do not
+// divide evenly across workers.
+func TestMergeShardsOrder(t *testing.T) {
+	sizes := []int{3, 0, 7, 1, 0, 5, 2}
+	var want []int64
+	for s, n := range sizes {
+		for i := 0; i < n; i++ {
+			want = append(want, int64(s*1000+i))
+		}
+	}
+	for _, workers := range []int{0, 1, 2, 3, 16} {
+		for _, chunk := range []int{1, 2, 1024} {
+			t.Run(fmt.Sprintf("workers=%d/chunk=%d", workers, chunk), func(t *testing.T) {
+				shards := make([]*fakeShard, len(sizes))
+				for s, n := range sizes {
+					shards[s] = intShard(s, n)
+				}
+				got, err := drainInts(t, MergeShards(sourcesFor(shards), workers, chunk, nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("got %d items, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("item %d = %d, want %d", i, got[i], want[i])
+					}
+				}
+				for s, f := range shards {
+					if f.i > 0 && !f.closed.Load() {
+						t.Errorf("shard %d cursor not closed", s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMergeShardsErrorPosition pins the sequential error contract for both
+// forms: a failing shard surfaces its error after every item of the shards
+// before it and after its own pre-error items.
+func TestMergeShardsErrorPosition(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			shards := []*fakeShard{intShard(0, 2), intShard(1, 2), intShard(2, 3)}
+			shards[1].err = boom
+			got, err := drainInts(t, MergeShards(sourcesFor(shards), workers, 1, nil))
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			want := []int64{0, 1, 1000, 1001}
+			if len(got) != len(want) {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("got %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeShardsSourceError pins a failing source (the shard pipeline could
+// not even be built): its error takes the shard's position in the stream.
+func TestMergeShardsSourceError(t *testing.T) {
+	boom := errors.New("no such document")
+	for _, workers := range []int{1, 2} {
+		first := intShard(0, 2)
+		srcs := []ShardSource{
+			func() (Cursor, error) { return first, nil },
+			func() (Cursor, error) { return nil, boom },
+			func() (Cursor, error) { return intShard(2, 2), nil },
+		}
+		got, err := drainInts(t, MergeShards(srcs, workers, 4, nil))
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want source error", workers, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("workers=%d: got %v, want shard 0 only", workers, got)
+		}
+	}
+}
+
+// TestMergeShardsEarlyCloseNoLeak closes the parallel merge mid-stream and
+// asserts the pool unwinds: every started shard cursor is closed and no
+// worker goroutine survives.
+func TestMergeShardsEarlyCloseNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		shards := make([]*fakeShard, 12)
+		for s := range shards {
+			shards[s] = intShard(s, 500)
+		}
+		c := MergeShards(sourcesFor(shards), 4, 8, nil)
+		for i := 0; i < 1+round*7; i++ {
+			if !c.Next() {
+				t.Fatal("stream ended early")
+			}
+		}
+		c.Close()
+		c.Close() // idempotent
+		for _, f := range shards {
+			if f.i > 0 && !f.closed.Load() {
+				t.Fatal("started shard cursor left open after Close")
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines leaked after early closes",
+				runtime.NumGoroutine()-baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMergeShardsLazySequential pins that the sequential form builds shard
+// sources lazily: closing after the first shard's items must not have
+// invoked the later sources at all.
+func TestMergeShardsLazySequential(t *testing.T) {
+	var built [3]atomic.Bool
+	shards := []*fakeShard{intShard(0, 4), intShard(1, 4), intShard(2, 4)}
+	srcs := make([]ShardSource, 3)
+	for i := range srcs {
+		srcs[i] = func() (Cursor, error) { built[i].Store(true); return shards[i], nil }
+	}
+	c := MergeShards(srcs, 1, 0, nil)
+	for i := 0; i < 3; i++ {
+		if !c.Next() {
+			t.Fatal("stream ended early")
+		}
+	}
+	c.Close()
+	if !built[0].Load() || built[1].Load() || built[2].Load() {
+		t.Fatalf("sources built = %v %v %v, want only the first",
+			built[0].Load(), built[1].Load(), built[2].Load())
+	}
+}

@@ -119,6 +119,7 @@ func (e *Engine) InsertAnnotation(docName, elem string, regions ...Region) error
 		return ix.ApplyInsert(d2, pre, nameID, regs)
 	})
 	e.docs[docName] = d2
+	e.gen.Add(1)
 	e.tel.mutation("insert", len(regs))
 	e.maybeCompactLocked(d2)
 	return nil
@@ -175,6 +176,7 @@ func (e *Engine) DeleteAnnotation(docName, elem string, start, end int64) (int, 
 		return old.ApplyDelete(d2, killedPre, killedName)
 	})
 	e.docs[docName] = d2
+	e.gen.Add(1)
 	e.tel.mutation("delete", len(targets))
 	e.maybeCompactLocked(d2)
 	return len(targets), nil

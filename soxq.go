@@ -44,6 +44,7 @@ package soxq
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -155,6 +156,23 @@ type Engine struct {
 	options core.Options
 	plans   *plancache.Cache[planKey, *xqplan.Plan]
 
+	// corpora names ordered sets of loaded documents; corpus queries fan
+	// out one shard per member and merge in this order (see corpus.go).
+	corpora map[string][]string
+
+	// gen is the catalog generation: bumped (under e.mu) by every load,
+	// unload, annotation mutation, corpus definition, blob attach and
+	// Declare — any event after which a cached corpus result could be
+	// stale. Compaction does not bump it (results are unchanged). The
+	// corpus result cache keys on it, so invalidation is free: a new
+	// generation simply never hits old entries.
+	gen atomic.Uint64
+
+	// results is the corpus result cache: hot (query, corpus, generation)
+	// pairs keep their materialised result, with singleflight on misses so
+	// a thundering herd on one hot query executes it once (see corpus.go).
+	results *plancache.Cache[resultKey, *Result]
+
 	// compactEvery is the pending-delta size (inserted + deleted
 	// annotations) at which a mutation auto-compacts a document's region
 	// index; 0 disables auto-compaction (see mutate.go).
@@ -191,6 +209,11 @@ type planKey struct {
 // PlanCacheSize is the default capacity of the engine's plan cache.
 const PlanCacheSize = 256
 
+// ResultCacheSize is the capacity of the corpus result cache: it holds the
+// hot set of (query, corpus, generation) pairs, not the long tail — stale
+// generations age out by LRU.
+const ResultCacheSize = 64
+
 // New returns an empty engine with the paper's default stand-off options
 // (integer positions in start/end attributes).
 func New() *Engine {
@@ -200,6 +223,8 @@ func New() *Engine {
 		indexes:      map[indexKey]*core.RegionIndex{},
 		options:      core.DefaultOptions(),
 		plans:        plancache.New[planKey, *xqplan.Plan](PlanCacheSize),
+		corpora:      map[string][]string{},
+		results:      plancache.New[resultKey, *Result](ResultCacheSize),
 		compactEvery: DefaultCompactThreshold,
 	}
 	e.tel = newEngineObs(e)
@@ -230,6 +255,7 @@ func (e *Engine) Declare(option, value string) error {
 	// them. (Prepared statements keep their compile-time options — like a
 	// database prepared statement, they are not retroactively re-planned.)
 	e.plans.Purge()
+	e.gen.Add(1)
 	return nil
 }
 
@@ -241,6 +267,7 @@ func (e *Engine) LoadXML(name string, data []byte) error {
 	}
 	e.mu.Lock()
 	e.docs[name] = d
+	e.gen.Add(1)
 	e.mu.Unlock()
 	return nil
 }
@@ -270,6 +297,7 @@ func (e *Engine) LoadStandOff(name string, data []byte, store blob.Store) error 
 func (e *Engine) SetBlob(name string, store blob.Store) {
 	e.mu.Lock()
 	e.blobs[name] = store
+	e.gen.Add(1)
 	e.mu.Unlock()
 }
 
@@ -310,9 +338,13 @@ func (e *Engine) Unload(name string) {
 		}
 	}
 	e.plans.Purge()
+	e.gen.Add(1)
 }
 
-// Documents returns the names of all loaded documents.
+// Documents returns the names of all loaded documents, sorted. The sort
+// makes catalog listings (and everything built on them: soxqd responses,
+// goldens, diffs between two listings) deterministic — map iteration order
+// would shuffle them per call.
 func (e *Engine) Documents() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -320,6 +352,7 @@ func (e *Engine) Documents() []string {
 	for n := range e.docs {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -447,8 +480,14 @@ func (p *Prepared) Analyze(cfg Config) (*Result, *PlanExplain, error) {
 // plan. Document and index resolution go through a fresh runView, so the run
 // drains one consistent snapshot generation even while mutations land.
 func (p *Prepared) evaluator(cfg Config) *xqeval.Evaluator {
+	return p.evaluatorWith(cfg, &runView{eng: p.eng, opts: p.plan.Options()})
+}
+
+// evaluatorWith is evaluator with the caller supplying the run view — the
+// corpus shard path seeds the view so the corpus URI resolves to one member
+// document (see corpus.go).
+func (p *Prepared) evaluatorWith(cfg Config, rv *runView) *xqeval.Evaluator {
 	e := p.eng
-	rv := &runView{eng: e, opts: p.plan.Options()}
 	return &xqeval.Evaluator{
 		Plan:     p.plan,
 		Resolver: rv.resolve,

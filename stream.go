@@ -102,6 +102,18 @@ func (p *Prepared) Stream(cfg Config) (*Cursor, error) {
 	return &Cursor{cur: cur, ro: ro}, nil
 }
 
+// StreamQuery is Stream through the plan cache: the query text is compiled
+// (or served from the cache) and executed as a cursor pipeline in one call.
+// It is the single-document streaming path of soxqd, where the query text
+// arrives per request and repeats across requests.
+func (e *Engine) StreamQuery(q string, cfg Config) (*Cursor, error) {
+	p, err := e.preparedCached(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Stream(cfg)
+}
+
 // pipeline builds the cursor pipeline Exec and Stream share; chunk <= 0
 // means unbounded chunks (materialise per operator), which is what a full
 // drain wants. st attaches the per-operator collector of a traced run (nil

@@ -29,6 +29,9 @@ type engineObs struct {
 	tracesTotal *obs.Counter
 	slowTotal   *obs.Counter
 
+	corpusQueries *obs.Counter
+	corpusShards  *obs.Counter
+
 	insertsTotal     *obs.Counter
 	deletesTotal     *obs.Counter
 	regionsWritten   *obs.Counter
@@ -63,6 +66,9 @@ func newEngineObs(e *Engine) *engineObs {
 
 		tracesTotal: r.Counter("soxq_traces_total", "query traces recorded"),
 		slowTotal:   r.Counter("soxq_slow_queries_total", "queries over the slow-query threshold"),
+
+		corpusQueries: r.Counter("soxq_corpus_queries_total", "corpus query executions (fan-outs actually run; result-cache hits do not count)"),
+		corpusShards:  r.Counter("soxq_corpus_shards_total", "per-document shards executed by corpus queries"),
 
 		insertsTotal:     r.Counter(metricMutationsTotal+`{op="insert"}`, "annotation mutations by operation"),
 		deletesTotal:     r.Counter(metricMutationsTotal+`{op="delete"}`, ""),
@@ -114,6 +120,22 @@ func newEngineObs(e *Engine) *engineObs {
 	r.GaugeFunc("soxq_documents_loaded", "documents currently loaded",
 		func() int64 { return int64(len(e.Documents())) })
 
+	// Catalog and corpus result cache: the generation every cached corpus
+	// result is keyed by, and the cache's hit/miss/size counters — the
+	// "did the hot query skip execution" signal soxqd's tests pin.
+	r.GaugeFunc("soxq_catalog_generation", "catalog generation (bumped by load/unload/mutation/corpus changes)",
+		func() int64 { return int64(e.gen.Load()) })
+	r.GaugeFunc("soxq_corpora_defined", "corpora currently defined",
+		func() int64 { return int64(len(e.Corpora())) })
+	r.CounterFunc("soxq_result_cache_hits_total", "corpus result cache lookups served without executing",
+		func() int64 { h, _ := e.results.Stats(); return int64(h) })
+	r.CounterFunc("soxq_result_cache_misses_total", "corpus result cache lookups that executed (or waited on an execution)",
+		func() int64 { _, m := e.results.Stats(); return int64(m) })
+	r.GaugeFunc("soxq_result_cache_entries", "corpus results currently cached",
+		func() int64 { return int64(e.results.Len()) })
+	r.CounterFunc("soxq_result_cache_coalesced_total", "concurrent corpus executions collapsed by the result cache's singleflight",
+		func() int64 { return int64(e.results.Coalesced()) })
+
 	// Pending annotation deltas across all cached region indexes; walks the
 	// index map under the read lock at scrape time only.
 	r.GaugeFunc("soxq_delta_annotations", "annotation inserts+deletes pending in region-index delta layers",
@@ -142,6 +164,15 @@ func (t *engineObs) mutation(op string, regions int) {
 	case "delete":
 		t.deletesTotal.Inc()
 	}
+}
+
+// corpusRun records one corpus fan-out and its shard count.
+func (t *engineObs) corpusRun(shards int) {
+	if t == nil {
+		return
+	}
+	t.corpusQueries.Inc()
+	t.corpusShards.Add(int64(shards))
 }
 
 // compaction records one region-index delta compaction.
